@@ -1,0 +1,95 @@
+// E7 — audit cost (paper Sec. IV.D): NO scans grt with Eq.3 (2 pairings
+// per token) until the responsible credential is found. Cost is linear in
+// the scan position; worst case = |grt|.
+#include "bench_common.hpp"
+
+namespace peace::bench {
+namespace {
+
+struct AuditWorld {
+  explicit AuditWorld(int grt_size)
+      : no(crypto::Drbg::from_string("e7-no")),
+        gm(no.register_group("e7-group", static_cast<std::size_t>(grt_size),
+                             ttp)) {
+    auto provision = no.provision_router(1, ~proto::Timestamp{0});
+    router = std::make_unique<proto::MeshRouter>(
+        1, provision.keypair, provision.certificate, no.params(),
+        crypto::Drbg::from_string("e7-router"));
+    router->install_revocation_lists(no.current_crl(), no.current_url());
+    // The enrollment order is LIFO over issued keys, so the first enrollee
+    // gets the LAST issued key => NO's audit scan hits it late (near-worst
+    // case for the scan).
+    user = std::make_unique<proto::User>("suspect", no.params(),
+                                         crypto::Drbg::from_string("e7-u"));
+    user->complete_enrollment(gm.enroll("suspect", ttp));
+  }
+
+  proto::AccessRequest logged_session() {
+    const auto beacon = router->make_beacon(1000);
+    auto m2 = user->process_beacon(beacon, 1000);
+    return *m2;
+  }
+
+  proto::NetworkOperator no;
+  proto::TrustedThirdParty ttp;
+  proto::GroupManager gm;
+  std::unique_ptr<proto::MeshRouter> router;
+  std::unique_ptr<proto::User> user;
+};
+
+void BM_NoAuditScan(benchmark::State& state) {
+  curve::Bn254::init();
+  AuditWorld world(static_cast<int>(state.range(0)));
+  const auto m2 = world.logged_session();
+  std::size_t scanned = 0;
+  for (auto _ : state) {
+    auto result = world.no.audit(m2);
+    benchmark::DoNotOptimize(result);
+    scanned = result->tokens_scanned;
+  }
+  state.counters["grt_size"] = static_cast<double>(state.range(0));
+  state.counters["tokens_scanned"] = static_cast<double>(scanned);
+  state.counters["pairings_paper"] = 2.0 * static_cast<double>(scanned);
+}
+BENCHMARK(BM_NoAuditScan)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LawAuthorityTrace(benchmark::State& state) {
+  // Full deanonymization: NO audit + GM lookup. The GM lookup is a map
+  // probe — the trace cost is the audit cost.
+  curve::Bn254::init();
+  AuditWorld world(8);
+  const auto m2 = world.logged_session();
+  for (auto _ : state) {
+    auto traced = proto::LawAuthority::trace(world.no, {&world.gm}, m2);
+    benchmark::DoNotOptimize(traced);
+  }
+}
+BENCHMARK(BM_LawAuthorityTrace)->Unit(benchmark::kMillisecond);
+
+void BM_SingleTokenCheck(benchmark::State& state) {
+  // The Eq.3 primitive in isolation: exactly 2 pairings.
+  curve::Bn254::init();
+  AuditWorld world(2);
+  const auto m2 = world.logged_session();
+  const auto& key = world.user->credential(world.gm.id());
+  groupsig::OpCounters ops;
+  for (auto _ : state) {
+    ops.reset();
+    bool hit = groupsig::matches_token(world.no.params().gpk,
+                                       m2.signed_payload(), m2.signature,
+                                       {key.a}, &ops);
+    benchmark::DoNotOptimize(hit);
+  }
+  state.counters["pairings"] = static_cast<double>(ops.pairings);
+}
+BENCHMARK(BM_SingleTokenCheck)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace peace::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Shared setup for the experiment benches: a small PEACE deployment with
+// one operator, one group, one router, and one enrolled user.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "peace/router.hpp"
+#include "peace/user.hpp"
+
+namespace peace::bench {
+
+struct World {
+  World()
+      : no(crypto::Drbg::from_string("bench-no")),
+        gm(no.register_group("bench-group", 64, ttp)) {
+    auto provision = no.provision_router(1, ~proto::Timestamp{0});
+    router = std::make_unique<proto::MeshRouter>(
+        1, provision.keypair, provision.certificate, no.params(),
+        crypto::Drbg::from_string("bench-router"));
+    router->install_revocation_lists(no.current_crl(), no.current_url());
+    user = std::make_unique<proto::User>("bench-user", no.params(),
+                                         crypto::Drbg::from_string("bench-u"));
+    user->complete_enrollment(gm.enroll("bench-user", ttp));
+  }
+
+  static World& instance() {
+    static World world = [] {
+      curve::Bn254::init();
+      return World();
+    }();
+    return world;
+  }
+
+  proto::NetworkOperator no;
+  proto::TrustedThirdParty ttp;
+  proto::GroupManager gm;
+  std::unique_ptr<proto::MeshRouter> router;
+  std::unique_ptr<proto::User> user;
+};
+
+}  // namespace peace::bench

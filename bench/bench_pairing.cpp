@@ -1,0 +1,189 @@
+// E9 — primitive microbenchmarks: the building blocks whose counts the
+// paper's analysis is phrased in (pairings, exponentiations, hash-to-group),
+// plus the ate-vs-Tate ablation called out in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include "crypto/drbg.hpp"
+#include "curve/ecdsa.hpp"
+#include "curve/hash_to_curve.hpp"
+#include "curve/pairing.hpp"
+
+namespace peace::curve {
+namespace {
+
+struct Fixture {
+  Fixture() : rng(crypto::Drbg::from_string("e9")) {
+    Bn254::init();
+    p = Bn254::get().g1_gen * random_fr(rng);
+    q = Bn254::get().g2_gen * random_fr(rng);
+    gt = pairing(p, q);
+    scalar = random_fr(rng);
+  }
+  static Fixture& get() {
+    static Fixture f;
+    return f;
+  }
+  crypto::Drbg rng;
+  G1 p;
+  G2 q;
+  GT gt;
+  Fr scalar;
+};
+
+void BM_PairingOptimalAte(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  for (auto _ : state) {
+    auto e = pairing(f.p, f.q);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_PairingOptimalAte)->Unit(benchmark::kMillisecond);
+
+void BM_PairingTateReference(benchmark::State& state) {
+  // Ablation: the textbook Tate loop over r (254 iterations, untwisted
+  // Fp12 arithmetic) vs the 65-iteration optimal ate above.
+  Fixture& f = Fixture::get();
+  for (auto _ : state) {
+    auto e = pairing_reference(f.p, f.q);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_PairingTateReference)->Unit(benchmark::kMillisecond);
+
+void BM_MillerLoopOnly(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  for (auto _ : state) {
+    auto m = miller_loop(f.p, f.q);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MillerLoopOnly)->Unit(benchmark::kMillisecond);
+
+void BM_FinalExponentiationOnly(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  const auto m = miller_loop(f.p, f.q);
+  for (auto _ : state) {
+    auto e = final_exponentiation(m);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_FinalExponentiationOnly)->Unit(benchmark::kMillisecond);
+
+void BM_FinalExponentiationGeneric(benchmark::State& state) {
+  // Ablation: generic 762-bit square-and-multiply vs the BN hard-part
+  // addition chain used by final_exponentiation() above.
+  Fixture& f = Fixture::get();
+  const auto m = miller_loop(f.p, f.q);
+  for (auto _ : state) {
+    auto e = final_exponentiation_generic(m);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_FinalExponentiationGeneric)->Unit(benchmark::kMillisecond);
+
+void BM_MultiPairing2(benchmark::State& state) {
+  // The folded two-pairing product used by R2 and Eq.3: cheaper than two
+  // separate pairings because the final exponentiation is shared.
+  Fixture& f = Fixture::get();
+  for (auto _ : state) {
+    auto e = multi_pairing({{f.p, f.q}, {-f.p, f.q}});
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_MultiPairing2)->Unit(benchmark::kMillisecond);
+
+void BM_G1ScalarMul(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  for (auto _ : state) {
+    auto r = f.p * f.scalar;
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_G1ScalarMul);
+
+void BM_G2ScalarMul(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  for (auto _ : state) {
+    auto r = f.q * f.scalar;
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_G2ScalarMul);
+
+void BM_GtExponentiation(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  for (auto _ : state) {
+    auto r = f.gt.pow(f.scalar.to_u256());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_GtExponentiation);
+
+void BM_HashToG1(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    Bytes msg = {static_cast<std::uint8_t>(n++), 1, 2, 3};
+    auto p = hash_to_g1("bench", msg);
+    benchmark::DoNotOptimize(p);
+  }
+  (void)f;
+}
+BENCHMARK(BM_HashToG1);
+
+void BM_HashToG2(benchmark::State& state) {
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    Bytes msg = {static_cast<std::uint8_t>(n++), 1, 2, 3};
+    auto q = hash_to_g2("bench", msg);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_HashToG2)->Unit(benchmark::kMillisecond);
+
+void BM_FpInverseFast(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  const math::Fp a = math::Fp::from_bytes_reduce(f.rng.bytes(32));
+  for (auto _ : state) {
+    auto inv = a.inverse();
+    benchmark::DoNotOptimize(inv);
+  }
+}
+BENCHMARK(BM_FpInverseFast);
+
+void BM_FpInverseFermat(benchmark::State& state) {
+  // Ablation: the exponentiation-based inverse the fast path replaced.
+  Fixture& f = Fixture::get();
+  const math::Fp a = math::Fp::from_bytes_reduce(f.rng.bytes(32));
+  for (auto _ : state) {
+    auto inv = a.inverse_fermat();
+    benchmark::DoNotOptimize(inv);
+  }
+}
+BENCHMARK(BM_FpInverseFermat);
+
+void BM_EcdsaSign(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  const auto kp = EcdsaKeyPair::generate(f.rng);
+  for (auto _ : state) {
+    auto sig = kp.sign(as_bytes("beacon payload"), f.rng);
+    benchmark::DoNotOptimize(sig);
+  }
+}
+BENCHMARK(BM_EcdsaSign);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  const auto kp = EcdsaKeyPair::generate(f.rng);
+  const auto sig = kp.sign(as_bytes("beacon payload"), f.rng);
+  for (auto _ : state) {
+    bool ok = ecdsa_verify(kp.public_key(), as_bytes("beacon payload"), sig);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_EcdsaVerify);
+
+}  // namespace
+}  // namespace peace::curve
+
+BENCHMARK_MAIN();

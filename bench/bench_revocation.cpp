@@ -1,0 +1,105 @@
+// E4 — revocation-check scaling (paper Sec. V.C).
+// Paper: verification cost grows linearly in |URL| (2 pairings per token);
+// the "far more efficient revocation check algorithm ... whose running time
+// is independent of |URL|" trades per-epoch linkability for O(1) lookups.
+// This bench regenerates both curves and their crossover.
+#include "bench_common.hpp"
+
+namespace peace::bench {
+namespace {
+
+std::vector<groupsig::RevocationToken> make_url(const groupsig::Issuer& issuer,
+                                                crypto::Drbg& rng, int n) {
+  std::vector<groupsig::RevocationToken> url;
+  url.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    url.push_back({issuer.issue(curve::random_fr(rng), rng).a});
+  return url;
+}
+
+void BM_LinearScanRevocation(benchmark::State& state) {
+  World& w = World::instance();
+  crypto::Drbg rng = crypto::Drbg::from_string("e4", state.range(0));
+  const auto& key = w.user->credential(w.gm.id());
+  const auto sig = groupsig::sign(w.no.params().gpk, key, as_bytes("m"), rng);
+  const auto issuer = groupsig::Issuer::create(rng);
+  const auto url = make_url(issuer, rng, static_cast<int>(state.range(0)));
+  groupsig::OpCounters ops;
+  for (auto _ : state) {
+    ops.reset();
+    // Revocation scan only (proof verification measured separately in E3).
+    bool hit = false;
+    for (const auto& token : url) {
+      hit |= groupsig::matches_token(w.no.params().gpk, as_bytes("m"), sig,
+                                     token, &ops);
+    }
+    benchmark::DoNotOptimize(hit);
+  }
+  state.counters["url_size"] = static_cast<double>(state.range(0));
+  state.counters["pairings_per_check"] =
+      state.range(0) == 0
+          ? 0
+          : static_cast<double>(ops.pairings) /
+                static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_LinearScanRevocation)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FastEpochRevocation(benchmark::State& state) {
+  // The |URL|-independent variant: cost is flat across list sizes.
+  World& w = World::instance();
+  crypto::Drbg rng = crypto::Drbg::from_string("e4f", state.range(0));
+  const auto& key = w.user->credential(w.gm.id());
+  const groupsig::Epoch epoch = 12;
+  const auto sig =
+      groupsig::sign(w.no.params().gpk, key, as_bytes("m"), rng, epoch);
+  const auto issuer = groupsig::Issuer::create(rng);
+  const auto url = make_url(issuer, rng, static_cast<int>(state.range(0)));
+  const groupsig::EpochRevocationIndex index(w.no.params().gpk, epoch, url);
+  groupsig::OpCounters ops;
+  for (auto _ : state) {
+    ops.reset();
+    bool revoked = index.is_revoked(sig, &ops);
+    benchmark::DoNotOptimize(revoked);
+  }
+  state.counters["url_size"] = static_cast<double>(state.range(0));
+  state.counters["pairings"] = static_cast<double>(ops.pairings);
+}
+BENCHMARK(BM_FastEpochRevocation)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EpochIndexRebuild(benchmark::State& state) {
+  // The amortized cost the fast variant pays once per epoch: one pairing
+  // per URL token.
+  World& w = World::instance();
+  crypto::Drbg rng = crypto::Drbg::from_string("e4r", state.range(0));
+  const auto issuer = groupsig::Issuer::create(rng);
+  const auto url = make_url(issuer, rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    groupsig::EpochRevocationIndex index(w.no.params().gpk, 7, url);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.counters["url_size"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_EpochIndexRebuild)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace peace::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// E2/E3 — "Computational Overhead" (paper Sec. V.C).
+// Paper: signing = ~8 exponentiations + 2 pairings; verification =
+// 6 exponentiations + (3 + 2|URL|) pairings. We measure wall-clock AND the
+// instrumented operation counts (the Type-3 adaptation adds the T_hat
+// carrier: one extra exponentiation per side; same-base pairings folded).
+#include "bench_common.hpp"
+
+namespace peace::bench {
+namespace {
+
+void BM_GroupSign(benchmark::State& state) {
+  World& w = World::instance();
+  crypto::Drbg rng = crypto::Drbg::from_string("e2");
+  const auto& key = w.user->credential(w.gm.id());
+  groupsig::OpCounters ops;
+  for (auto _ : state) {
+    ops.reset();
+    auto sig = groupsig::sign(w.no.params().gpk, key, as_bytes("msg"), rng, 0,
+                              &ops);
+    benchmark::DoNotOptimize(sig);
+  }
+  state.counters["exponentiations"] = static_cast<double>(ops.total_exp());
+  state.counters["pairings"] = static_cast<double>(ops.pairings);
+  state.counters["paper_exp"] = 8;
+  state.counters["paper_pairings"] = 2;
+}
+BENCHMARK(BM_GroupSign)->Unit(benchmark::kMillisecond);
+
+void BM_GroupVerifyProof(benchmark::State& state) {
+  World& w = World::instance();
+  crypto::Drbg rng = crypto::Drbg::from_string("e3");
+  const auto& key = w.user->credential(w.gm.id());
+  const auto sig = groupsig::sign(w.no.params().gpk, key, as_bytes("msg"), rng);
+  groupsig::OpCounters ops;
+  for (auto _ : state) {
+    ops.reset();
+    bool ok = groupsig::verify_proof(w.no.params().gpk, as_bytes("msg"), sig,
+                                     &ops);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["exponentiations"] = static_cast<double>(ops.total_exp());
+  state.counters["pairings"] = static_cast<double>(ops.pairings);
+  state.counters["paper_exp"] = 6;
+  state.counters["paper_pairings_no_url"] = 3;
+}
+BENCHMARK(BM_GroupVerifyProof)->Unit(benchmark::kMillisecond);
+
+void BM_GroupVerifyWithUrl(benchmark::State& state) {
+  // Total verification cost as |URL| grows: pairings = base + 2|URL|.
+  World& w = World::instance();
+  crypto::Drbg rng = crypto::Drbg::from_string("e3-url", state.range(0));
+  const auto& key = w.user->credential(w.gm.id());
+  const auto sig = groupsig::sign(w.no.params().gpk, key, as_bytes("msg"), rng);
+  std::vector<groupsig::RevocationToken> url;
+  const auto issuer_view = groupsig::Issuer::create(rng);  // unrelated tokens
+  for (int i = 0; i < state.range(0); ++i)
+    url.push_back({issuer_view.issue(curve::random_fr(rng), rng).a});
+  groupsig::OpCounters ops;
+  for (auto _ : state) {
+    ops.reset();
+    bool ok =
+        groupsig::verify(w.no.params().gpk, as_bytes("msg"), sig, url, &ops);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["url_size"] = static_cast<double>(state.range(0));
+  state.counters["pairings"] = static_cast<double>(ops.pairings);
+  state.counters["paper_pairings"] =
+      static_cast<double>(3 + 2 * state.range(0));
+}
+BENCHMARK(BM_GroupVerifyWithUrl)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MemberKeyIssue(benchmark::State& state) {
+  // Setup-side cost: one SDH tuple per member (NO's step 3).
+  World& w = World::instance();
+  crypto::Drbg rng = crypto::Drbg::from_string("e2-issue");
+  const auto issuer = groupsig::Issuer::create(rng);
+  const auto grp = issuer.new_group_secret(rng);
+  for (auto _ : state) {
+    auto key = issuer.issue(grp, rng);
+    benchmark::DoNotOptimize(key);
+  }
+  (void)w;
+}
+BENCHMARK(BM_MemberKeyIssue)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace peace::bench
+
+BENCHMARK_MAIN();

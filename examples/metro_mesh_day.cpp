@@ -1,0 +1,118 @@
+// A day in a metropolitan mesh (the paper's motivating scenario, Sec. I):
+// three mesh routers cover a downtown strip; a dozen citizens — employees,
+// students, club members — authenticate anonymously, form peer relay links,
+// and push traffic through the mesh while a global eavesdropper records
+// every frame and finds nothing to link.
+//
+// Run: ./build/examples/metro_mesh_day
+#include <cstdio>
+
+#include "mesh/adversary.hpp"
+
+using namespace peace;
+
+int main() {
+  curve::Bn254::init();
+  constexpr proto::Timestamp kYear = 1000ull * 86400 * 365;
+
+  proto::NetworkOperator no(crypto::Drbg::from_string("metro-demo"));
+  proto::TrustedThirdParty ttp;
+  proto::GroupManager company = no.register_group("Company XYZ", 16, ttp);
+  proto::GroupManager university = no.register_group("University Z", 16, ttp);
+  proto::GroupManager golf_club = no.register_group("Golf Club V", 16, ttp);
+
+  mesh::Simulator sim;
+  mesh::MeshNetwork net(sim, crypto::Drbg::from_string("metro-net"),
+                        mesh::RadioConfig{.router_range = 250.0, .user_range = 80.0, .loss_probability = 0.05, .latency_ms = 2});
+
+  // Downtown strip: routers every 400 m, one wired access point at city
+  // hall (the paper's layer-1 Internet entry).
+  net.add_router({0, 0}, no, kYear);
+  net.add_router({400, 0}, no, kYear);
+  net.add_router({800, 0}, no, kYear);
+  net.add_access_point({400, 300});
+
+  // Citizens scattered along the strip, enrolled via their social roles.
+  struct Resident {
+    const char* uid;
+    proto::GroupManager* gm;
+    mesh::Vec2 pos;
+  };
+  std::vector<Resident> residents = {
+      {"alice@company", &company, {30, 20}},
+      {"bob@company", &company, {90, -10}},
+      {"carol@university", &university, {160, 25}},
+      {"dave@university", &university, {230, -30}},
+      {"erin@golf", &golf_club, {380, 15}},
+      {"frank@company", &company, {430, -20}},
+      {"grace@university", &university, {520, 30}},
+      {"heidi@golf", &golf_club, {610, -15}},
+      {"ivan@company", &company, {700, 10}},
+      {"judy@university", &university, {790, -25}},
+      {"mallory@golf", &golf_club, {840, 20}},
+      {"niaj@company", &company, {870, -10}},
+  };
+  std::vector<mesh::NodeId> ids;
+  for (const Resident& r : residents) {
+    auto user = std::make_unique<proto::User>(
+        r.uid, no.params(), crypto::Drbg::from_string(r.uid));
+    user->complete_enrollment(r.gm->enroll(r.uid, ttp));
+    ids.push_back(net.add_user(r.pos, std::move(user)));
+  }
+
+  // A global passive adversary taps every radio frame.
+  mesh::Eavesdropper eve;
+  eve.attach(net);
+
+  // Morning: routers beacon every second for ten seconds; everyone joins.
+  net.start_beaconing(100, 1000, 10'000);
+  sim.run_until(12'000);
+
+  std::size_t connected = 0;
+  for (const mesh::NodeId id : ids)
+    if (net.is_connected(id)) ++connected;
+  std::printf("morning: %zu/%zu residents authenticated anonymously\n",
+              connected, ids.size());
+
+  // Midday: neighbors authenticate each other for relaying.
+  net.establish_peer_links();
+  sim.run_until(13'000);
+
+  // Afternoon: everyone browses the Internet; out-of-radio-range users
+  // relay via peers, then the traffic crosses the wireless backbone to the
+  // wired access point.
+  std::size_t sent = 0, delivered = 0;
+  for (const mesh::NodeId id : ids) {
+    for (int k = 0; k < 3; ++k) {
+      ++sent;
+      if (net.send_to_internet(id, as_bytes("encrypted citizen traffic")))
+        ++delivered;
+    }
+  }
+  std::printf("afternoon: %zu/%zu transfers reached the Internet "
+              "(%llu peer relay hops, %llu backbone hops, %llu frames lost "
+              "to radio)\n",
+              delivered, sent,
+              static_cast<unsigned long long>(net.stats().relay_hops_total),
+              static_cast<unsigned long long>(net.stats().backbone_hops_total),
+              static_cast<unsigned long long>(net.stats().frames_lost));
+
+  // Evening: the eavesdropper files its report.
+  std::printf("\neavesdropper saw %zu frames, %zu access requests\n",
+              eve.frames_seen(), eve.access_requests_seen());
+  std::printf("  repeated (linkable) protocol fields ....... %zu\n",
+              eve.repeated_field_count());
+  std::printf("  identities observed on the air ............ %s\n",
+              [&] {
+                for (const Resident& r : residents)
+                  if (eve.saw_bytes(as_bytes(r.uid))) return "SOME (BUG!)";
+                return "none";
+              }());
+  std::printf("  plaintexts recovered from data frames ...... %zu\n",
+              eve.recovered_plaintexts().size());
+
+  std::printf("\nsimulator: %llu events, virtual time %llu ms\n",
+              static_cast<unsigned long long>(sim.events_processed()),
+              static_cast<unsigned long long>(sim.now()));
+  return connected == ids.size() ? 0 : 1;
+}

@@ -1,0 +1,123 @@
+#include "baseline/plain_auth.hpp"
+
+#include <algorithm>
+
+#include "common/serde.hpp"
+
+namespace peace::baseline {
+
+using curve::g1_from_bytes;
+using curve::g1_to_bytes;
+
+Bytes PlainUserCertificate::signed_payload() const {
+  Writer w;
+  w.str("plain/user-cert");
+  w.str(uid);
+  w.raw(g1_to_bytes(public_key));
+  w.u64(expires_at);
+  return w.take();
+}
+
+Bytes PlainUserCertificate::to_bytes() const {
+  Writer w;
+  w.str(uid);
+  w.raw(g1_to_bytes(public_key));
+  w.u64(expires_at);
+  w.raw(signature.to_bytes());
+  return w.take();
+}
+
+PlainUserCertificate PlainUserCertificate::from_bytes(BytesView data) {
+  Reader r(data);
+  PlainUserCertificate c;
+  c.uid = r.str();
+  c.public_key = g1_from_bytes(r.raw(curve::kG1CompressedSize));
+  c.expires_at = r.u64();
+  c.signature = EcdsaSignature::from_bytes(r.raw(curve::kEcdsaSignatureSize));
+  r.expect_end();
+  return c;
+}
+
+PlainAuthority::PlainAuthority(crypto::Drbg rng)
+    : rng_(std::move(rng)), root_(EcdsaKeyPair::generate(rng_)) {}
+
+PlainAuthority::IssuedUser PlainAuthority::issue_user(
+    const std::string& uid, std::uint64_t expires_at) {
+  IssuedUser user;
+  user.keypair = EcdsaKeyPair::generate(rng_);
+  user.certificate.uid = uid;
+  user.certificate.public_key = user.keypair.public_key();
+  user.certificate.expires_at = expires_at;
+  user.certificate.signature =
+      root_.sign(user.certificate.signed_payload(), rng_);
+  return user;
+}
+
+void PlainAuthority::revoke(const std::string& uid) { revoked_.push_back(uid); }
+
+bool PlainAuthority::is_revoked(const std::string& uid) const {
+  return std::find(revoked_.begin(), revoked_.end(), uid) != revoked_.end();
+}
+
+Bytes PlainAccessRequest::signed_payload() const {
+  Writer w;
+  w.str("plain/m2");
+  w.raw(g1_to_bytes(g_rj));
+  w.raw(g1_to_bytes(g_rr));
+  w.u64(ts);
+  return w.take();
+}
+
+Bytes PlainAccessRequest::to_bytes() const {
+  Writer w;
+  w.raw(g1_to_bytes(g_rj));
+  w.raw(g1_to_bytes(g_rr));
+  w.u64(ts);
+  w.bytes(certificate.to_bytes());
+  w.raw(signature.to_bytes());
+  return w.take();
+}
+
+PlainAccessRequest PlainAccessRequest::from_bytes(BytesView data) {
+  Reader r(data);
+  PlainAccessRequest m;
+  m.g_rj = g1_from_bytes(r.raw(curve::kG1CompressedSize));
+  m.g_rr = g1_from_bytes(r.raw(curve::kG1CompressedSize));
+  m.ts = r.u64();
+  m.certificate = PlainUserCertificate::from_bytes(r.bytes());
+  m.signature = EcdsaSignature::from_bytes(r.raw(curve::kEcdsaSignatureSize));
+  r.expect_end();
+  return m;
+}
+
+PlainAccessRequest make_plain_request(const PlainAuthority::IssuedUser& user,
+                                      const G1& g_rj, const G1& g_rr,
+                                      std::uint64_t ts, crypto::Drbg& rng) {
+  PlainAccessRequest m;
+  m.g_rj = g_rj;
+  m.g_rr = g_rr;
+  m.ts = ts;
+  m.certificate = user.certificate;
+  m.signature = user.keypair.sign(m.signed_payload(), rng);
+  return m;
+}
+
+std::optional<std::string> verify_plain_request(
+    const PlainAuthority& authority, const PlainAccessRequest& request,
+    std::uint64_t now, std::uint64_t replay_window) {
+  const std::uint64_t age =
+      now >= request.ts ? now - request.ts : request.ts - now;
+  if (age > replay_window) return std::nullopt;
+  const PlainUserCertificate& cert = request.certificate;
+  if (cert.expires_at <= now) return std::nullopt;
+  if (authority.is_revoked(cert.uid)) return std::nullopt;
+  if (!curve::ecdsa_verify(authority.public_key(), cert.signed_payload(),
+                           cert.signature))
+    return std::nullopt;
+  if (!curve::ecdsa_verify(cert.public_key, request.signed_payload(),
+                           request.signature))
+    return std::nullopt;
+  return cert.uid;
+}
+
+}  // namespace peace::baseline

@@ -1,0 +1,106 @@
+#include "baseline/rsa.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace peace::baseline {
+
+namespace {
+
+/// Trial-division prefilter primes.
+constexpr std::uint64_t kSmallPrimes[] = {
+    3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,  47,
+    53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107, 109,
+    113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269,
+    271, 277, 281, 283, 293, 307, 311, 313, 317, 331, 337, 347, 349, 353,
+    359, 367, 373, 379, 383, 389, 397, 401, 409, 419, 421, 431, 433, 439,
+    443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521, 523,
+    541, 547, 557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613, 617,
+    619, 631, 641, 643, 647, 653, 659, 661, 673, 677, 683, 691, 701, 709};
+
+bool passes_trial_division(const BigInt& n) {
+  for (std::uint64_t p : kSmallPrimes) {
+    if ((n % BigInt(p)).is_zero()) return false;
+  }
+  return true;
+}
+
+/// EMSA-PKCS1-v1_5-shaped padding: 0x00 0x01 FF..FF 0x00 || SHA-256(msg),
+/// sized to the modulus length.
+BigInt padded_digest(BytesView message, std::size_t modulus_len) {
+  const Bytes digest = crypto::Sha256::hash(message);
+  if (modulus_len < digest.size() + 11)
+    throw Error("rsa: modulus too small for padding");
+  Bytes em(modulus_len, 0xff);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  em[modulus_len - digest.size() - 1] = 0x00;
+  std::copy(digest.begin(), digest.end(),
+            em.end() - static_cast<std::ptrdiff_t>(digest.size()));
+  return BigInt::from_bytes(em);
+}
+
+}  // namespace
+
+BigInt generate_prime(unsigned bits, crypto::Drbg& rng, int mr_rounds) {
+  if (bits < 16) throw Error("rsa: prime too small");
+  const std::size_t len = (bits + 7) / 8;
+  auto rand_base_factory = [&rng](const BigInt& n) {
+    return [&rng, n]() {
+      const std::size_t blen = (n.bit_length() + 7) / 8;
+      for (;;) {
+        const BigInt cand = BigInt::from_bytes(rng.bytes(blen));
+        if (BigInt::cmp(cand, BigInt(2)) >= 0 &&
+            BigInt::cmp(cand, n - BigInt(2)) <= 0)
+          return cand;
+      }
+    };
+  };
+  for (;;) {
+    Bytes raw = rng.bytes(len);
+    // Force exact bit length with the top two bits set, and oddness.
+    const unsigned top_bit = (bits - 1) % 8;
+    raw[0] &= static_cast<std::uint8_t>(0xff >> (7 - top_bit));
+    raw[0] |= static_cast<std::uint8_t>(1u << top_bit);
+    if (top_bit > 0) raw[0] |= static_cast<std::uint8_t>(1u << (top_bit - 1));
+    raw[len - 1] |= 1;
+    const BigInt cand = BigInt::from_bytes(raw);
+    if (!passes_trial_division(cand)) continue;
+    if (BigInt::is_probable_prime(cand, mr_rounds, rand_base_factory(cand)))
+      return cand;
+  }
+}
+
+RsaKeyPair RsaKeyPair::generate(unsigned modulus_bits, crypto::Drbg& rng) {
+  if (modulus_bits < 256 || modulus_bits % 2 != 0)
+    throw Error("rsa: unsupported modulus size");
+  const BigInt e(65537);
+  for (;;) {
+    const BigInt p = generate_prime(modulus_bits / 2, rng);
+    const BigInt q = generate_prime(modulus_bits / 2, rng);
+    if (p == q) continue;
+    const BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+    if (BigInt::cmp(BigInt::gcd(e, phi), BigInt(1)) != 0) continue;
+    RsaKeyPair kp;
+    kp.n_ = p * q;
+    kp.e_ = e;
+    kp.d_ = BigInt::mod_inverse(e, phi);
+    if (kp.n_.bit_length() != modulus_bits) continue;
+    return kp;
+  }
+}
+
+Bytes RsaKeyPair::sign(BytesView message) const {
+  const BigInt em = padded_digest(message, modulus_bytes());
+  return BigInt::mod_pow(em, d_, n_).to_bytes(modulus_bytes());
+}
+
+bool RsaKeyPair::verify(BytesView message, BytesView signature) const {
+  if (signature.size() != modulus_bytes()) return false;
+  const BigInt sig = BigInt::from_bytes(signature);
+  if (!(BigInt::cmp(sig, n_) < 0)) return false;
+  const BigInt recovered = BigInt::mod_pow(sig, e_, n_);
+  return recovered == padded_digest(message, modulus_bytes());
+}
+
+}  // namespace peace::baseline

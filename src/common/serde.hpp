@@ -1,0 +1,67 @@
+// Minimal deterministic binary serialization used for all PEACE wire
+// messages. Big-endian fixed-width integers and length-prefixed byte strings;
+// a Reader that throws on truncation so malformed network input can never
+// read out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace peace {
+
+/// Appends fields to a growing byte buffer in a canonical encoding.
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Raw bytes, no length prefix (fixed-size fields).
+  void raw(BytesView data) { append(buf_, data); }
+  /// Length-prefixed (u32) byte string.
+  void bytes(BytesView data);
+  /// Length-prefixed UTF-8 string.
+  void str(std::string_view s) { bytes(as_bytes(s)); }
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Consumes fields from a byte view; every accessor throws Error("serde: ...")
+/// if the buffer is exhausted, so callers never see partial reads.
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  /// Fixed-size field.
+  Bytes raw(std::size_t n);
+  /// Length-prefixed byte string (u32 prefix); the length is validated
+  /// against the remaining buffer before allocation.
+  Bytes bytes();
+  std::string str();
+
+  bool empty() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// Throws unless the whole buffer has been consumed — rejects messages
+  /// with trailing garbage.
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace peace

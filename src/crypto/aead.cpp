@@ -1,0 +1,59 @@
+#include "crypto/aead.hpp"
+
+#include "crypto/chacha20.hpp"
+#include "crypto/poly1305.hpp"
+
+namespace peace::crypto {
+
+namespace {
+
+Bytes compute_tag(BytesView poly_key, BytesView aad, BytesView ciphertext) {
+  Poly1305 mac(poly_key);
+  const Bytes zero(16, 0);
+  mac.update(aad);
+  if (aad.size() % 16 != 0) mac.update({zero.data(), 16 - aad.size() % 16});
+  mac.update(ciphertext);
+  if (ciphertext.size() % 16 != 0)
+    mac.update({zero.data(), 16 - ciphertext.size() % 16});
+  std::uint8_t lens[16];
+  for (int i = 0; i < 8; ++i) {
+    lens[i] = static_cast<std::uint8_t>(static_cast<std::uint64_t>(aad.size()) >>
+                                        (8 * i));
+    lens[8 + i] = static_cast<std::uint8_t>(
+        static_cast<std::uint64_t>(ciphertext.size()) >> (8 * i));
+  }
+  mac.update({lens, 16});
+  auto tag = mac.finalize();
+  return Bytes(tag.begin(), tag.end());
+}
+
+Bytes poly_key_for(BytesView key, BytesView nonce) {
+  const auto block = ChaCha20::block(key, nonce, 0);
+  return Bytes(block.begin(), block.begin() + 32);
+}
+
+}  // namespace
+
+Bytes aead_seal(BytesView key, BytesView nonce, BytesView aad,
+                BytesView plaintext) {
+  ChaCha20 cipher(key, nonce, 1);
+  Bytes out = cipher.crypt_copy(plaintext);
+  const Bytes tag = compute_tag(poly_key_for(key, nonce), aad, out);
+  append(out, tag);
+  return out;
+}
+
+std::optional<Bytes> aead_open(BytesView key, BytesView nonce, BytesView aad,
+                               BytesView ciphertext_and_tag) {
+  if (ciphertext_and_tag.size() < kAeadTagSize) return std::nullopt;
+  const BytesView ciphertext =
+      ciphertext_and_tag.subspan(0, ciphertext_and_tag.size() - kAeadTagSize);
+  const BytesView tag =
+      ciphertext_and_tag.subspan(ciphertext_and_tag.size() - kAeadTagSize);
+  const Bytes expected = compute_tag(poly_key_for(key, nonce), aad, ciphertext);
+  if (!ct_equal(expected, tag)) return std::nullopt;
+  ChaCha20 cipher(key, nonce, 1);
+  return cipher.crypt_copy(ciphertext);
+}
+
+}  // namespace peace::crypto

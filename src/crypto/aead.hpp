@@ -1,0 +1,23 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439). This is PEACE's E_K(.): the symmetric
+// authenticated encryption used once a session key is agreed.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace peace::crypto {
+
+constexpr std::size_t kAeadKeySize = 32;
+constexpr std::size_t kAeadNonceSize = 12;
+constexpr std::size_t kAeadTagSize = 16;
+
+/// Returns ciphertext || 16-byte tag.
+Bytes aead_seal(BytesView key, BytesView nonce, BytesView aad,
+                BytesView plaintext);
+
+/// Returns the plaintext, or nullopt when the tag (or sizes) do not verify.
+std::optional<Bytes> aead_open(BytesView key, BytesView nonce, BytesView aad,
+                               BytesView ciphertext_and_tag);
+
+}  // namespace peace::crypto

@@ -1,0 +1,146 @@
+#include "crypto/aes.hpp"
+
+namespace peace::crypto {
+
+namespace {
+
+/// GF(2^8) multiplication modulo x^8 + x^4 + x^3 + x + 1 (0x11b).
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t out = 0;
+  while (b != 0) {
+    if (b & 1) out ^= a;
+    const bool high = a & 0x80;
+    a <<= 1;
+    if (high) a ^= 0x1b;
+    b >>= 1;
+  }
+  return out;
+}
+
+std::uint8_t gf_inverse(std::uint8_t a) {
+  if (a == 0) return 0;
+  // a^254 = a^-1 in GF(2^8): square-and-multiply over the 8-bit exponent.
+  std::uint8_t result = 1;
+  std::uint8_t base = a;
+  for (int e = 254; e > 0; e >>= 1) {
+    if (e & 1) result = gf_mul(result, base);
+    base = gf_mul(base, base);
+  }
+  return result;
+}
+
+std::array<std::uint8_t, 256> build_sbox() {
+  std::array<std::uint8_t, 256> box;
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t inv = gf_inverse(static_cast<std::uint8_t>(i));
+    // Affine transform: b ^= rot(b,1) ^ rot(b,2) ^ rot(b,3) ^ rot(b,4) ^ 0x63.
+    std::uint8_t x = inv;
+    std::uint8_t result = 0x63;
+    for (int r = 0; r < 5; ++r) {
+      result ^= x;
+      x = static_cast<std::uint8_t>(x << 1 | x >> 7);
+    }
+    // The loop added inv itself plus 4 rotations; subtract the extra term:
+    // result currently = 0x63 ^ inv ^ rot1 ^ rot2 ^ rot3 ^ rot4. Correct.
+    box[static_cast<std::size_t>(i)] = result;
+  }
+  return box;
+}
+
+void sub_bytes(std::array<std::uint8_t, 16>& state) {
+  const auto& box = Aes128::sbox();
+  for (auto& b : state) b = box[b];
+}
+
+void shift_rows(std::array<std::uint8_t, 16>& s) {
+  // Column-major state: byte (row r, col c) at index 4c + r.
+  std::array<std::uint8_t, 16> t = s;
+  for (int r = 1; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      s[static_cast<std::size_t>(4 * c + r)] =
+          t[static_cast<std::size_t>(4 * ((c + r) % 4) + r)];
+    }
+  }
+}
+
+void mix_columns(std::array<std::uint8_t, 16>& s) {
+  for (int c = 0; c < 4; ++c) {
+    const std::uint8_t a0 = s[static_cast<std::size_t>(4 * c)];
+    const std::uint8_t a1 = s[static_cast<std::size_t>(4 * c + 1)];
+    const std::uint8_t a2 = s[static_cast<std::size_t>(4 * c + 2)];
+    const std::uint8_t a3 = s[static_cast<std::size_t>(4 * c + 3)];
+    s[static_cast<std::size_t>(4 * c)] =
+        gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3;
+    s[static_cast<std::size_t>(4 * c + 1)] =
+        a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3;
+    s[static_cast<std::size_t>(4 * c + 2)] =
+        a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3);
+    s[static_cast<std::size_t>(4 * c + 3)] =
+        gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2);
+  }
+}
+
+}  // namespace
+
+const std::array<std::uint8_t, 256>& Aes128::sbox() {
+  static const std::array<std::uint8_t, 256> box = build_sbox();
+  return box;
+}
+
+Aes128::Aes128(BytesView key) {
+  if (key.size() != kKeySize) throw Error("aes: bad key size");
+  // Key expansion (FIPS 197 sec. 5.2), word oriented.
+  std::array<std::array<std::uint8_t, 4>, 44> w;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          key[static_cast<std::size_t>(4 * i + j)];
+
+  std::uint8_t rcon = 1;
+  for (int i = 4; i < 44; ++i) {
+    std::array<std::uint8_t, 4> temp = w[static_cast<std::size_t>(i - 1)];
+    if (i % 4 == 0) {
+      // RotWord + SubWord + Rcon.
+      const std::uint8_t t0 = temp[0];
+      temp[0] = sbox()[temp[1]];
+      temp[1] = sbox()[temp[2]];
+      temp[2] = sbox()[temp[3]];
+      temp[3] = sbox()[t0];
+      temp[0] ^= rcon;
+      rcon = gf_mul(rcon, 2);
+    }
+    for (int j = 0; j < 4; ++j)
+      w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          w[static_cast<std::size_t>(i - 4)][static_cast<std::size_t>(j)] ^
+          temp[static_cast<std::size_t>(j)];
+  }
+  for (int round = 0; round < 11; ++round)
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j)
+        round_keys_[static_cast<std::size_t>(round)]
+                   [static_cast<std::size_t>(4 * i + j)] =
+            w[static_cast<std::size_t>(4 * round + i)]
+             [static_cast<std::size_t>(j)];
+}
+
+void Aes128::encrypt_block(const std::uint8_t in[kBlockSize],
+                           std::uint8_t out[kBlockSize]) const {
+  std::array<std::uint8_t, 16> state;
+  for (int i = 0; i < 16; ++i)
+    state[static_cast<std::size_t>(i)] = in[i] ^ round_keys_[0][static_cast<std::size_t>(i)];
+  for (int round = 1; round < 10; ++round) {
+    sub_bytes(state);
+    shift_rows(state);
+    mix_columns(state);
+    for (int i = 0; i < 16; ++i)
+      state[static_cast<std::size_t>(i)] ^=
+          round_keys_[static_cast<std::size_t>(round)][static_cast<std::size_t>(i)];
+  }
+  sub_bytes(state);
+  shift_rows(state);
+  for (int i = 0; i < 16; ++i)
+    out[i] = state[static_cast<std::size_t>(i)] ^
+             round_keys_[10][static_cast<std::size_t>(i)];
+}
+
+}  // namespace peace::crypto

@@ -1,0 +1,33 @@
+// AES-128 block cipher (FIPS 197), encryption direction only — CTR and GCM
+// modes never need the inverse cipher. The S-box and round constants are
+// computed at first use from the GF(2^8) field algebra instead of being
+// transcribed, eliminating a whole class of table typos; the FIPS-197
+// appendix vector pins the result in tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace peace::crypto {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+
+  /// Throws Error on wrong key size.
+  explicit Aes128(BytesView key);
+
+  void encrypt_block(const std::uint8_t in[kBlockSize],
+                     std::uint8_t out[kBlockSize]) const;
+
+  /// The forward S-box (exposed for tests).
+  static const std::array<std::uint8_t, 256>& sbox();
+
+ private:
+  std::array<std::array<std::uint8_t, 16>, 11> round_keys_;
+};
+
+}  // namespace peace::crypto

@@ -1,0 +1,36 @@
+// ChaCha20 stream cipher (RFC 8439). Used as the session cipher behind
+// E_K(.) in the PEACE protocols and as the core of the deterministic DRBG.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace peace::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+
+  /// Throws Error on wrong key/nonce sizes.
+  ChaCha20(BytesView key, BytesView nonce, std::uint32_t counter = 0);
+
+  /// XORs the keystream into `data` in place (encrypt == decrypt).
+  void crypt(std::uint8_t* data, std::size_t len);
+  Bytes crypt_copy(BytesView data);
+
+  /// One 64-byte keystream block at the given counter (for Poly1305 keygen).
+  static std::array<std::uint8_t, 64> block(BytesView key, BytesView nonce,
+                                            std::uint32_t counter);
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, 64> keystream_;
+  std::size_t pos_ = 64;  // consumed
+};
+
+}  // namespace peace::crypto

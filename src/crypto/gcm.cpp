@@ -1,0 +1,146 @@
+#include "crypto/gcm.hpp"
+
+#include <cstring>
+
+#include "crypto/aes.hpp"
+
+namespace peace::crypto {
+
+namespace {
+
+using Block = std::array<std::uint8_t, 16>;
+
+Block xor_blocks(const Block& a, const Block& b) {
+  Block out;
+  for (int i = 0; i < 16; ++i)
+    out[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(i)] ^
+                                       b[static_cast<std::size_t>(i)];
+  return out;
+}
+
+/// GHASH accumulator: Y <- (Y xor block) * H over the padded input stream.
+class Ghash {
+ public:
+  explicit Ghash(const Block& h) : h_(h) { y_.fill(0); }
+
+  void update(BytesView data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      Block block{};
+      const std::size_t n = std::min<std::size_t>(16, data.size() - off);
+      std::memcpy(block.data(), data.data() + off, n);
+      y_ = ghash_multiply(xor_blocks(y_, block), h_);
+      off += n;
+    }
+  }
+
+  Block finalize(std::uint64_t aad_bits, std::uint64_t ct_bits) {
+    Block lens;
+    for (int i = 0; i < 8; ++i) {
+      lens[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(aad_bits >> (56 - 8 * i));
+      lens[static_cast<std::size_t>(8 + i)] =
+          static_cast<std::uint8_t>(ct_bits >> (56 - 8 * i));
+    }
+    y_ = ghash_multiply(xor_blocks(y_, lens), h_);
+    return y_;
+  }
+
+ private:
+  Block h_;
+  Block y_;
+};
+
+Block counter_block(BytesView nonce, std::uint32_t counter) {
+  Block j{};
+  std::memcpy(j.data(), nonce.data(), kGcmNonceSize);
+  for (int i = 0; i < 4; ++i)
+    j[static_cast<std::size_t>(12 + i)] =
+        static_cast<std::uint8_t>(counter >> (24 - 8 * i));
+  return j;
+}
+
+/// CTR-mode keystream application starting at counter value 2 (GCM uses
+/// counter 1 for the tag mask).
+Bytes ctr_crypt(const Aes128& aes, BytesView nonce, BytesView data) {
+  Bytes out(data.begin(), data.end());
+  std::uint32_t counter = 2;
+  for (std::size_t off = 0; off < out.size(); off += 16, ++counter) {
+    const Block j = counter_block(nonce, counter);
+    Block keystream;
+    aes.encrypt_block(j.data(), keystream.data());
+    const std::size_t n = std::min<std::size_t>(16, out.size() - off);
+    for (std::size_t i = 0; i < n; ++i)
+      out[off + i] ^= keystream[i];
+  }
+  return out;
+}
+
+Bytes compute_tag(const Aes128& aes, BytesView nonce, BytesView aad,
+                  BytesView ciphertext) {
+  Block zero{};
+  Block h;
+  aes.encrypt_block(zero.data(), h.data());
+  Ghash ghash(h);
+  ghash.update(aad);
+  ghash.update(ciphertext);
+  const Block s =
+      ghash.finalize(static_cast<std::uint64_t>(aad.size()) * 8,
+                     static_cast<std::uint64_t>(ciphertext.size()) * 8);
+  const Block j0 = counter_block(nonce, 1);
+  Block mask;
+  aes.encrypt_block(j0.data(), mask.data());
+  const Block tag = xor_blocks(s, mask);
+  return Bytes(tag.begin(), tag.end());
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 16> ghash_multiply(const Block& x, const Block& y) {
+  // Bit-reflected GF(2^128) multiply (SP 800-38D algorithm 1): process the
+  // bits of x MSB-first, conditionally accumulating a right-shifting copy
+  // of y reduced by R = 0xe1 << 120.
+  Block z{};
+  Block v = y;
+  for (int bit = 0; bit < 128; ++bit) {
+    const int byte = bit / 8;
+    const int mask = 0x80 >> (bit % 8);
+    if (x[static_cast<std::size_t>(byte)] & mask) z = xor_blocks(z, v);
+    const bool lsb = v[15] & 1;
+    // v >>= 1 across the block.
+    for (int i = 15; i > 0; --i)
+      v[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v[static_cast<std::size_t>(i)] >> 1 |
+                                    v[static_cast<std::size_t>(i - 1)] << 7);
+    v[0] >>= 1;
+    if (lsb) v[0] ^= 0xe1;
+  }
+  return z;
+}
+
+Bytes aes_gcm_seal(BytesView key, BytesView nonce, BytesView aad,
+                   BytesView plaintext) {
+  if (nonce.size() != kGcmNonceSize) throw Error("gcm: bad nonce size");
+  const Aes128 aes(key);
+  Bytes out = ctr_crypt(aes, nonce, plaintext);
+  const Bytes tag = compute_tag(aes, nonce, aad, out);
+  append(out, tag);
+  return out;
+}
+
+std::optional<Bytes> aes_gcm_open(BytesView key, BytesView nonce,
+                                  BytesView aad,
+                                  BytesView ciphertext_and_tag) {
+  if (nonce.size() != kGcmNonceSize) throw Error("gcm: bad nonce size");
+  if (ciphertext_and_tag.size() < kGcmTagSize) return std::nullopt;
+  const Aes128 aes(key);
+  const BytesView ciphertext =
+      ciphertext_and_tag.subspan(0, ciphertext_and_tag.size() - kGcmTagSize);
+  const BytesView tag =
+      ciphertext_and_tag.subspan(ciphertext_and_tag.size() - kGcmTagSize);
+  const Bytes expected = compute_tag(aes, nonce, aad, ciphertext);
+  if (!ct_equal(expected, tag)) return std::nullopt;
+  return ctr_crypt(aes, nonce, ciphertext);
+}
+
+}  // namespace peace::crypto

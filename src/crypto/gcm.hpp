@@ -1,0 +1,29 @@
+// AES-128-GCM authenticated encryption (NIST SP 800-38D), the second
+// cipher suite behind PEACE's E_K(.). Same seal/open contract as the
+// ChaCha20-Poly1305 functions in aead.hpp.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace peace::crypto {
+
+constexpr std::size_t kGcmKeySize = 16;
+constexpr std::size_t kGcmNonceSize = 12;
+constexpr std::size_t kGcmTagSize = 16;
+
+/// Returns ciphertext || 16-byte tag.
+Bytes aes_gcm_seal(BytesView key, BytesView nonce, BytesView aad,
+                   BytesView plaintext);
+
+/// Returns the plaintext, or nullopt when authentication fails.
+std::optional<Bytes> aes_gcm_open(BytesView key, BytesView nonce,
+                                  BytesView aad, BytesView ciphertext_and_tag);
+
+/// GF(2^128) product as defined for GHASH (exposed for tests).
+std::array<std::uint8_t, 16> ghash_multiply(
+    const std::array<std::uint8_t, 16>& x,
+    const std::array<std::uint8_t, 16>& y);
+
+}  // namespace peace::crypto

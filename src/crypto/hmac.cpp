@@ -1,0 +1,52 @@
+#include "crypto/hmac.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace peace::crypto {
+
+Bytes hmac_sha256(BytesView key, BytesView message) {
+  Bytes k(Sha256::kBlockSize, 0);
+  if (key.size() > Sha256::kBlockSize) {
+    const Bytes hashed = Sha256::hash(key);
+    std::copy(hashed.begin(), hashed.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+  Bytes ipad(Sha256::kBlockSize), opad(Sha256::kBlockSize);
+  for (std::size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  const Bytes inner = sha256_concat(ipad, message);
+  return sha256_concat(opad, inner);
+}
+
+Bytes hkdf_extract(BytesView salt, BytesView ikm) {
+  if (salt.empty()) {
+    const Bytes zero(Sha256::kDigestSize, 0);
+    return hmac_sha256(zero, ikm);
+  }
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length) {
+  if (length > 255 * Sha256::kDigestSize) throw Error("hkdf: length too large");
+  Bytes out;
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes block = t;
+    append(block, info);
+    block.push_back(counter++);
+    t = hmac_sha256(prk, block);
+    append(out, t);
+  }
+  out.resize(length);
+  return out;
+}
+
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+}  // namespace peace::crypto

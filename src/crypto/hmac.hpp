@@ -1,0 +1,23 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869). HMAC authenticates all
+// per-session data traffic in PEACE's hybrid design; HKDF derives session
+// encryption and MAC keys from the Diffie-Hellman shared secret.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace peace::crypto {
+
+/// HMAC-SHA256(key, message) — 32-byte tag.
+Bytes hmac_sha256(BytesView key, BytesView message);
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Bytes hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand: `length` bytes of output keyed by PRK and bound to `info`.
+/// Throws Error if length > 255 * 32.
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length);
+
+/// One-shot extract-then-expand.
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length);
+
+}  // namespace peace::crypto

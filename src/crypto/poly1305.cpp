@@ -1,0 +1,154 @@
+#include "crypto/poly1305.hpp"
+
+#include <cstring>
+
+namespace peace::crypto {
+
+namespace {
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+}  // namespace
+
+Poly1305::Poly1305(BytesView key) {
+  if (key.size() != kKeySize) throw Error("poly1305: bad key size");
+  std::uint8_t rk[16];
+  std::memcpy(rk, key.data(), 16);
+  // Clamp per RFC 8439.
+  rk[3] &= 15; rk[7] &= 15; rk[11] &= 15; rk[15] &= 15;
+  rk[4] &= 252; rk[8] &= 252; rk[12] &= 252;
+  const std::uint32_t t0 = load_le32(rk), t1 = load_le32(rk + 4),
+                      t2 = load_le32(rk + 8), t3 = load_le32(rk + 12);
+  // Split the 128-bit clamped r into five 26-bit limbs.
+  r_[0] = t0 & 0x3ffffff;
+  r_[1] = (t0 >> 26 | t1 << 6) & 0x3ffffff;
+  r_[2] = (t1 >> 20 | t2 << 12) & 0x3ffffff;
+  r_[3] = (t2 >> 14 | t3 << 18) & 0x3ffffff;
+  r_[4] = t3 >> 8;
+  std::memcpy(s_, key.data() + 16, 16);
+}
+
+void Poly1305::process_block(const std::uint8_t* block, std::uint8_t hibit) {
+  const std::uint32_t t0 = load_le32(block), t1 = load_le32(block + 4),
+                      t2 = load_le32(block + 8), t3 = load_le32(block + 12);
+  // h += block (with the 2^128 marker bit in limb 4).
+  h_[0] += t0 & 0x3ffffff;
+  h_[1] += (t0 >> 26 | t1 << 6) & 0x3ffffff;
+  h_[2] += (t1 >> 20 | t2 << 12) & 0x3ffffff;
+  h_[3] += (t2 >> 14 | t3 << 18) & 0x3ffffff;
+  h_[4] += (t3 >> 8) | static_cast<std::uint32_t>(hibit) << 24;
+
+  // h *= r mod 2^130 - 5: the wrap-around limbs pick up a factor of 5.
+  using u64 = std::uint64_t;
+  const u64 h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+  const u64 r0 = r_[0], r1 = r_[1], r2 = r_[2], r3 = r_[3], r4 = r_[4];
+  const u64 s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+
+  u64 d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+  u64 d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+  u64 d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+  u64 d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+  u64 d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+  u64 c = d0 >> 26; d0 &= 0x3ffffff; d1 += c;
+  c = d1 >> 26; d1 &= 0x3ffffff; d2 += c;
+  c = d2 >> 26; d2 &= 0x3ffffff; d3 += c;
+  c = d3 >> 26; d3 &= 0x3ffffff; d4 += c;
+  c = d4 >> 26; d4 &= 0x3ffffff; d0 += c * 5;
+  c = d0 >> 26; d0 &= 0x3ffffff; d1 += c;
+
+  h_[0] = static_cast<std::uint32_t>(d0);
+  h_[1] = static_cast<std::uint32_t>(d1);
+  h_[2] = static_cast<std::uint32_t>(d2);
+  h_[3] = static_cast<std::uint32_t>(d3);
+  h_[4] = static_cast<std::uint32_t>(d4);
+}
+
+void Poly1305::update(BytesView data) {
+  std::size_t off = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(16 - buffered_, data.size());
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    off = take;
+    if (buffered_ == 16) {
+      process_block(buffer_.data(), 1);
+      buffered_ = 0;
+    }
+  }
+  while (off + 16 <= data.size()) {
+    process_block(data.data() + off, 1);
+    off += 16;
+  }
+  if (off < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + off, data.size() - off);
+    buffered_ = data.size() - off;
+  }
+}
+
+std::array<std::uint8_t, Poly1305::kTagSize> Poly1305::finalize() {
+  if (buffered_ > 0) {
+    // Pad the final partial block with 0x01 then zeros; no 2^128 marker.
+    buffer_[buffered_] = 1;
+    for (std::size_t i = buffered_ + 1; i < 16; ++i) buffer_[i] = 0;
+    process_block(buffer_.data(), 0);
+    buffered_ = 0;
+  }
+  // Full carry propagation.
+  std::uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+  std::uint32_t c = h1 >> 26; h1 &= 0x3ffffff; h2 += c;
+  c = h2 >> 26; h2 &= 0x3ffffff; h3 += c;
+  c = h3 >> 26; h3 &= 0x3ffffff; h4 += c;
+  c = h4 >> 26; h4 &= 0x3ffffff; h0 += c * 5;
+  c = h0 >> 26; h0 &= 0x3ffffff; h1 += c;
+
+  // Compute h + 5 - 2^130 and select it if non-negative (i.e. h >= p).
+  std::uint32_t g0 = h0 + 5;
+  c = g0 >> 26; g0 &= 0x3ffffff;
+  std::uint32_t g1 = h1 + c;
+  c = g1 >> 26; g1 &= 0x3ffffff;
+  std::uint32_t g2 = h2 + c;
+  c = g2 >> 26; g2 &= 0x3ffffff;
+  std::uint32_t g3 = h3 + c;
+  c = g3 >> 26; g3 &= 0x3ffffff;
+  const std::uint32_t g4 = h4 + c - (1u << 26);
+
+  const std::uint32_t mask = (g4 >> 31) - 1;  // all-ones if h >= p
+  h0 = (h0 & ~mask) | (g0 & mask);
+  h1 = (h1 & ~mask) | (g1 & mask);
+  h2 = (h2 & ~mask) | (g2 & mask);
+  h3 = (h3 & ~mask) | (g3 & mask);
+  h4 = (h4 & ~mask) | (g4 & mask);
+
+  // Serialize h to 128 bits and add s mod 2^128.
+  const std::uint32_t w0 = h0 | h1 << 26;
+  const std::uint32_t w1 = h1 >> 6 | h2 << 20;
+  const std::uint32_t w2 = h2 >> 12 | h3 << 14;
+  const std::uint32_t w3 = h3 >> 18 | h4 << 8;
+
+  std::uint64_t f;
+  std::array<std::uint8_t, kTagSize> out;
+  const std::uint32_t words[4] = {w0, w1, w2, w3};
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    f = static_cast<std::uint64_t>(words[i]) + load_le32(s_ + 4 * i) + carry;
+    out[4 * i] = static_cast<std::uint8_t>(f);
+    out[4 * i + 1] = static_cast<std::uint8_t>(f >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(f >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(f >> 24);
+    carry = f >> 32;
+  }
+  return out;
+}
+
+Bytes Poly1305::mac(BytesView key, BytesView message) {
+  Poly1305 p(key);
+  p.update(message);
+  auto t = p.finalize();
+  return Bytes(t.begin(), t.end());
+}
+
+}  // namespace peace::crypto

@@ -1,0 +1,34 @@
+// Poly1305 one-time authenticator (RFC 8439), 26-bit limb implementation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace peace::crypto {
+
+class Poly1305 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kTagSize = 16;
+
+  /// `key` is the 32-byte one-time key (r || s); r is clamped internally.
+  explicit Poly1305(BytesView key);
+
+  void update(BytesView data);
+  std::array<std::uint8_t, kTagSize> finalize();
+
+  static Bytes mac(BytesView key, BytesView message);
+
+ private:
+  void process_block(const std::uint8_t* block, std::uint8_t hibit);
+
+  std::uint32_t r_[5];
+  std::uint32_t h_[5] = {0, 0, 0, 0, 0};
+  std::uint8_t s_[16];
+  std::array<std::uint8_t, 16> buffer_;
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace peace::crypto

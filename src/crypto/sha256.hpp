@@ -1,0 +1,44 @@
+// FIPS 180-4 SHA-256. All PEACE hash functions (H, H0, MAC, KDF, puzzle)
+// are built from this single primitive.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace peace::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  void update(BytesView data);
+  /// Finalizes and returns the digest; the object must not be reused after.
+  std::array<std::uint8_t, kDigestSize> finalize();
+
+  /// One-shot convenience.
+  static Bytes hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// SHA-256 over the concatenation of several byte views.
+template <typename... Views>
+Bytes sha256_concat(const Views&... views) {
+  Sha256 h;
+  (h.update(BytesView(views)), ...);
+  auto d = h.finalize();
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace peace::crypto

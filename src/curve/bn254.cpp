@@ -1,0 +1,187 @@
+#include "curve/bn254.hpp"
+
+namespace peace::curve {
+
+using math::BigInt;
+using math::U256;
+
+namespace {
+
+// BN parameter u for alt_bn128; p and r are polynomial in u:
+//   p(u) = 36u^4 + 36u^3 + 24u^2 + 6u + 1
+//   r(u) = 36u^4 + 36u^3 + 18u^2 + 6u + 1
+constexpr std::uint64_t kU = 4965661367192848881ULL;
+
+// Standard alt_bn128 G2 generator (affine, Fp2 = c0 + c1 i).
+constexpr const char* kG2GenX0 =
+    "10857046999023057135944570762232829481370756359578518086990519993285655852781";
+constexpr const char* kG2GenX1 =
+    "11559732032986387107991004021392285783925812861821192530917403151452391805634";
+constexpr const char* kG2GenY0 =
+    "8495653923123431417604973247489272438418190587263600148770280649306958101930";
+constexpr const char* kG2GenY1 =
+    "4082367875863433681332203403145435568316851327593401208105741076214120093531";
+
+Bn254 g_params;
+bool g_initialized = false;
+
+BigInt bn_poly(std::uint64_t u, std::uint64_t c2) {
+  // 36u^4 + 36u^3 + c2*u^2 + 6u + 1
+  const BigInt bu(u);
+  const BigInt u2 = bu * bu;
+  const BigInt u3 = u2 * bu;
+  const BigInt u4 = u3 * bu;
+  return u4 * BigInt(36) + u3 * BigInt(36) + u2 * BigInt(c2) +
+         bu * BigInt(6) + BigInt(1);
+}
+
+}  // namespace
+
+const Fp2& G2Traits::b() {
+  static const Fp2 b2 = Fp2::from_u64(3, 0) * math::fp2_xi().inverse();
+  return b2;
+}
+
+void Bn254::init() {
+  if (g_initialized) return;
+
+  Bn254 params;
+  params.u = kU;
+  const BigInt p_big = bn_poly(kU, 24);
+  const BigInt r_big = bn_poly(kU, 18);
+  params.p = p_big.to_u256();
+  params.r = r_big.to_u256();
+
+  Fp::init(params.p);
+  Fr::init(params.r);
+
+  // g2_cofactor = 2p - r (the order of E'(Fp2) is r * (2p - r)).
+  params.g2_cofactor = (p_big + p_big - r_big).to_u256();
+
+  // ate_loop = 6u + 2 (65 bits).
+  params.ate_loop = (BigInt(kU) * BigInt(6) + BigInt(2)).to_u256();
+
+  // Frobenius coefficients: gamma[j] = xi^{j (p-1) / 6}.
+  const U256 e1 = ((p_big - BigInt(1)) / BigInt(6)).to_u256();
+  const Fp2 gamma1 = math::fp2_xi().pow(e1);
+  params.frob_gamma[0] = Fp2::one();
+  for (int j = 1; j < 6; ++j)
+    params.frob_gamma[j] = params.frob_gamma[j - 1] * gamma1;
+  // eta = xi^{(p^2-1)/6} = gamma1 * conj(gamma1) = Norm(gamma1), in Fp.
+  params.frob2_eta = gamma1 * gamma1.conjugate();
+  if (!params.frob2_eta.c1.is_zero())
+    throw Error("bn254: frobenius^2 eta not in Fp");
+
+  // Final exponentiation hard part: (p^4 - p^2 + 1) / r, exactly.
+  const BigInt p2 = p_big * p_big;
+  const BigInt p4 = p2 * p2;
+  BigInt hard, rem;
+  BigInt::divmod(p4 - p2 + BigInt(1), r_big, hard, rem);
+  if (!rem.is_zero()) throw Error("bn254: r does not divide p^4 - p^2 + 1");
+  params.final_exp_hard = hard;
+
+  params.g1_gen = G1(Fp::from_u64(1), Fp::from_u64(2));
+  params.g2_gen = G2(Fp2(Fp::from_dec(kG2GenX0), Fp::from_dec(kG2GenX1)),
+                     Fp2(Fp::from_dec(kG2GenY0), Fp::from_dec(kG2GenY1)));
+  if (!params.g1_gen.is_on_curve()) throw Error("bn254: bad G1 generator");
+  if (!params.g2_gen.is_on_curve()) throw Error("bn254: bad G2 generator");
+  if (!(params.g2_gen * params.r).is_infinity())
+    throw Error("bn254: G2 generator not of order r");
+
+  g_params = params;
+  g_initialized = true;
+}
+
+const Bn254& Bn254::get() {
+  if (!g_initialized) throw Error("bn254: not initialized");
+  return g_params;
+}
+
+// --- Serialization --------------------------------------------------------
+
+Bytes g1_to_bytes(const G1& point) {
+  Bytes out;
+  out.reserve(kG1CompressedSize);
+  if (point.is_infinity()) {
+    out.assign(kG1CompressedSize, 0);
+    return out;
+  }
+  Fp ax, ay;
+  point.to_affine(ax, ay);
+  out.push_back(ay.is_odd_repr() ? 3 : 2);
+  append(out, ax.to_bytes());
+  return out;
+}
+
+G1 g1_from_bytes(BytesView data) {
+  if (data.size() != kG1CompressedSize) throw Error("g1: bad length");
+  if (data[0] == 0) {
+    for (std::size_t i = 1; i < data.size(); ++i)
+      if (data[i] != 0) throw Error("g1: bad infinity encoding");
+    return G1::infinity();
+  }
+  if (data[0] != 2 && data[0] != 3) throw Error("g1: bad flag");
+  const U256 xv = U256::from_bytes(data.subspan(1));
+  if (!(math::cmp(xv, Fp::modulus()) < 0)) throw Error("g1: x >= p");
+  const Fp x = Fp::from_u256(xv);
+  const Fp rhs = x.square() * x + G1Traits::b();
+  Fp y;
+  if (!rhs.sqrt(y)) throw Error("g1: not on curve");
+  if (y.is_odd_repr() != (data[0] == 3)) y = -y;
+  const G1 point(x, y);
+  // BN254 G1 has cofactor 1: on-curve implies in-subgroup.
+  return point;
+}
+
+Bytes g2_to_bytes(const G2& point) {
+  Bytes out;
+  out.reserve(kG2CompressedSize);
+  if (point.is_infinity()) {
+    out.assign(kG2CompressedSize, 0);
+    return out;
+  }
+  Fp2 ax, ay;
+  point.to_affine(ax, ay);
+  // Parity of y: use c0's parity, falling back to c1 when c0 == 0.
+  const bool odd = ay.c0.is_zero() ? ay.c1.is_odd_repr() : ay.c0.is_odd_repr();
+  out.push_back(odd ? 3 : 2);
+  append(out, ax.c0.to_bytes());
+  append(out, ax.c1.to_bytes());
+  return out;
+}
+
+G2 g2_from_bytes(BytesView data) {
+  if (data.size() != kG2CompressedSize) throw Error("g2: bad length");
+  if (data[0] == 0) {
+    for (std::size_t i = 1; i < data.size(); ++i)
+      if (data[i] != 0) throw Error("g2: bad infinity encoding");
+    return G2::infinity();
+  }
+  if (data[0] != 2 && data[0] != 3) throw Error("g2: bad flag");
+  const U256 x0 = U256::from_bytes(data.subspan(1, 32));
+  const U256 x1 = U256::from_bytes(data.subspan(33, 32));
+  if (!(math::cmp(x0, Fp::modulus()) < 0) ||
+      !(math::cmp(x1, Fp::modulus()) < 0))
+    throw Error("g2: coordinate >= p");
+  const Fp2 x(Fp::from_u256(x0), Fp::from_u256(x1));
+  const Fp2 rhs = x.square() * x + G2Traits::b();
+  Fp2 y;
+  if (!rhs.sqrt(y)) throw Error("g2: not on curve");
+  const bool odd = y.c0.is_zero() ? y.c1.is_odd_repr() : y.c0.is_odd_repr();
+  if (odd != (data[0] == 3)) y = -y;
+  const G2 point(x, y);
+  if (!(point * Bn254::get().r).is_infinity())
+    throw Error("g2: not in order-r subgroup");
+  return point;
+}
+
+Bytes fr_to_bytes(const Fr& v) { return v.to_bytes(); }
+
+Fr fr_from_bytes(BytesView data) {
+  if (data.size() != kFrSize) throw Error("fr: bad length");
+  const U256 v = U256::from_bytes(data);
+  if (!(math::cmp(v, Fr::modulus()) < 0)) throw Error("fr: value >= r");
+  return Fr::from_u256(v);
+}
+
+}  // namespace peace::curve

@@ -1,0 +1,73 @@
+// BN254 (alt_bn128) parameter set and global initialization. Everything is
+// derived at first use from the BN parameter u and decimal constants —
+// Montgomery tables, Frobenius coefficients, the G2 cofactor, and the final
+// exponentiation exponent are all computed, not transcribed.
+#pragma once
+
+#include <array>
+
+#include "curve/point.hpp"
+#include "math/bigint.hpp"
+
+namespace peace::curve {
+
+using math::Fp;
+using math::Fp12;
+using math::Fp2;
+using math::Fr;
+
+struct G1Traits {
+  using Field = Fp;
+  static Fp b() { return Fp::from_u64(3); }
+  static Fp field_one() { return Fp::one(); }
+};
+
+struct G2Traits {
+  using Field = Fp2;
+  static const Fp2& b();  // 3 / xi
+  static Fp2 field_one() { return Fp2::one(); }
+};
+
+using G1 = CurvePoint<G1Traits>;
+using G2 = CurvePoint<G2Traits>;
+using GT = Fp12;  // order-r subgroup of Fp12*
+
+/// All BN254 constants, available after init().
+struct Bn254 {
+  std::uint64_t u = 0;            // BN generation parameter
+  math::U256 p;                   // base field modulus
+  math::U256 r;                   // group order (the paper's "p" in Z_p)
+  math::U256 g2_cofactor;         // 2p - r
+  math::U256 ate_loop;            // 6u + 2
+  std::array<Fp2, 6> frob_gamma;  // xi^{j (p-1) / 6}
+  Fp2 frob2_eta;                  // xi^{(p^2-1)/6} (lies in Fp)
+  math::BigInt final_exp_hard;    // (p^4 - p^2 + 1) / r
+  G1 g1_gen;
+  G2 g2_gen;
+
+  /// Idempotent global initialization; call before any curve arithmetic.
+  static void init();
+  static const Bn254& get();
+};
+
+/// --- Serialization ------------------------------------------------------
+/// Compressed points: 1 flag byte (0 = infinity, 2/3 = y parity) followed by
+/// the big-endian x coordinate (32 bytes for G1, 64 for G2).
+
+constexpr std::size_t kG1CompressedSize = 33;
+constexpr std::size_t kG2CompressedSize = 65;
+constexpr std::size_t kFrSize = 32;
+
+Bytes g1_to_bytes(const G1& point);
+/// Throws Error on malformed encodings or points off the curve.
+G1 g1_from_bytes(BytesView data);
+
+Bytes g2_to_bytes(const G2& point);
+/// Throws Error on malformed encodings, points off the curve, or points
+/// outside the order-r subgroup.
+G2 g2_from_bytes(BytesView data);
+
+Bytes fr_to_bytes(const Fr& v);
+Fr fr_from_bytes(BytesView data);
+
+}  // namespace peace::curve

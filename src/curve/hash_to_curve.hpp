@@ -1,0 +1,35 @@
+// Hashing into Fr, G1, and G2 (try-and-increment over SHA-256, with G2
+// cofactor clearing). These realize the paper's random oracles H (range
+// Z_p) and H0 (range: fresh per-signature generators). Domain separation
+// keeps every use independent.
+#pragma once
+
+#include <string_view>
+
+#include "curve/bn254.hpp"
+
+namespace peace::curve {
+
+/// Hash arbitrary bytes to a scalar (the paper's H with range Z_p).
+Fr hash_to_fr(std::string_view domain, BytesView data);
+
+/// Hash to a non-identity point of G1 (cofactor 1: on-curve == in-subgroup).
+G1 hash_to_g1(std::string_view domain, BytesView data);
+
+/// Hash to a non-identity point of the order-r subgroup of E'(Fp2), via
+/// try-and-increment plus multiplication by the cofactor 2p - r.
+G2 hash_to_g2(std::string_view domain, BytesView data);
+
+/// The paper's H0: derives the fresh per-signature generators. The paper
+/// outputs (u_hat, v_hat) in G2^2 and maps them to G1 with an isomorphism
+/// psi; on a Type-3 curve (no computable psi, per Galbraith-Paterson-Smart)
+/// the standard adaptation hashes the G1 generators directly and one extra
+/// G2 generator used by the revocation check.
+struct SignatureBases {
+  G1 u;
+  G1 v;
+  G2 v_hat;
+};
+SignatureBases hash_to_bases(BytesView seed);
+
+}  // namespace peace::curve

@@ -1,0 +1,58 @@
+// The bilinear map e : G1 x G2 -> GT. Two independent implementations:
+//
+//  * pairing()           — optimal ate (Miller loop over 6u+2 on the twist
+//                          with sparse line evaluation, then final
+//                          exponentiation). Production path.
+//  * pairing_reference() — textbook Tate pairing (Miller loop over r on the
+//                          untwisted curve). Used by tests to cross-check
+//                          the ate implementation; an implementation bug
+//                          would have to hit both very different code paths
+//                          identically to go unnoticed.
+//
+// Both are non-degenerate and bilinear on the full G1 x G2.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "curve/bn254.hpp"
+
+namespace peace::curve {
+
+/// Optimal ate pairing, e(P, Q). Returns GT::one() if either input is
+/// infinity.
+GT pairing(const G1& p, const G2& q);
+
+/// Miller loop only (no final exponentiation); for product-of-pairings.
+Fp12 miller_loop(const G1& p, const G2& q);
+
+/// f^((p^12 - 1) / r), via the BN hard-part addition chain (its exponent
+/// decomposition is verified numerically at first use; on mismatch this
+/// silently falls back to generic square-and-multiply).
+GT final_exponentiation(const Fp12& f);
+
+/// The generic square-and-multiply path, kept as an independent oracle for
+/// tests and the ablation bench.
+GT final_exponentiation_generic(const Fp12& f);
+
+/// prod_i e(p_i, q_i) with a single shared final exponentiation.
+GT multi_pairing(const std::vector<std::pair<G1, G2>>& pairs);
+
+/// Reference Tate pairing (independent algorithm; slow).
+GT pairing_reference(const G1& p, const G2& q);
+
+/// e(g1_gen, g2_gen), cached.
+const GT& gt_generator();
+
+/// Frobenius x -> x^p on Fp12 using the global BN254 coefficients.
+Fp12 frobenius12(const Fp12& x);
+
+/// Untwist a G2 point into E(Fp12) affine coordinates (for tests and the
+/// reference pairing).
+void untwist(const G2& q, Fp12& x_out, Fp12& y_out);
+
+/// Total pairings computed since process start (instrumentation for the
+/// operation-count experiments E2/E3).
+std::uint64_t pairing_op_count();
+
+}  // namespace peace::curve

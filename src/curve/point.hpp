@@ -1,0 +1,159 @@
+// Short-Weierstrass curve points (y^2 = x^3 + b, a = 0) in Jacobian
+// coordinates, generic over the coordinate field. Instantiated as
+// G1 = E(Fp) and G2 = E'(Fp2) (the sextic twist) in g1.hpp / g2.hpp.
+#pragma once
+
+#include "math/fp12.hpp"
+
+namespace peace::curve {
+
+using math::Fr;
+using math::U256;
+
+template <class Traits>
+struct CurvePoint {
+  using F = typename Traits::Field;
+
+  // Jacobian (X, Y, Z): affine (X/Z^2, Y/Z^3); Z == 0 encodes infinity.
+  F x, y, z;
+
+  CurvePoint() : x(F::zero()), y(F::zero()), z(F::zero()) {}  // infinity
+  CurvePoint(const F& ax, const F& ay)
+      : x(ax), y(ay), z(Traits::field_one()) {}
+
+  static CurvePoint infinity() { return CurvePoint(); }
+  bool is_infinity() const { return z.is_zero(); }
+
+  bool is_on_curve() const {
+    if (is_infinity()) return true;
+    // Y^2 = X^3 + b Z^6.
+    const F z2 = z.square();
+    const F z6 = z2.square() * z2;
+    return y.square() == x.square() * x + Traits::b() * z6;
+  }
+
+  /// Affine coordinates; throws on infinity.
+  void to_affine(F& ax, F& ay) const {
+    if (is_infinity()) throw Error("CurvePoint: affine of infinity");
+    const F zinv = z.inverse();
+    const F zinv2 = zinv.square();
+    ax = x * zinv2;
+    ay = y * zinv2 * zinv;
+  }
+
+  /// Normalizes Z to one (no-op for infinity).
+  CurvePoint normalized() const {
+    if (is_infinity()) return *this;
+    F ax, ay;
+    to_affine(ax, ay);
+    return CurvePoint(ax, ay);
+  }
+
+  CurvePoint dbl() const {
+    if (is_infinity()) return *this;
+    if (y.is_zero()) return infinity();
+    const F a = x.square();
+    const F b = y.square();
+    const F c = b.square();
+    F d = (x + b).square() - a - c;
+    d = d + d;
+    const F e = a + a + a;
+    const F f = e.square();
+    CurvePoint out;
+    out.x = f - (d + d);
+    F c8 = c + c;
+    c8 = c8 + c8;
+    c8 = c8 + c8;
+    out.y = e * (d - out.x) - c8;
+    out.z = (y * z) + (y * z);
+    return out;
+  }
+
+  CurvePoint operator+(const CurvePoint& o) const {
+    if (is_infinity()) return o;
+    if (o.is_infinity()) return *this;
+    const F z1z1 = z.square();
+    const F z2z2 = o.z.square();
+    const F u1 = x * z2z2;
+    const F u2 = o.x * z1z1;
+    const F s1 = y * z2z2 * o.z;
+    const F s2 = o.y * z1z1 * z;
+    if (u1 == u2) {
+      if (s1 == s2) return dbl();
+      return infinity();
+    }
+    const F h = u2 - u1;
+    const F i = (h + h).square();
+    const F j = h * i;
+    F r = s2 - s1;
+    r = r + r;
+    const F v = u1 * i;
+    CurvePoint out;
+    out.x = r.square() - j - (v + v);
+    const F s1j = s1 * j;
+    out.y = r * (v - out.x) - (s1j + s1j);
+    out.z = ((z + o.z).square() - z1z1 - z2z2) * h;
+    return out;
+  }
+
+  CurvePoint operator-() const {
+    CurvePoint out = *this;
+    out.y = -out.y;
+    return out;
+  }
+  CurvePoint operator-(const CurvePoint& o) const { return *this + (-o); }
+
+  /// Scalar multiplication. Uses a fixed 4-bit window for full-width
+  /// scalars (the common case: uniform elements of Z_r); short scalars
+  /// fall back to plain double-and-add where the table cost would dominate.
+  CurvePoint operator*(const U256& k) const {
+    if (k.bit_length() <= 64) return mul_double_and_add(k);
+    return mul_windowed(k);
+  }
+  CurvePoint operator*(const Fr& k) const { return *this * k.to_u256(); }
+
+  /// Textbook MSB-first double-and-add; kept as the oracle the windowed
+  /// path is tested against.
+  CurvePoint mul_double_and_add(const U256& k) const {
+    CurvePoint acc = infinity();
+    const unsigned n = k.bit_length();
+    for (int i = static_cast<int>(n) - 1; i >= 0; --i) {
+      acc = acc.dbl();
+      if (k.bit(static_cast<unsigned>(i))) acc = acc + *this;
+    }
+    return acc;
+  }
+
+  /// Fixed-window (w = 4) multiplication: one 15-entry table, then four
+  /// doublings plus at most one addition per nibble.
+  CurvePoint mul_windowed(const U256& k) const {
+    CurvePoint table[16];
+    table[0] = infinity();
+    table[1] = *this;
+    for (int i = 2; i < 16; ++i) table[i] = table[i - 1] + *this;
+
+    CurvePoint acc = infinity();
+    const unsigned nibbles = (k.bit_length() + 3) / 4;
+    for (int i = static_cast<int>(nibbles) - 1; i >= 0; --i) {
+      acc = acc.dbl().dbl().dbl().dbl();
+      const unsigned shift = static_cast<unsigned>(i) * 4;
+      const unsigned nibble =
+          static_cast<unsigned>(k.limb[shift / 64] >> (shift % 64)) & 0xf;
+      if (nibble != 0) acc = acc + table[nibble];
+    }
+    return acc;
+  }
+
+  /// Projective-independent equality.
+  bool equals(const CurvePoint& o) const {
+    if (is_infinity() || o.is_infinity())
+      return is_infinity() == o.is_infinity();
+    const F z1z1 = z.square();
+    const F z2z2 = o.z.square();
+    if (!(x * z2z2 == o.x * z1z1)) return false;
+    return y * z2z2 * o.z == o.y * z1z1 * z;
+  }
+  bool operator==(const CurvePoint& o) const { return equals(o); }
+};
+
+}  // namespace peace::curve

@@ -1,0 +1,285 @@
+#include "groupsig/groupsig.hpp"
+
+#include "common/serde.hpp"
+#include "curve/ecdsa.hpp"
+
+namespace peace::groupsig {
+
+using curve::Bn254;
+using curve::fr_from_bytes;
+using curve::fr_to_bytes;
+using curve::g1_from_bytes;
+using curve::g1_to_bytes;
+using curve::g2_from_bytes;
+using curve::g2_to_bytes;
+using curve::random_fr;
+using curve::SignatureBases;
+
+namespace {
+
+void count(OpCounters* ops, std::uint64_t OpCounters::* field,
+           std::uint64_t n = 1) {
+  if (ops != nullptr) (*ops).*field += n;
+}
+
+/// Seed for H0: per-message in normal mode, per-epoch in fast-revocation
+/// mode (Sec. V.C trade-off).
+Bytes bases_seed(const GroupPublicKey& gpk, BytesView message,
+                 const Signature& partial) {
+  Writer w;
+  w.bytes(gpk.to_bytes());
+  w.u64(partial.epoch);
+  if (partial.epoch == 0) {
+    w.bytes(message);
+    w.raw(fr_to_bytes(partial.nonce));
+  }
+  return w.take();
+}
+
+SignatureBases derive_bases(const GroupPublicKey& gpk, BytesView message,
+                            const Signature& partial, OpCounters* ops) {
+  count(ops, &OpCounters::hash_to_group, 3);
+  return curve::hash_to_bases(bases_seed(gpk, message, partial));
+}
+
+/// Fiat-Shamir challenge: the paper's H over
+/// (gpk, message, r, T1, T2, [T_hat], R1, R2, R3, [R4]).
+Fr challenge(const GroupPublicKey& gpk, BytesView message,
+             const Signature& sig, const G1& r1, const GT& r2, const G1& r3,
+             const G2& r4) {
+  Writer w;
+  w.bytes(gpk.to_bytes());
+  w.u64(sig.epoch);
+  w.bytes(message);
+  w.raw(fr_to_bytes(sig.nonce));
+  w.raw(g1_to_bytes(sig.t1));
+  w.raw(g1_to_bytes(sig.t2));
+  w.raw(g2_to_bytes(sig.t_hat));
+  w.raw(g1_to_bytes(r1));
+  w.raw(r2.to_bytes());
+  w.raw(g1_to_bytes(r3));
+  w.raw(g2_to_bytes(r4));
+  return curve::hash_to_fr("peace/groupsig/challenge", w.data());
+}
+
+}  // namespace
+
+Bytes GroupPublicKey::to_bytes() const { return g2_to_bytes(w); }
+
+GroupPublicKey GroupPublicKey::from_bytes(BytesView data) {
+  return {g2_from_bytes(data)};
+}
+
+bool MemberKey::is_valid(const GroupPublicKey& gpk) const {
+  // e(A, w * g2^(grp+x)) == e(g1, g2), i.e. A^(gamma+grp+x) == g1.
+  const auto& bn = Bn254::get();
+  if (a.is_infinity() || !a.is_on_curve()) return false;
+  const G2 rhs = gpk.w + bn.g2_gen * (grp + x);
+  return curve::pairing(a, rhs) == curve::gt_generator();
+}
+
+Bytes RevocationToken::to_bytes() const { return g1_to_bytes(a); }
+
+RevocationToken RevocationToken::from_bytes(BytesView data) {
+  return {g1_from_bytes(data)};
+}
+
+Bytes Signature::to_bytes() const {
+  Writer w;
+  w.u64(epoch);
+  w.raw(fr_to_bytes(nonce));
+  w.raw(g1_to_bytes(t1));
+  w.raw(g1_to_bytes(t2));
+  w.raw(g2_to_bytes(t_hat));
+  w.raw(fr_to_bytes(c));
+  w.raw(fr_to_bytes(s_alpha));
+  w.raw(fr_to_bytes(s_x));
+  w.raw(fr_to_bytes(s_delta));
+  return w.take();
+}
+
+Signature Signature::from_bytes(BytesView data) {
+  if (data.size() != kSignatureSize) throw Error("groupsig: bad sig length");
+  Reader r(data);
+  Signature sig;
+  sig.epoch = r.u64();
+  sig.nonce = fr_from_bytes(r.raw(32));
+  sig.t1 = g1_from_bytes(r.raw(curve::kG1CompressedSize));
+  sig.t2 = g1_from_bytes(r.raw(curve::kG1CompressedSize));
+  sig.t_hat = g2_from_bytes(r.raw(curve::kG2CompressedSize));
+  sig.c = fr_from_bytes(r.raw(32));
+  sig.s_alpha = fr_from_bytes(r.raw(32));
+  sig.s_x = fr_from_bytes(r.raw(32));
+  sig.s_delta = fr_from_bytes(r.raw(32));
+  r.expect_end();
+  return sig;
+}
+
+Issuer Issuer::create(crypto::Drbg& rng) {
+  return from_secret(random_fr(rng));
+}
+
+Issuer Issuer::from_secret(const Fr& gamma) {
+  if (gamma.is_zero()) throw Error("groupsig: zero master secret");
+  Issuer issuer;
+  issuer.gamma_ = gamma;
+  issuer.gpk_.w = Bn254::get().g2_gen * gamma;
+  return issuer;
+}
+
+Fr Issuer::new_group_secret(crypto::Drbg& rng) const { return random_fr(rng); }
+
+MemberKey Issuer::issue(const Fr& grp, crypto::Drbg& rng) const {
+  for (;;) {
+    const Fr x = random_fr(rng);
+    if ((gamma_ + grp + x).is_zero()) continue;  // paper step 3 side condition
+    return derive(grp, x);
+  }
+}
+
+MemberKey Issuer::derive(const Fr& grp, const Fr& x) const {
+  const Fr denom = gamma_ + grp + x;
+  if (denom.is_zero()) throw Error("groupsig: gamma + grp + x == 0");
+  MemberKey key;
+  key.a = Bn254::get().g1_gen * denom.inverse();
+  key.grp = grp;
+  key.x = x;
+  return key;
+}
+
+Signature sign(const GroupPublicKey& gpk, const MemberKey& gsk,
+               BytesView message, crypto::Drbg& rng, Epoch epoch,
+               OpCounters* ops) {
+  const auto& bn = Bn254::get();
+  Signature sig;
+  sig.epoch = epoch;
+  sig.nonce = random_fr(rng);  // the paper's r (step 2.2.1)
+
+  const SignatureBases bases = derive_bases(gpk, message, sig, ops);
+
+  // Step 2.2.2: T1 = u^alpha, T2 = A v^alpha (+ Type-3 carrier), delta.
+  const Fr alpha = random_fr(rng);
+  sig.t1 = bases.u * alpha;
+  sig.t2 = gsk.a + bases.v * alpha;
+  sig.t_hat = bases.v_hat * alpha;
+  count(ops, &OpCounters::g1_exp, 2);
+  count(ops, &OpCounters::g2_exp, 1);
+  const Fr y = gsk.grp + gsk.x;
+  const Fr delta = y * alpha;
+
+  const Fr r_alpha = random_fr(rng);
+  const Fr r_x = random_fr(rng);
+  const Fr r_delta = random_fr(rng);
+
+  // Step 2.2.3: helper values. R2's three pairings share bases g2 and w, so
+  // they fold into two: e(T2^rx v^-rd, g2) * e(v^-ra, w).
+  const G1 r1 = bases.u * r_alpha;
+  count(ops, &OpCounters::g1_exp, 1);
+  const GT r2 = curve::multi_pairing(
+      {{sig.t2 * r_x - bases.v * r_delta, bn.g2_gen},
+       {-(bases.v * r_alpha), gpk.w}});
+  count(ops, &OpCounters::g1_exp, 3);
+  count(ops, &OpCounters::pairings, 2);
+  const G1 r3 = sig.t1 * r_x - bases.u * r_delta;
+  count(ops, &OpCounters::g1_exp, 2);
+  const G2 r4 = bases.v_hat * r_alpha;
+  count(ops, &OpCounters::g2_exp, 1);
+
+  sig.c = challenge(gpk, message, sig, r1, r2, r3, r4);
+
+  // Step 2.2.4: responses.
+  sig.s_alpha = r_alpha + sig.c * alpha;
+  sig.s_x = r_x + sig.c * y;
+  sig.s_delta = r_delta + sig.c * delta;
+  return sig;
+}
+
+bool verify_proof(const GroupPublicKey& gpk, BytesView message,
+                  const Signature& sig, OpCounters* ops) {
+  const auto& bn = Bn254::get();
+  if (sig.t1.is_infinity() || sig.t2.is_infinity()) return false;
+
+  const SignatureBases bases = derive_bases(gpk, message, sig, ops);
+
+  // Step 3.2.2: recover the helper values.
+  const G1 r1 = bases.u * sig.s_alpha - sig.t1 * sig.c;
+  count(ops, &OpCounters::g1_exp, 2);
+  // R2~ = e(T2,g2)^sx e(v,w)^-sa e(v,g2)^-sd (e(T2,w)/e(g1,g2))^c, folded by
+  // pairing base:  e(T2^sx v^-sd g1^-c, g2) * e(v^-sa T2^c, w).
+  const GT r2 = curve::multi_pairing(
+      {{sig.t2 * sig.s_x - bases.v * sig.s_delta - bn.g1_gen * sig.c,
+        bn.g2_gen},
+       {sig.t2 * sig.c - bases.v * sig.s_alpha, gpk.w}});
+  count(ops, &OpCounters::g1_exp, 5);
+  count(ops, &OpCounters::pairings, 2);
+  const G1 r3 = sig.t1 * sig.s_x - bases.u * sig.s_delta;
+  count(ops, &OpCounters::g1_exp, 2);
+  const G2 r4 = bases.v_hat * sig.s_alpha - sig.t_hat * sig.c;
+  count(ops, &OpCounters::g2_exp, 2);
+
+  // Step 3.2.3: challenge must match (Eq.2).
+  return challenge(gpk, message, sig, r1, r2, r3, r4) == sig.c;
+}
+
+bool matches_token(const GroupPublicKey& gpk, BytesView message,
+                   const Signature& sig, const RevocationToken& token,
+                   OpCounters* ops) {
+  const SignatureBases bases = derive_bases(gpk, message, sig, ops);
+  // Eq.3: e(T2 / A, v_hat) == e(v, T_hat), i.e.
+  // e(T2 - A, v_hat) * e(-v, T_hat) == 1.
+  count(ops, &OpCounters::pairings, 2);
+  return curve::multi_pairing(
+             {{sig.t2 - token.a, bases.v_hat}, {-bases.v, sig.t_hat}})
+      .is_one();
+}
+
+bool verify(const GroupPublicKey& gpk, BytesView message, const Signature& sig,
+            std::span<const RevocationToken> url, OpCounters* ops) {
+  if (!verify_proof(gpk, message, sig, ops)) return false;
+  for (const RevocationToken& token : url) {
+    if (matches_token(gpk, message, sig, token, ops)) return false;
+  }
+  return true;
+}
+
+EpochRevocationIndex::EpochRevocationIndex(const GroupPublicKey& gpk,
+                                           Epoch epoch,
+                                           std::span<const RevocationToken> url)
+    : epoch_(epoch) {
+  if (epoch == 0) throw Error("groupsig: epoch index needs epoch != 0");
+  Signature partial;
+  partial.epoch = epoch;
+  const SignatureBases bases = derive_bases(gpk, {}, partial, nullptr);
+  v_ = bases.v;
+  v_hat_ = bases.v_hat;
+  for (const RevocationToken& token : url) {
+    tags_.insert(to_hex(curve::pairing(token.a, v_hat_).to_bytes()));
+  }
+}
+
+bool EpochRevocationIndex::is_revoked(const Signature& sig,
+                                      OpCounters* ops) const {
+  if (sig.epoch != epoch_) throw Error("groupsig: epoch mismatch");
+  // K = e(T2, v_hat) / e(v, T_hat) = e(A, v_hat): constant per member per
+  // epoch — the linkability the paper trades for O(1) revocation checking.
+  count(ops, &OpCounters::pairings, 2);
+  const GT k = curve::pairing(sig.t2, v_hat_) *
+               curve::pairing(v_, sig.t_hat).unitary_inverse();
+  return tags_.contains(to_hex(k.to_bytes()));
+}
+
+bool verify_fast(const GroupPublicKey& gpk, BytesView message,
+                 const Signature& sig, const EpochRevocationIndex& index,
+                 OpCounters* ops) {
+  if (sig.epoch != index.epoch()) return false;
+  if (!verify_proof(gpk, message, sig, ops)) return false;
+  return !index.is_revoked(sig, ops);
+}
+
+GT epoch_linkability_tag(const GroupPublicKey& gpk, const Signature& sig) {
+  const SignatureBases bases = derive_bases(gpk, {}, sig, nullptr);
+  return curve::pairing(sig.t2, bases.v_hat) *
+         curve::pairing(bases.v, sig.t_hat).unitary_inverse();
+}
+
+}  // namespace peace::groupsig

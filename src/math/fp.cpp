@@ -1,0 +1,40 @@
+#include "math/fp.hpp"
+
+namespace peace::math {
+
+FieldParams make_field_params(const U256& modulus) {
+  if (!modulus.is_odd() || modulus.bit_length() < 3)
+    throw Error("make_field_params: modulus must be odd and > 2");
+
+  FieldParams p;
+  p.modulus = modulus;
+  p.bits = modulus.bit_length();
+
+  // n0inv = -modulus^{-1} mod 2^64 by Newton iteration (5 steps double the
+  // number of correct low bits from the seed's 3 to > 64).
+  std::uint64_t inv = modulus.limb[0];
+  for (int i = 0; i < 5; ++i) inv *= 2 - modulus.limb[0] * inv;
+  p.n0inv = ~inv + 1;
+
+  // r = 2^256 mod modulus: start at 1 and double 256 times mod modulus.
+  U256 r = U256::one();
+  for (int i = 0; i < 256; ++i) r = add_mod(r, r, modulus);
+  p.r = r;
+  // r2 = r * 2^256 mod modulus: double 256 more times.
+  U256 r2 = r;
+  for (int i = 0; i < 256; ++i) r2 = add_mod(r2, r2, modulus);
+  p.r2 = r2;
+
+  sub_borrow(p.modulus_minus_2, modulus, U256(2));
+
+  // sqrt exponent (modulus+1)/4 when modulus = 3 (mod 4).
+  if ((modulus.limb[0] & 3) == 3) {
+    U256 m1;
+    add_carry(m1, modulus, U256::one());  // cannot overflow: modulus < 2^255
+    p.sqrt_exp = shr1(shr1(m1));
+    p.has_sqrt_exp = true;
+  }
+  return p;
+}
+
+}  // namespace peace::math

@@ -1,0 +1,204 @@
+// Montgomery-form prime fields. `PrimeField<Tag>` is a distinct type per
+// modulus tag, so base-field elements (Fp) and scalars (Fr) cannot be mixed
+// up at compile time. All parameters (R, R^2, -p^-1 mod 2^64) are derived at
+// init() time from the decimal modulus — nothing hand-transcribed.
+#pragma once
+
+#include <cstdint>
+
+#include "math/u256.hpp"
+
+namespace peace::math {
+
+struct FieldParams {
+  U256 modulus;
+  std::uint64_t n0inv = 0;  // -modulus^{-1} mod 2^64
+  U256 r;                   // 2^256 mod modulus  (Montgomery form of 1)
+  U256 r2;                  // 2^512 mod modulus  (to-Montgomery factor)
+  U256 modulus_minus_2;     // inversion exponent (Fermat)
+  U256 sqrt_exp;            // (modulus+1)/4 when modulus = 3 mod 4, else 0
+  bool has_sqrt_exp = false;
+  unsigned bits = 0;
+};
+
+/// Derives all Montgomery constants from `modulus` (must be odd and > 2).
+FieldParams make_field_params(const U256& modulus);
+
+template <class Tag>
+class PrimeField {
+ public:
+  /// Installs the modulus for this field type. Must be called once before
+  /// any arithmetic; repeated calls with the same modulus are no-ops.
+  static void init(const U256& modulus) {
+    if (initialized_) {
+      if (!(params_.modulus == modulus))
+        throw Error("PrimeField: re-init with different modulus");
+      return;
+    }
+    params_ = make_field_params(modulus);
+    initialized_ = true;
+  }
+
+  static const FieldParams& params() {
+    if (!initialized_) throw Error("PrimeField: not initialized");
+    return params_;
+  }
+
+  static const U256& modulus() { return params().modulus; }
+
+  PrimeField() = default;  // zero
+
+  static PrimeField zero() { return PrimeField(); }
+  static PrimeField one() { return from_mont(params().r); }
+
+  static PrimeField from_u64(std::uint64_t v) { return from_u256(U256(v)); }
+
+  /// From a standard-form integer; must already be < modulus.
+  static PrimeField from_u256(const U256& v) {
+    if (!(cmp(v, modulus()) < 0)) throw Error("PrimeField: value >= modulus");
+    return from_mont(mont_mul(v, params().r2));
+  }
+
+  /// From a 32-byte big-endian string, reduced mod the modulus. Used for
+  /// hash-to-field: the modulus is 254 bits so at most 3 subtractions.
+  static PrimeField from_bytes_reduce(BytesView be) {
+    U256 v = U256::from_bytes(be);
+    const U256& m = modulus();
+    while (!(cmp(v, m) < 0)) {
+      U256 tmp;
+      sub_borrow(tmp, v, m);
+      v = tmp;
+    }
+    return from_u256(v);
+  }
+
+  static PrimeField from_dec(std::string_view dec) {
+    return from_u256(U256::from_dec(dec));
+  }
+
+  /// Standard (non-Montgomery) representation.
+  U256 to_u256() const { return mont_mul(mont_, U256::one()); }
+  Bytes to_bytes() const { return to_u256().to_bytes(); }
+  std::string to_dec() const { return to_u256().to_dec(); }
+
+  bool is_zero() const { return mont_.is_zero(); }
+  bool operator==(const PrimeField&) const = default;
+
+  PrimeField operator+(const PrimeField& o) const {
+    return from_mont(add_mod(mont_, o.mont_, modulus()));
+  }
+  PrimeField operator-(const PrimeField& o) const {
+    return from_mont(sub_mod(mont_, o.mont_, modulus()));
+  }
+  PrimeField operator-() const {
+    return from_mont(is_zero() ? U256() : sub_mod(U256(), mont_, modulus()));
+  }
+  PrimeField operator*(const PrimeField& o) const {
+    return from_mont(mont_mul(mont_, o.mont_));
+  }
+  PrimeField& operator+=(const PrimeField& o) { return *this = *this + o; }
+  PrimeField& operator-=(const PrimeField& o) { return *this = *this - o; }
+  PrimeField& operator*=(const PrimeField& o) { return *this = *this * o; }
+
+  PrimeField square() const { return *this * *this; }
+  PrimeField dbl() const { return *this + *this; }
+
+  PrimeField pow(const U256& exp) const {
+    PrimeField acc = one();
+    const unsigned n = exp.bit_length();
+    for (int i = static_cast<int>(n) - 1; i >= 0; --i) {
+      acc = acc.square();
+      if (exp.bit(static_cast<unsigned>(i))) acc *= *this;
+    }
+    return acc;
+  }
+
+  /// Multiplicative inverse (binary extended GCD on the Montgomery
+  /// representative, then two Montgomery corrections). Throws on zero.
+  PrimeField inverse() const {
+    if (is_zero()) throw Error("PrimeField: inverse of zero");
+    // mont_ = aR; egcd gives (aR)^-1 = a^-1 R^-1; two multiplications by
+    // R^2 (each costing one R^-1) restore the Montgomery form a^-1 R.
+    const U256 inv = mod_inverse_odd(mont_, modulus());
+    return from_mont(mont_mul(mont_mul(inv, params().r2), params().r2));
+  }
+
+  /// Fermat-exponentiation inverse, kept as an independent cross-check
+  /// oracle for the fast path above.
+  PrimeField inverse_fermat() const {
+    if (is_zero()) throw Error("PrimeField: inverse of zero");
+    return pow(params().modulus_minus_2);
+  }
+
+  /// Square root for moduli = 3 (mod 4). Returns false if no root exists.
+  bool sqrt(PrimeField& out) const {
+    if (!params().has_sqrt_exp) throw Error("PrimeField: sqrt unsupported");
+    const PrimeField cand = pow(params().sqrt_exp);
+    if (cand.square() == *this) {
+      out = cand;
+      return true;
+    }
+    return false;
+  }
+
+  /// Parity of the standard representation (for point compression).
+  bool is_odd_repr() const { return to_u256().is_odd(); }
+
+  /// Raw Montgomery limbs — for hashing/serialization of internal state only.
+  const U256& mont() const { return mont_; }
+  static PrimeField from_mont(const U256& m) {
+    PrimeField f;
+    f.mont_ = m;
+    return f;
+  }
+
+ private:
+  static U256 mont_mul(const U256& a, const U256& b);
+
+  U256 mont_;
+
+  static inline FieldParams params_{};
+  static inline bool initialized_ = false;
+};
+
+template <class Tag>
+U256 PrimeField<Tag>::mont_mul(const U256& a, const U256& b) {
+  using u64 = std::uint64_t;
+  using u128 = unsigned __int128;
+  const U256& n = params_.modulus;
+  const u64 n0inv = params_.n0inv;
+
+  std::array<u64, 8> t = mul_wide(a, b);
+  u64 extra = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u64 m = t[i] * n0inv;
+    u64 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(m) * n.limb[j] + t[i + j] + carry;
+      t[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    for (int k = i + 4; k < 8 && carry != 0; ++k) {
+      const u128 cur = static_cast<u128>(t[k]) + carry;
+      t[k] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    extra += carry;
+  }
+  U256 res{t[4], t[5], t[6], t[7]};
+  if (extra != 0 || !(cmp(res, n) < 0)) {
+    U256 reduced;
+    sub_borrow(reduced, res, n);
+    res = reduced;
+  }
+  return res;
+}
+
+// Field tags. The paper's Z_p (signature scalars) is our Fr; the pairing
+// base field is Fp.
+struct BaseFieldTag {};
+struct ScalarFieldTag {};
+using Fp = PrimeField<BaseFieldTag>;
+using Fr = PrimeField<ScalarFieldTag>;
+
+}  // namespace peace::math

@@ -1,0 +1,17 @@
+#include "math/fp12.hpp"
+
+namespace peace::math {
+
+Bytes Fp12::to_bytes() const {
+  Bytes out;
+  out.reserve(12 * 32);
+  for (const Fp6* h : {&c0, &c1}) {
+    for (const Fp2* q : {&h->c0, &h->c1, &h->c2}) {
+      append(out, q->c0.to_bytes());
+      append(out, q->c1.to_bytes());
+    }
+  }
+  return out;
+}
+
+}  // namespace peace::math

@@ -1,0 +1,43 @@
+#include "math/fp2.hpp"
+
+namespace peace::math {
+
+Fp2 fp2_xi() { return Fp2::from_u64(9, 1); }
+
+bool Fp2::sqrt(Fp2& out) const {
+  if (is_zero()) {
+    out = zero();
+    return true;
+  }
+  // Write z = a + b i. If b == 0 we need sqrt(a) in Fp, or sqrt(-a) * i.
+  if (c1.is_zero()) {
+    Fp r;
+    if (c0.sqrt(r)) {
+      out = {r, Fp::zero()};
+      return true;
+    }
+    if ((-c0).sqrt(r)) {
+      out = {Fp::zero(), r};
+      return true;
+    }
+    return false;
+  }
+  // General case: |z| = sqrt(a^2 + b^2) must exist in Fp (it always does for
+  // a square z since the norm map is surjective onto squares).
+  Fp lambda;
+  if (!norm().sqrt(lambda)) return false;
+  const Fp inv2 = Fp::from_u64(2).inverse();
+  Fp x2 = (c0 + lambda) * inv2;
+  Fp x;
+  if (!x2.sqrt(x)) {
+    x2 = (c0 - lambda) * inv2;
+    if (!x2.sqrt(x)) return false;
+  }
+  const Fp y = c1 * (x + x).inverse();
+  const Fp2 cand{x, y};
+  if (!(cand.square() == *this)) return false;
+  out = cand;
+  return true;
+}
+
+}  // namespace peace::math

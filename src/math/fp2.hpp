@@ -1,0 +1,80 @@
+// Fp2 = Fp[i] / (i^2 + 1). Elements are c0 + c1*i.
+#pragma once
+
+#include "math/fp.hpp"
+
+namespace peace::math {
+
+struct Fp2 {
+  Fp c0;
+  Fp c1;
+
+  Fp2() = default;
+  Fp2(const Fp& a, const Fp& b) : c0(a), c1(b) {}
+
+  static Fp2 zero() { return {}; }
+  static Fp2 one() { return {Fp::one(), Fp::zero()}; }
+  static Fp2 from_u64(std::uint64_t a, std::uint64_t b) {
+    return {Fp::from_u64(a), Fp::from_u64(b)};
+  }
+
+  bool is_zero() const { return c0.is_zero() && c1.is_zero(); }
+  bool operator==(const Fp2&) const = default;
+
+  Fp2 operator+(const Fp2& o) const { return {c0 + o.c0, c1 + o.c1}; }
+  Fp2 operator-(const Fp2& o) const { return {c0 - o.c0, c1 - o.c1}; }
+  Fp2 operator-() const { return {-c0, -c1}; }
+
+  Fp2 operator*(const Fp2& o) const {
+    // Karatsuba: (a0 + a1 i)(b0 + b1 i) = (a0b0 - a1b1) + ((a0+a1)(b0+b1) - a0b0 - a1b1) i
+    const Fp v0 = c0 * o.c0;
+    const Fp v1 = c1 * o.c1;
+    return {v0 - v1, (c0 + c1) * (o.c0 + o.c1) - v0 - v1};
+  }
+  Fp2 operator*(const Fp& s) const { return {c0 * s, c1 * s}; }
+
+  Fp2& operator+=(const Fp2& o) { return *this = *this + o; }
+  Fp2& operator-=(const Fp2& o) { return *this = *this - o; }
+  Fp2& operator*=(const Fp2& o) { return *this = *this * o; }
+
+  Fp2 square() const {
+    // (a0 + a1 i)^2 = (a0+a1)(a0-a1) + 2 a0 a1 i
+    const Fp t = c0 * c1;
+    return {(c0 + c1) * (c0 - c1), t + t};
+  }
+  Fp2 dbl() const { return {c0 + c0, c1 + c1}; }
+
+  /// Complex conjugate = Frobenius x -> x^p on Fp2.
+  Fp2 conjugate() const { return {c0, -c1}; }
+
+  /// Norm a0^2 + a1^2 in Fp.
+  Fp norm() const { return c0.square() + c1.square(); }
+
+  Fp2 inverse() const {
+    // 1/(a0 + a1 i) = (a0 - a1 i) / (a0^2 + a1^2)
+    const Fp inv_norm = norm().inverse();
+    return {c0 * inv_norm, -(c1 * inv_norm)};
+  }
+
+  Fp2 pow(const U256& exp) const {
+    Fp2 acc = one();
+    const unsigned n = exp.bit_length();
+    for (int i = static_cast<int>(n) - 1; i >= 0; --i) {
+      acc = acc.square();
+      if (exp.bit(static_cast<unsigned>(i))) acc *= *this;
+    }
+    return acc;
+  }
+
+  /// Square root via the complex method (requires p = 3 mod 4 in the base
+  /// field). Returns false when no root exists.
+  bool sqrt(Fp2& out) const;
+
+  /// Multiplication by i (the quadratic non-residue of Fp).
+  Fp2 mul_by_i() const { return {-c1, c0}; }
+};
+
+/// The sextic twist constant xi = 9 + i used throughout the BN254 tower.
+Fp2 fp2_xi();
+
+}  // namespace peace::math

@@ -1,0 +1,84 @@
+// 256-bit fixed-width unsigned integer: the word size of all BN254 field
+// elements and scalars. Little-endian 64-bit limbs, portable (uses
+// unsigned __int128 for widening multiplies).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace peace::math {
+
+struct U256 {
+  // limb[0] is least significant.
+  std::array<std::uint64_t, 4> limb{0, 0, 0, 0};
+
+  constexpr U256() = default;
+  constexpr explicit U256(std::uint64_t v) : limb{v, 0, 0, 0} {}
+  constexpr U256(std::uint64_t l0, std::uint64_t l1, std::uint64_t l2,
+                 std::uint64_t l3)
+      : limb{l0, l1, l2, l3} {}
+
+  static U256 zero() { return U256(); }
+  static U256 one() { return U256(1); }
+
+  /// Parses a base-10 string. Throws Error on bad digits or overflow.
+  static U256 from_dec(std::string_view dec);
+  /// Parses a hex string (no 0x prefix). Throws Error on bad digits/overflow.
+  static U256 from_hex(std::string_view hex);
+  /// Big-endian 32-byte decoding; shorter inputs are left-padded with zeros.
+  /// Throws Error if more than 32 bytes.
+  static U256 from_bytes(BytesView be);
+
+  std::string to_dec() const;
+  std::string to_hex() const;
+  /// Big-endian, exactly 32 bytes.
+  Bytes to_bytes() const;
+
+  bool is_zero() const { return (limb[0] | limb[1] | limb[2] | limb[3]) == 0; }
+  bool is_odd() const { return limb[0] & 1; }
+  bool bit(unsigned i) const { return (limb[i / 64] >> (i % 64)) & 1; }
+  /// Number of significant bits (0 for zero).
+  unsigned bit_length() const;
+
+  bool operator==(const U256&) const = default;
+};
+
+/// Three-way compare: negative, zero, positive.
+int cmp(const U256& a, const U256& b);
+inline bool operator<(const U256& a, const U256& b) { return cmp(a, b) < 0; }
+inline bool operator>=(const U256& a, const U256& b) { return cmp(a, b) >= 0; }
+
+/// out = a + b, returns the carry bit.
+std::uint64_t add_carry(U256& out, const U256& a, const U256& b);
+/// out = a - b, returns the borrow bit.
+std::uint64_t sub_borrow(U256& out, const U256& a, const U256& b);
+
+/// Full 512-bit product, little-endian limbs.
+std::array<std::uint64_t, 8> mul_wide(const U256& a, const U256& b);
+
+/// a << 1 (bits shifted out are lost).
+U256 shl1(const U256& a);
+/// a >> 1.
+U256 shr1(const U256& a);
+
+/// Modular helpers used during parameter bootstrap (operands must be < m).
+U256 add_mod(const U256& a, const U256& b, const U256& m);
+U256 sub_mod(const U256& a, const U256& b, const U256& m);
+
+/// (a * 10 + d), throwing Error on overflow — used by the decimal parser.
+U256 mul10_add(const U256& a, std::uint64_t d);
+
+/// Division by a small scalar: returns quotient, sets `rem`.
+U256 divmod_small(const U256& a, std::uint64_t d, std::uint64_t& rem);
+
+/// Modular inverse of `a` modulo an odd modulus `m` (binary extended GCD;
+/// not constant-time). Requires 0 < a < m and gcd(a, m) == 1; throws Error
+/// otherwise. Much faster than Fermat exponentiation — this carries the
+/// pairing's Miller loop.
+U256 mod_inverse_odd(const U256& a, const U256& m);
+
+}  // namespace peace::math

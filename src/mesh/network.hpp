@@ -1,0 +1,173 @@
+// The metropolitan WMN substrate (paper Fig. 1): stationary mesh routers
+// with one-hop downlink coverage, mobile users with shorter radios that
+// authenticate directly (power-boosted uplink, paper footnote 3) and relay
+// data through authenticated peer sessions, greedy-geographically, toward
+// their serving router. Radios are unit-disk with configurable loss and
+// latency. Every frame delivery can be observed by registered taps
+// (adversaries, loggers).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "crypto/drbg.hpp"
+#include "mesh/simulator.hpp"
+#include "peace/router.hpp"
+#include "peace/user.hpp"
+
+namespace peace::mesh {
+
+using NodeId = std::uint32_t;
+
+struct Vec2 {
+  double x = 0;
+  double y = 0;
+};
+
+double distance(const Vec2& a, const Vec2& b);
+
+struct RadioConfig {
+  double router_range = 250.0;  // downlink coverage (one hop, paper III.A)
+  double user_range = 80.0;     // user-user data radio
+  /// Long-range backbone links (WiMAX-class, paper Fig. 1): router-router
+  /// and router-AP edges exist within this distance and ride the
+  /// operator's pre-established secure channels.
+  double backbone_range = 500.0;
+  double loss_probability = 0.0;
+  SimTime latency_ms = 2;
+};
+
+/// What a delivery tap observes: enough for an eavesdropping adversary to
+/// mount linkage attempts, nothing more than the air interface carries.
+struct WireObservation {
+  SimTime at = 0;
+  const char* kind;  // "beacon", "m2", "m3", "peer1", "peer2", "peer3", "data"
+  Bytes payload;     // serialized message exactly as transmitted
+};
+
+struct NetworkStats {
+  std::uint64_t frames_transmitted = 0;
+  std::uint64_t frames_lost = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t data_undeliverable = 0;  // no route / no session
+  std::uint64_t relay_hops_total = 0;
+  std::uint64_t internet_delivered = 0;   // reached a wired access point
+  std::uint64_t backbone_hops_total = 0;  // router-router hops used
+  std::uint64_t backbone_mac_failures = 0;
+};
+
+class MeshNetwork {
+ public:
+  MeshNetwork(Simulator& sim, crypto::Drbg rng, RadioConfig radio = {});
+
+  // --- construction -----------------------------------------------------
+  NodeId add_router(Vec2 pos, proto::NetworkOperator& no,
+                    proto::Timestamp cert_expires_at);
+  NodeId add_user(Vec2 pos, std::unique_ptr<proto::User> user);
+  /// Layer-1 of Fig. 1: a wired Internet entry point, reachable from
+  /// routers within backbone_range over a secure channel.
+  NodeId add_access_point(Vec2 pos);
+
+  proto::MeshRouter& router(NodeId id);
+  proto::User& user(NodeId id);
+  Vec2 position(NodeId id) const;
+  void move_user(NodeId id, Vec2 pos);
+
+  /// Pushes fresh revocation lists to every router over the operator's
+  /// pre-established secure channels (paper III.A assumption).
+  void push_revocation_lists(const proto::SignedRevocationList& crl,
+                             const proto::SignedRevocationList& url);
+
+  // --- behaviour ---------------------------------------------------------
+  /// Schedules periodic beacons from every router starting at `start`.
+  void start_beaconing(SimTime start, SimTime period, SimTime until);
+
+  /// Users react to beacons by authenticating to the strongest (nearest)
+  /// router they hear when they have no session yet.
+  void enable_auto_connect(bool on) { auto_connect_ = on; }
+
+  /// Runs the user-user handshake between every pair of users within
+  /// user_range of each other (scheduled through the radio).
+  void establish_peer_links();
+
+  /// Sends an application payload from `user_id` to its serving router,
+  /// relaying greedily through peer sessions when out of direct range.
+  /// Returns false immediately when no route can exist.
+  bool send_data(NodeId user_id, BytesView payload);
+
+  /// Full three-layer delivery (paper Fig. 1): user -> serving router
+  /// (send_data path), then across the multihop wireless backbone —
+  /// shortest path, each hop authenticated on the pre-established secure
+  /// channel — to the nearest wired access point.
+  bool send_to_internet(NodeId user_id, BytesView payload);
+
+  /// Backbone hop count from a router to the nearest AP (BFS), or nullopt
+  /// when no AP is reachable.
+  std::optional<std::size_t> backbone_hops_to_ap(NodeId router_node) const;
+
+  /// True once `user_id` holds an authenticated router session.
+  bool is_connected(NodeId user_id) const;
+  std::optional<proto::RouterId> serving_router(NodeId user_id) const;
+
+  /// Drops the user's uplink (and serving-router binding) so the next
+  /// beacon triggers a fresh handshake — how a roaming client re-associates
+  /// after moving out of its old router's coverage. Sessions are never
+  /// resumed across associations (fresh identifiers per the privacy model).
+  void reassociate(NodeId user_id);
+
+  /// Registers an observer of every transmitted frame.
+  void add_tap(std::function<void(const WireObservation&)> tap);
+
+  const NetworkStats& stats() const { return stats_; }
+  Simulator& sim() { return sim_; }
+
+  /// All router node ids / user node ids, for sweeps.
+  std::vector<NodeId> router_ids() const;
+  std::vector<NodeId> user_ids() const;
+
+ private:
+  struct RouterNode {
+    std::unique_ptr<proto::MeshRouter> router;
+    Vec2 pos;
+  };
+  struct UserNode {
+    std::unique_ptr<proto::User> user;
+    Vec2 pos;
+    std::optional<proto::Session> uplink;     // to serving router
+    Bytes uplink_session_id;
+    std::optional<proto::RouterId> serving;
+    std::optional<NodeId> serving_node;
+    std::map<NodeId, proto::Session> peer_sessions;
+    bool handshake_in_flight = false;
+  };
+
+  bool radio_delivers();
+  void observe(const char* kind, BytesView payload);
+  void deliver_beacon(NodeId router_node, const proto::BeaconMessage& beacon);
+  void user_hears_beacon(NodeId user_node, NodeId router_node,
+                         const proto::BeaconMessage& beacon);
+  void run_peer_handshake(NodeId a, NodeId b);
+  /// Next hop for greedy geographic relay, or nullopt when stuck.
+  std::optional<NodeId> next_relay_hop(NodeId from, const Vec2& target);
+
+  /// Pre-established secure channel between two backbone nodes: a shared
+  /// MAC key (paper III.A assumes these exist out of band).
+  const Bytes& backbone_key(NodeId a, NodeId b);
+  /// Backbone adjacency (router/AP nodes within backbone_range).
+  std::vector<NodeId> backbone_neighbors(NodeId node) const;
+
+  Simulator& sim_;
+  crypto::Drbg rng_;
+  RadioConfig radio_;
+  std::map<NodeId, RouterNode> routers_;
+  std::map<NodeId, UserNode> users_;
+  std::map<NodeId, Vec2> access_points_;
+  std::map<std::pair<NodeId, NodeId>, Bytes> backbone_keys_;
+  NodeId next_id_ = 1;
+  bool auto_connect_ = true;
+  std::vector<std::function<void(const WireObservation&)>> taps_;
+  NetworkStats stats_;
+};
+
+}  // namespace peace::mesh

@@ -1,0 +1,34 @@
+#include "mesh/simulator.hpp"
+
+namespace peace::mesh {
+
+void Simulator::schedule(SimTime at, EventFn fn) {
+  if (at < now_) throw Error("simulator: scheduling into the past");
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulator::run_until(SimTime end) {
+  while (!queue_.empty() && queue_.top().at <= end) {
+    // priority_queue::top() is const; move out via const_cast on pop pattern.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++processed_;
+    ev.fn();
+  }
+  now_ = end;
+}
+
+void Simulator::run_all(std::uint64_t max_events) {
+  while (!queue_.empty()) {
+    if (processed_ >= max_events)
+      throw Error("simulator: event budget exhausted (runaway?)");
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++processed_;
+    ev.fn();
+  }
+}
+
+}  // namespace peace::mesh

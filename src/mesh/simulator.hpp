@@ -1,0 +1,54 @@
+// Minimal discrete-event simulation core: a virtual millisecond clock and
+// an ordered event queue. Deterministic given deterministic callbacks —
+// ties are broken by insertion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace peace::mesh {
+
+using SimTime = std::uint64_t;  // milliseconds
+using EventFn = std::function<void()>;
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+  std::uint64_t events_processed() const { return processed_; }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Schedules `fn` at absolute time `at` (must not be in the past).
+  void schedule(SimTime at, EventFn fn);
+  /// Convenience: `delay` from now.
+  void schedule_in(SimTime delay, EventFn fn) {
+    schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events up to and including `end`; the clock then rests at `end`.
+  void run_until(SimTime end);
+  /// Runs until the queue drains (or `max_events` as a runaway guard).
+  void run_all(std::uint64_t max_events = 10'000'000);
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // FIFO among same-time events
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace peace::mesh

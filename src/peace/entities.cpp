@@ -1,0 +1,291 @@
+#include "peace/entities.hpp"
+
+#include "common/serde.hpp"
+#include "crypto/hmac.hpp"
+
+namespace peace::proto {
+
+using curve::ecdsa_verify;
+using curve::EcdsaKeyPair;
+using curve::g1_from_bytes;
+using curve::g1_to_bytes;
+
+Bytes blind_credential(const G1& a, const Fr& x) {
+  const Bytes a_bytes = g1_to_bytes(a);
+  const Bytes pad = crypto::hkdf({}, curve::fr_to_bytes(x),
+                                 as_bytes("peace/blind"), a_bytes.size());
+  return xor_bytes(a_bytes, pad);
+}
+
+G1 unblind_credential(BytesView blinded, const Fr& x) {
+  const Bytes pad = crypto::hkdf({}, curve::fr_to_bytes(x),
+                                 as_bytes("peace/blind"), blinded.size());
+  return g1_from_bytes(xor_bytes(blinded, pad));
+}
+
+// --- TrustedThirdParty -------------------------------------------------------
+
+EcdsaSignature TrustedThirdParty::deposit(const KeyIndex& idx,
+                                          Bytes blinded_credential,
+                                          const EcdsaSignature& no_signature,
+                                          const G1& npk, crypto::Drbg& rng) {
+  if (!has_key_) {
+    signing_key_ = EcdsaKeyPair::generate(rng);
+    has_key_ = true;
+  }
+  Writer w;
+  w.str("peace/ttp-deposit");
+  w.u32(idx.group);
+  w.u32(idx.member);
+  w.bytes(blinded_credential);
+  if (!ecdsa_verify(npk, w.data(), no_signature))
+    throw Error("ttp: deposit not signed by NO");
+  store_[{idx.group, idx.member}] = std::move(blinded_credential);
+  // Receipt for non-repudiation (paper: "TTP also signs on these messages").
+  return signing_key_.sign(w.data(), rng);
+}
+
+Bytes TrustedThirdParty::deliver(const KeyIndex& idx, const std::string& uid) {
+  const auto it = store_.find({idx.group, idx.member});
+  if (it == store_.end()) throw Error("ttp: unknown key index");
+  delivered_to_[{idx.group, idx.member}] = uid;
+  return it->second;
+}
+
+std::optional<std::string> TrustedThirdParty::uid_for_index(
+    const KeyIndex& idx) const {
+  const auto it = delivered_to_.find({idx.group, idx.member});
+  if (it == delivered_to_.end()) return std::nullopt;
+  return it->second;
+}
+
+// --- GroupManager ------------------------------------------------------------
+
+void GroupManager::receive_allocation(
+    const Fr& grp, std::vector<std::pair<KeyIndex, Fr>> keys) {
+  grp_ = grp;
+  for (auto& k : keys) unassigned_.push_back(std::move(k));
+}
+
+void GroupManager::rekey(const Fr& grp,
+                         std::vector<std::pair<KeyIndex, Fr>> keys) {
+  unassigned_.clear();
+  receive_allocation(grp, std::move(keys));
+}
+
+GroupManager::Enrollment GroupManager::enroll(const std::string& uid,
+                                              TrustedThirdParty& ttp) {
+  if (unassigned_.empty()) throw Error("gm: no keys left to assign");
+  const auto [idx, x] = unassigned_.back();
+  unassigned_.pop_back();
+  assigned_[{idx.group, idx.member}] = uid;
+  assigned_x_[{idx.group, idx.member}] = x;
+  // Paper user-join step 2: GM asks TTP to send the user the blinded
+  // credential for this index.
+  Bytes blinded = ttp.deliver(idx, uid);
+  return {idx, grp_, x, std::move(blinded)};
+}
+
+std::optional<std::string> GroupManager::uid_for_index(
+    const KeyIndex& idx) const {
+  const auto it = assigned_.find({idx.group, idx.member});
+  if (it == assigned_.end()) return std::nullopt;
+  return it->second;
+}
+
+Bytes GroupManager::enrollment_receipt_payload(const Enrollment& enrollment) {
+  Writer w;
+  w.str("peace/enrollment-receipt");
+  w.u32(enrollment.index.group);
+  w.u32(enrollment.index.member);
+  w.raw(curve::fr_to_bytes(enrollment.grp));
+  w.raw(curve::fr_to_bytes(enrollment.x));
+  w.bytes(enrollment.blinded_credential);
+  return w.take();
+}
+
+void GroupManager::record_receipt(const Enrollment& enrollment,
+                                  const G1& user_public_key,
+                                  const EcdsaSignature& signature) {
+  if (!curve::ecdsa_verify(user_public_key,
+                           enrollment_receipt_payload(enrollment), signature))
+    throw Error("gm: invalid enrollment receipt");
+  receipts_[{enrollment.index.group, enrollment.index.member}] = {
+      user_public_key, signature};
+}
+
+std::optional<GroupManager::EnrollmentReceipt> GroupManager::receipt_for(
+    const KeyIndex& idx) const {
+  const auto it = receipts_.find({idx.group, idx.member});
+  if (it == receipts_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t GroupManager::keys_remaining() const { return unassigned_.size(); }
+
+// --- NetworkOperator ----------------------------------------------------------
+
+NetworkOperator::NetworkOperator(crypto::Drbg rng)
+    : rng_(std::move(rng)),
+      issuer_(groupsig::Issuer::create(rng_)),
+      nsk_(EcdsaKeyPair::generate(rng_)) {
+  url_ = sign_list({}, 0, 0);
+  crl_ = sign_list({}, 0, 0);
+}
+
+SystemParams NetworkOperator::params() const {
+  return {issuer_.gpk(), nsk_.public_key()};
+}
+
+std::vector<std::pair<KeyIndex, Fr>> NetworkOperator::issue_batch(
+    GroupId gid, const Fr& grp, std::size_t num_keys,
+    TrustedThirdParty& ttp) {
+  std::vector<std::pair<KeyIndex, Fr>> gm_batch;
+  std::uint32_t& next = next_member_[gid];
+  for (std::size_t i = 0; i < num_keys; ++i) {
+    const MemberKey key = issuer_.issue(grp, rng_);
+    const KeyIndex idx{gid, next++};
+    grt_.push_back({RevocationToken{key.a}, gid, idx});
+    gm_batch.emplace_back(idx, key.x);
+
+    // Step 7: deposit A xor x with the TTP, signed for non-repudiation.
+    Bytes blinded = blind_credential(key.a, key.x);
+    Writer w;
+    w.str("peace/ttp-deposit");
+    w.u32(idx.group);
+    w.u32(idx.member);
+    w.bytes(blinded);
+    const EcdsaSignature sig = nsk_.sign(w.data(), rng_);
+    ttp.deposit(idx, std::move(blinded), sig, npk(), rng_);
+  }
+  return gm_batch;
+}
+
+GroupManager NetworkOperator::register_group(const std::string& name,
+                                             std::size_t num_keys,
+                                             TrustedThirdParty& ttp) {
+  const GroupId gid = next_group_id_++;
+  GroupManager gm(gid, name);
+  const Fr grp = issuer_.new_group_secret(rng_);
+  group_secrets_[gid] = grp;
+  gm.receive_allocation(grp, issue_batch(gid, grp, num_keys, ttp));
+  return gm;
+}
+
+void NetworkOperator::rotate_master_key(Timestamp now) {
+  past_eras_.push_back({issuer_.gpk(), std::move(grt_)});
+  grt_.clear();
+  issuer_ = groupsig::Issuer::create(rng_);
+  group_secrets_.clear();
+  // Fresh era: no outstanding credentials, so nothing to revoke.
+  url_entries_.clear();
+  url_ = sign_list({}, url_.version + 1, now);
+}
+
+void NetworkOperator::reissue_group(GroupManager& gm, std::size_t num_keys,
+                                    TrustedThirdParty& ttp) {
+  const Fr grp = issuer_.new_group_secret(rng_);
+  group_secrets_[gm.id()] = grp;
+  gm.rekey(grp, issue_batch(gm.id(), grp, num_keys, ttp));
+}
+
+NetworkOperator::RouterProvision NetworkOperator::provision_router(
+    RouterId id, Timestamp expires_at) {
+  RouterProvision p;
+  p.keypair = EcdsaKeyPair::generate(rng_);
+  p.certificate.router_id = id;
+  p.certificate.public_key = p.keypair.public_key();
+  p.certificate.expires_at = expires_at;
+  p.certificate.signature =
+      nsk_.sign(p.certificate.signed_payload(), rng_);
+  return p;
+}
+
+SignedRevocationList NetworkOperator::sign_list(std::vector<Bytes> entries,
+                                                std::uint64_t version,
+                                                Timestamp now) const {
+  SignedRevocationList list;
+  list.version = version;
+  list.issued_at = now;
+  list.entries = std::move(entries);
+  list.signature = nsk_.sign(list.signed_payload(), rng_);
+  return list;
+}
+
+void NetworkOperator::revoke_user_key(const KeyIndex& idx, Timestamp now) {
+  for (const GrtEntry& e : grt_) {
+    if (e.index == idx) {
+      url_entries_.push_back(e.token.to_bytes());
+      url_ = sign_list(url_entries_, url_.version + 1, now);
+      return;
+    }
+  }
+  throw Error("no: unknown key index to revoke");
+}
+
+void NetworkOperator::revoke_router(RouterId id, Timestamp now) {
+  Writer w;
+  w.u32(id);
+  crl_entries_.push_back(w.take());
+  crl_ = sign_list(crl_entries_, crl_.version + 1, now);
+}
+
+std::optional<AuditResult> NetworkOperator::audit(
+    const AccessRequest& m2) const {
+  // Paper IV.D: for each revocation token A in grt, test Eq.3 against the
+  // logged authentication message. Archived eras are scanned with their
+  // own gpk so sessions that predate a key rotation remain auditable.
+  const Bytes payload = m2.signed_payload();
+  std::size_t scanned = 0;
+  const auto scan = [&](const GroupPublicKey& gpk,
+                        const std::vector<GrtEntry>& grt)
+      -> std::optional<AuditResult> {
+    for (const GrtEntry& e : grt) {
+      ++scanned;
+      if (groupsig::matches_token(gpk, payload, m2.signature, e.token)) {
+        return AuditResult{e.token, e.group_id, e.index, scanned};
+      }
+    }
+    return std::nullopt;
+  };
+  if (auto hit = scan(issuer_.gpk(), grt_)) return hit;
+  for (auto it = past_eras_.rbegin(); it != past_eras_.rend(); ++it) {
+    if (auto hit = scan(it->gpk, it->grt)) return hit;
+  }
+  return std::nullopt;
+}
+
+std::optional<KeyIndex> NetworkOperator::index_of_token(const G1& a) const {
+  for (const GrtEntry& e : grt_) {
+    if (e.token.a == a) return e.index;
+  }
+  for (const Era& era : past_eras_) {
+    for (const GrtEntry& e : era.grt) {
+      if (e.token.a == a) return e.index;
+    }
+  }
+  return std::nullopt;
+}
+
+// --- LawAuthority --------------------------------------------------------------
+
+std::optional<LawAuthority::TraceResult> LawAuthority::trace(
+    const NetworkOperator& no,
+    const std::vector<const GroupManager*>& group_managers,
+    const AccessRequest& m2) {
+  // Step 1+2: NO audits the session down to (A, group).
+  const auto audit = no.audit(m2);
+  if (!audit.has_value()) return std::nullopt;
+  // Step 3: the responsible group's manager maps [i, j] to the uid.
+  for (const GroupManager* gm : group_managers) {
+    if (gm->id() != audit->group_id) continue;
+    const auto uid = gm->uid_for_index(audit->index);
+    if (uid.has_value()) {
+      return TraceResult{*uid, audit->group_id, audit->index,
+                         gm->receipt_for(audit->index).has_value()};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace peace::proto

@@ -1,0 +1,265 @@
+// Back-office entities of PEACE (paper Sec. III.A / IV.A / IV.D):
+//
+//   NetworkOperator (NO)  — owns gamma, mints keys, provisions routers,
+//                           maintains CRL/URL, audits sessions to *group*
+//                           granularity only.
+//   TrustedThirdParty     — stores the blinded credentials A xor x during
+//                           setup; learns neither A nor x.
+//   GroupManager (GM_i)   — assigns (grp_i, x_j) to its members; never
+//                           holds A, so it cannot test signatures.
+//   LawAuthority          — can deanonymize a session, but only with the
+//                           cooperation of both NO and the right GM.
+//
+// The split state is the point: each class physically holds only the fields
+// the paper allows it, so the privacy tests can check "who can know what"
+// against real object state instead of against claims.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "peace/messages.hpp"
+
+namespace peace::proto {
+
+using groupsig::GroupPublicKey;
+using groupsig::MemberKey;
+using groupsig::RevocationToken;
+
+/// Public system parameters every participant holds.
+struct SystemParams {
+  GroupPublicKey gpk;
+  G1 network_public_key;  // NPK, verifies certificates and CRL/URL
+};
+
+/// Stretches the member secret x to the credential length with a KDF; the
+/// paper blinds with "A xor x" and a footnote about mismatched lengths —
+/// here x (32 bytes) is shorter than a serialized A (33 bytes), so the
+/// principled equivalent is XOR with KDF(x). TTP still learns nothing about
+/// A or x; the user, knowing x, strips the pad.
+Bytes blind_credential(const G1& a, const Fr& x);
+G1 unblind_credential(BytesView blinded, const Fr& x);
+
+class TrustedThirdParty {
+ public:
+  /// Setup step 7: NO deposits {[i,j], A xor x} (signature checked against
+  /// NPK for non-repudiation); TTP signs a receipt.
+  EcdsaSignature deposit(const KeyIndex& idx, Bytes blinded_credential,
+                         const EcdsaSignature& no_signature, const G1& npk,
+                         crypto::Drbg& rng);
+
+  /// Setup user-join step 2: on GM_i's request, deliver the blinded
+  /// credential for `idx` to user `uid` (recording the uid mapping).
+  Bytes deliver(const KeyIndex& idx, const std::string& uid);
+
+  // --- knowledge introspection (used by the privacy tests) ---
+  std::size_t stored_credentials() const { return store_.size(); }
+  /// TTP knows which uid received which blinded blob...
+  std::optional<std::string> uid_for_index(const KeyIndex& idx) const;
+  /// ...but structurally holds no A, x, grp, or gamma: its whole state is
+  /// this blinded map.
+  const std::map<std::pair<GroupId, std::uint32_t>, Bytes>& blinded_store()
+      const {
+    return store_;
+  }
+
+ private:
+  curve::EcdsaKeyPair signing_key_;  // for receipts
+  bool has_key_ = false;
+  std::map<std::pair<GroupId, std::uint32_t>, Bytes> store_;
+  std::map<std::pair<GroupId, std::uint32_t>, std::string> delivered_to_;
+};
+
+class GroupManager {
+ public:
+  GroupManager(GroupId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  GroupId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Setup step 5: receives {[i,j], grp_i, x_j} from NO.
+  void receive_allocation(const Fr& grp,
+                          std::vector<std::pair<KeyIndex, Fr>> keys);
+
+  /// Membership renewal (paper III.A): discards unassigned keys from the
+  /// previous era and installs a fresh allocation under the rotated master
+  /// key. Historical uid mappings are retained for law-authority traces of
+  /// archived sessions.
+  void rekey(const Fr& grp, std::vector<std::pair<KeyIndex, Fr>> keys);
+
+  /// What GM hands the user at enrollment (plus it triggers TTP delivery).
+  struct Enrollment {
+    KeyIndex index;
+    Fr grp;
+    Fr x;
+    Bytes blinded_credential;  // fetched from TTP on the user's behalf
+  };
+
+  /// Consumes one unassigned key for `uid`. Throws when exhausted.
+  Enrollment enroll(const std::string& uid, TrustedThirdParty& ttp);
+
+  /// Law-authority step: map a key index back to the member uid.
+  std::optional<std::string> uid_for_index(const KeyIndex& idx) const;
+
+  /// Non-repudiation (paper IV.A): the enrolling user signs what they
+  /// received from GM and TTP; the GM verifies and archives the receipt so
+  /// a later trace cannot be repudiated ("uid_j also signed on the
+  /// messages ... as the proof of receipt").
+  static Bytes enrollment_receipt_payload(const Enrollment& enrollment);
+  void record_receipt(const Enrollment& enrollment, const G1& user_public_key,
+                      const EcdsaSignature& signature);
+
+  struct EnrollmentReceipt {
+    G1 user_public_key;
+    EcdsaSignature signature;
+  };
+  std::optional<EnrollmentReceipt> receipt_for(const KeyIndex& idx) const;
+
+  std::size_t keys_remaining() const;
+
+  // GM's structural knowledge: (uid, grp, x) — there is no A anywhere in
+  // this class.
+  const Fr& group_secret() const { return grp_; }
+
+ private:
+  GroupId id_;
+  std::string name_;
+  Fr grp_;
+  std::vector<std::pair<KeyIndex, Fr>> unassigned_;
+  std::map<std::pair<GroupId, std::uint32_t>, std::string> assigned_;
+  std::map<std::pair<GroupId, std::uint32_t>, Fr> assigned_x_;
+  std::map<std::pair<GroupId, std::uint32_t>, EnrollmentReceipt> receipts_;
+};
+
+/// What NO's audit of a session yields (paper IV.D): the credential and the
+/// user *group* — nonessential attribute information only; never a uid.
+struct AuditResult {
+  RevocationToken token;
+  GroupId group_id = 0;
+  KeyIndex index;
+  std::size_t tokens_scanned = 0;  // instrumentation for E7
+};
+
+class NetworkOperator {
+ public:
+  explicit NetworkOperator(crypto::Drbg rng);
+
+  SystemParams params() const;
+  const G1& npk() const { return nsk_.public_key(); }
+  const GroupPublicKey& gpk() const { return issuer_.gpk(); }
+
+  /// Setup steps 2-7 for one user group: draws grp_i, issues `num_keys`
+  /// SDH tuples, hands (grp, x) to the GM and blinded A's to the TTP, and
+  /// records grt entries. Returns the freshly allocated GroupManager.
+  GroupManager register_group(const std::string& name, std::size_t num_keys,
+                              TrustedThirdParty& ttp);
+
+  /// Periodic membership renewal / "group public key update" (paper III.A,
+  /// V.A): rotates the master secret gamma. Every outstanding credential
+  /// dies with the old gpk (revoked users "do not have any group private
+  /// key currently in use"); the URL resets to empty for the new era. The
+  /// old era's (gpk, grt) pair is archived so past sessions stay auditable.
+  void rotate_master_key(Timestamp now);
+
+  /// Re-provisions an existing group with `num_keys` fresh credentials
+  /// under the current master key (member numbering continues, so key
+  /// indices remain unique across eras).
+  void reissue_group(GroupManager& gm, std::size_t num_keys,
+                     TrustedThirdParty& ttp);
+
+  /// How many key eras exist (1 + number of rotations).
+  std::size_t era_count() const { return 1 + past_eras_.size(); }
+
+  struct RouterProvision {
+    curve::EcdsaKeyPair keypair;
+    RouterCertificate certificate;
+  };
+  RouterProvision provision_router(RouterId id, Timestamp expires_at);
+
+  /// Dynamic revocation (paper III.A): publishes the member's token on the
+  /// URL / the router id on the CRL; lists are versioned and signed.
+  void revoke_user_key(const KeyIndex& idx, Timestamp now);
+  void revoke_router(RouterId id, Timestamp now);
+
+  SignedRevocationList current_url() const { return url_; }
+  SignedRevocationList current_crl() const { return crl_; }
+
+  /// URL size control (Sec. V.C: "PEACE can proactively control the size
+  /// of URL"): every verification pays 2 pairings per URL token, so once
+  /// the list passes `threshold` the economical move is a master-key
+  /// rotation (which starts the new era with an empty URL). Returns true
+  /// when that point is reached; rotate_master_key() is the action.
+  bool url_needs_compaction(std::size_t threshold) const {
+    return url_entries_.size() >= threshold;
+  }
+
+  /// Paper IV.D audit protocol: scan grt for the token encoded in the
+  /// logged (M.2). Returns the responsible *group*, never a uid.
+  std::optional<AuditResult> audit(const AccessRequest& m2) const;
+
+  /// NO-side half of the law-authority trace: token -> [i, j].
+  std::optional<KeyIndex> index_of_token(const G1& a) const;
+
+  std::size_t grt_size() const { return grt_.size(); }
+
+ private:
+  SignedRevocationList sign_list(std::vector<Bytes> entries,
+                                 std::uint64_t version, Timestamp now) const;
+
+  mutable crypto::Drbg rng_;
+  groupsig::Issuer issuer_;
+  curve::EcdsaKeyPair nsk_;
+
+  struct GrtEntry {
+    RevocationToken token;
+    GroupId group_id;
+    KeyIndex index;
+  };
+  /// Issues `num_keys` credentials for `gid` under the current master key,
+  /// distributing shares to the GM batch and the TTP.
+  std::vector<std::pair<KeyIndex, Fr>> issue_batch(GroupId gid, const Fr& grp,
+                                                   std::size_t num_keys,
+                                                   TrustedThirdParty& ttp);
+
+  std::vector<GrtEntry> grt_;
+  struct Era {
+    GroupPublicKey gpk;
+    std::vector<GrtEntry> grt;
+  };
+  std::vector<Era> past_eras_;
+  std::unordered_map<GroupId, Fr> group_secrets_;
+  std::unordered_map<GroupId, std::uint32_t> next_member_;
+  GroupId next_group_id_ = 1;
+
+  std::vector<Bytes> url_entries_;
+  std::vector<Bytes> crl_entries_;
+  SignedRevocationList url_;
+  SignedRevocationList crl_;
+  Timestamp list_time_ = 0;
+};
+
+/// The trace of paper IV.D ("revocable user anonymity against law
+/// authority"): needs *both* NO (token -> index) and the right GM
+/// (index -> uid). Neither alone suffices — the tests check this.
+class LawAuthority {
+ public:
+  struct TraceResult {
+    std::string uid;
+    GroupId group_id;
+    KeyIndex index;
+    /// Non-repudiation evidence: the GM holds the user's signed receipt
+    /// for this credential (verified at archive time), so the traced user
+    /// cannot deny having received gsk[i, j].
+    bool receipt_on_file = false;
+  };
+
+  static std::optional<TraceResult> trace(
+      const NetworkOperator& no,
+      const std::vector<const GroupManager*>& group_managers,
+      const AccessRequest& m2);
+};
+
+}  // namespace peace::proto

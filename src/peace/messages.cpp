@@ -1,0 +1,293 @@
+#include "peace/messages.hpp"
+
+#include "common/serde.hpp"
+
+namespace peace::proto {
+
+using curve::g1_from_bytes;
+using curve::g1_to_bytes;
+using curve::kG1CompressedSize;
+
+namespace {
+
+void put_g1(Writer& w, const G1& p) { w.raw(g1_to_bytes(p)); }
+G1 get_g1(Reader& r) { return g1_from_bytes(r.raw(kG1CompressedSize)); }
+
+void put_ecdsa(Writer& w, const EcdsaSignature& s) { w.raw(s.to_bytes()); }
+EcdsaSignature get_ecdsa(Reader& r) {
+  return EcdsaSignature::from_bytes(r.raw(curve::kEcdsaSignatureSize));
+}
+
+}  // namespace
+
+// --- RouterCertificate -----------------------------------------------------
+
+Bytes RouterCertificate::signed_payload() const {
+  Writer w;
+  w.str("peace/cert");
+  w.u32(router_id);
+  put_g1(w, public_key);
+  w.u64(expires_at);
+  return w.take();
+}
+
+Bytes RouterCertificate::to_bytes() const {
+  Writer w;
+  w.u32(router_id);
+  put_g1(w, public_key);
+  w.u64(expires_at);
+  put_ecdsa(w, signature);
+  return w.take();
+}
+
+RouterCertificate RouterCertificate::from_bytes(BytesView data) {
+  Reader r(data);
+  RouterCertificate c;
+  c.router_id = r.u32();
+  c.public_key = get_g1(r);
+  c.expires_at = r.u64();
+  c.signature = get_ecdsa(r);
+  r.expect_end();
+  return c;
+}
+
+// --- SignedRevocationList ---------------------------------------------------
+
+Bytes SignedRevocationList::signed_payload() const {
+  Writer w;
+  w.str("peace/revocation-list");
+  w.u64(version);
+  w.u64(issued_at);
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const Bytes& e : entries) w.bytes(e);
+  return w.take();
+}
+
+Bytes SignedRevocationList::to_bytes() const {
+  Writer w;
+  w.u64(version);
+  w.u64(issued_at);
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const Bytes& e : entries) w.bytes(e);
+  put_ecdsa(w, signature);
+  return w.take();
+}
+
+SignedRevocationList SignedRevocationList::from_bytes(BytesView data) {
+  Reader r(data);
+  SignedRevocationList l;
+  l.version = r.u64();
+  l.issued_at = r.u64();
+  const std::uint32_t n = r.u32();
+  // Each entry consumes at least its 4-byte length prefix: a count that
+  // exceeds the remaining buffer is hostile — reject before allocating.
+  if (n > r.remaining() / 4) throw Error("revocation list: bad entry count");
+  l.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) l.entries.push_back(r.bytes());
+  l.signature = get_ecdsa(r);
+  r.expect_end();
+  return l;
+}
+
+// --- BeaconMessage -----------------------------------------------------------
+
+Bytes BeaconMessage::signed_payload() const {
+  Writer w;
+  w.str("peace/beacon");
+  w.u32(router_id);
+  put_g1(w, g);
+  put_g1(w, g_rr);
+  w.u64(ts1);
+  return w.take();
+}
+
+Bytes BeaconMessage::to_bytes() const {
+  Writer w;
+  w.u32(router_id);
+  put_g1(w, g);
+  put_g1(w, g_rr);
+  w.u64(ts1);
+  put_ecdsa(w, signature);
+  w.bytes(certificate.to_bytes());
+  w.bytes(crl.to_bytes());
+  w.bytes(url.to_bytes());
+  w.u8(puzzle.has_value() ? 1 : 0);
+  if (puzzle.has_value()) w.bytes(puzzle->to_bytes());
+  return w.take();
+}
+
+BeaconMessage BeaconMessage::from_bytes(BytesView data) {
+  Reader r(data);
+  BeaconMessage b;
+  b.router_id = r.u32();
+  b.g = get_g1(r);
+  b.g_rr = get_g1(r);
+  b.ts1 = r.u64();
+  b.signature = get_ecdsa(r);
+  b.certificate = RouterCertificate::from_bytes(r.bytes());
+  b.crl = SignedRevocationList::from_bytes(r.bytes());
+  b.url = SignedRevocationList::from_bytes(r.bytes());
+  if (r.u8() != 0) b.puzzle = PuzzleChallenge::from_bytes(r.bytes());
+  r.expect_end();
+  return b;
+}
+
+// --- AccessRequest -----------------------------------------------------------
+
+Bytes AccessRequest::signed_payload() const {
+  Writer w;
+  w.str("peace/m2");
+  put_g1(w, g_rj);
+  put_g1(w, g_rr);
+  w.u64(ts2);
+  return w.take();
+}
+
+Bytes AccessRequest::to_bytes() const {
+  Writer w;
+  put_g1(w, g_rj);
+  put_g1(w, g_rr);
+  w.u64(ts2);
+  w.raw(signature.to_bytes());
+  w.u8(puzzle_solution.has_value() ? 1 : 0);
+  if (puzzle_solution.has_value()) w.bytes(puzzle_solution->to_bytes());
+  return w.take();
+}
+
+AccessRequest AccessRequest::from_bytes(BytesView data) {
+  Reader r(data);
+  AccessRequest m;
+  m.g_rj = get_g1(r);
+  m.g_rr = get_g1(r);
+  m.ts2 = r.u64();
+  m.signature = groupsig::Signature::from_bytes(r.raw(groupsig::kSignatureSize));
+  if (r.u8() != 0) m.puzzle_solution = PuzzleSolution::from_bytes(r.bytes());
+  r.expect_end();
+  return m;
+}
+
+// --- AccessConfirm -----------------------------------------------------------
+
+Bytes AccessConfirm::to_bytes() const {
+  Writer w;
+  put_g1(w, g_rj);
+  put_g1(w, g_rr);
+  w.bytes(ciphertext);
+  return w.take();
+}
+
+AccessConfirm AccessConfirm::from_bytes(BytesView data) {
+  Reader r(data);
+  AccessConfirm m;
+  m.g_rj = get_g1(r);
+  m.g_rr = get_g1(r);
+  m.ciphertext = r.bytes();
+  r.expect_end();
+  return m;
+}
+
+// --- PeerHello / PeerReply / PeerConfirm --------------------------------------
+
+Bytes PeerHello::signed_payload() const {
+  Writer w;
+  w.str("peace/m~1");
+  put_g1(w, g);
+  put_g1(w, g_rj);
+  w.u64(ts1);
+  return w.take();
+}
+
+Bytes PeerHello::to_bytes() const {
+  Writer w;
+  put_g1(w, g);
+  put_g1(w, g_rj);
+  w.u64(ts1);
+  w.raw(signature.to_bytes());
+  return w.take();
+}
+
+PeerHello PeerHello::from_bytes(BytesView data) {
+  Reader r(data);
+  PeerHello m;
+  m.g = get_g1(r);
+  m.g_rj = get_g1(r);
+  m.ts1 = r.u64();
+  m.signature = groupsig::Signature::from_bytes(r.raw(groupsig::kSignatureSize));
+  r.expect_end();
+  return m;
+}
+
+Bytes PeerReply::signed_payload() const {
+  Writer w;
+  w.str("peace/m~2");
+  put_g1(w, g_rj);
+  put_g1(w, g_rl);
+  w.u64(ts2);
+  return w.take();
+}
+
+Bytes PeerReply::to_bytes() const {
+  Writer w;
+  put_g1(w, g_rj);
+  put_g1(w, g_rl);
+  w.u64(ts2);
+  w.raw(signature.to_bytes());
+  return w.take();
+}
+
+PeerReply PeerReply::from_bytes(BytesView data) {
+  Reader r(data);
+  PeerReply m;
+  m.g_rj = get_g1(r);
+  m.g_rl = get_g1(r);
+  m.ts2 = r.u64();
+  m.signature = groupsig::Signature::from_bytes(r.raw(groupsig::kSignatureSize));
+  r.expect_end();
+  return m;
+}
+
+Bytes PeerConfirm::to_bytes() const {
+  Writer w;
+  put_g1(w, g_rj);
+  put_g1(w, g_rl);
+  w.bytes(ciphertext);
+  return w.take();
+}
+
+PeerConfirm PeerConfirm::from_bytes(BytesView data) {
+  Reader r(data);
+  PeerConfirm m;
+  m.g_rj = get_g1(r);
+  m.g_rl = get_g1(r);
+  m.ciphertext = r.bytes();
+  r.expect_end();
+  return m;
+}
+
+// --- DataFrame ----------------------------------------------------------------
+
+Bytes DataFrame::to_bytes() const {
+  Writer w;
+  w.bytes(session_id);
+  w.u64(seq);
+  w.bytes(ciphertext);
+  return w.take();
+}
+
+DataFrame DataFrame::from_bytes(BytesView data) {
+  Reader r(data);
+  DataFrame f;
+  f.session_id = r.bytes();
+  f.seq = r.u64();
+  f.ciphertext = r.bytes();
+  r.expect_end();
+  return f;
+}
+
+Bytes session_id_from(const G1& a, const G1& b) {
+  Bytes id = g1_to_bytes(a);
+  append(id, g1_to_bytes(b));
+  return id;
+}
+
+}  // namespace peace::proto

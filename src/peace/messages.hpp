@@ -1,0 +1,175 @@
+// Wire formats for every PEACE protocol message (paper Sec. IV):
+//   M.1  router beacon              (g, g^rR, ts1, Sig_RSK, Cert, CRL, URL)
+//   M.2  user access request        (g^rj, g^rR, ts2, group signature)
+//   M.3  router access confirm      (g^rj, g^rR, E_K(MR, g^rj, g^rR))
+//   M~.1 user hello (broadcast)     (g, g^rj, ts1, group signature)
+//   M~.2 peer reply                 (g^rj, g^rl, ts2, group signature)
+//   M~.3 initiator confirm          (g^rj, g^rl, E_K(g^rj, g^rl, ts1, ts2))
+// plus router certificates and the signed CRL / URL revocation lists.
+// All encodings are canonical (serde) and every decoder validates points.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "curve/ecdsa.hpp"
+#include "groupsig/groupsig.hpp"
+#include "peace/puzzle.hpp"
+
+namespace peace::proto {
+
+using curve::EcdsaSignature;
+using curve::Fr;
+using curve::G1;
+using curve::G2;
+
+/// Milliseconds of (simulated or wall) time.
+using Timestamp = std::uint64_t;
+
+/// Shared endpoint configuration.
+struct ProtocolConfig {
+  /// Maximum |now - ts| accepted on any timestamped message (ms).
+  Timestamp replay_window_ms = 5000;
+  /// How many recent beacon periods a router honours access requests for.
+  std::size_t beacon_history = 8;
+};
+
+using RouterId = std::uint32_t;
+using GroupId = std::uint32_t;
+
+/// The [i, j] index a group private key is issued under.
+struct KeyIndex {
+  GroupId group = 0;
+  std::uint32_t member = 0;
+
+  bool operator==(const KeyIndex&) const = default;
+};
+
+struct KeyIndexHash {
+  std::size_t operator()(const KeyIndex& k) const {
+    return (static_cast<std::size_t>(k.group) << 32) | k.member;
+  }
+};
+
+/// Cert_k = {MR_k, RPK_k, ExpT, Sig_NSK} (paper IV.A).
+struct RouterCertificate {
+  RouterId router_id = 0;
+  G1 public_key;
+  Timestamp expires_at = 0;
+  EcdsaSignature signature;  // by NO over (router_id, public_key, expires_at)
+
+  /// The byte string NO signs.
+  Bytes signed_payload() const;
+  Bytes to_bytes() const;
+  static RouterCertificate from_bytes(BytesView data);
+};
+
+/// A signed revocation list; `entries` are router ids (CRL) or serialized
+/// revocation tokens (URL). `version` increases monotonically so stale lists
+/// are detectable (the phishing-window analysis of Sec. V.A).
+struct SignedRevocationList {
+  std::uint64_t version = 0;
+  Timestamp issued_at = 0;
+  std::vector<Bytes> entries;
+  EcdsaSignature signature;  // by NO
+
+  Bytes signed_payload() const;
+  Bytes to_bytes() const;
+  static SignedRevocationList from_bytes(BytesView data);
+};
+
+/// M.1 — broadcast periodically by every mesh router.
+struct BeaconMessage {
+  RouterId router_id = 0;
+  G1 g;        // fresh random generator for this beacon period
+  G1 g_rr;     // g^rR
+  Timestamp ts1 = 0;
+  EcdsaSignature signature;  // by the router over (g, g_rr, ts1)
+  RouterCertificate certificate;
+  SignedRevocationList crl;
+  SignedRevocationList url;
+  /// DoS defence (Sec. V.A): present only while the router suspects attack.
+  std::optional<PuzzleChallenge> puzzle;
+
+  Bytes signed_payload() const;
+  Bytes to_bytes() const;
+  static BeaconMessage from_bytes(BytesView data);
+};
+
+/// M.2 — the user's anonymous access request. The group signature covers
+/// (g^rj, g^rR, ts2); uid is never transmitted.
+struct AccessRequest {
+  G1 g_rj;
+  G1 g_rr;
+  Timestamp ts2 = 0;
+  groupsig::Signature signature;
+  std::optional<PuzzleSolution> puzzle_solution;
+
+  /// The message the group signature is computed over.
+  Bytes signed_payload() const;
+  Bytes to_bytes() const;
+  static AccessRequest from_bytes(BytesView data);
+};
+
+/// M.3 — the router's confirmation, proving knowledge of K = g^(rR rj).
+struct AccessConfirm {
+  G1 g_rj;
+  G1 g_rr;
+  Bytes ciphertext;  // E_K(router_id, g^rj, g^rR)
+
+  Bytes to_bytes() const;
+  static AccessConfirm from_bytes(BytesView data);
+};
+
+/// M~.1 — user j's local broadcast soliciting peer relaying.
+struct PeerHello {
+  G1 g;      // taken from the serving router's beacon
+  G1 g_rj;
+  Timestamp ts1 = 0;
+  groupsig::Signature signature;
+
+  Bytes signed_payload() const;
+  Bytes to_bytes() const;
+  static PeerHello from_bytes(BytesView data);
+};
+
+/// M~.2 — peer l's authenticated reply.
+struct PeerReply {
+  G1 g_rj;
+  G1 g_rl;
+  Timestamp ts2 = 0;
+  groupsig::Signature signature;
+
+  Bytes signed_payload() const;
+  Bytes to_bytes() const;
+  static PeerReply from_bytes(BytesView data);
+};
+
+/// M~.3 — initiator's key confirmation.
+struct PeerConfirm {
+  G1 g_rj;
+  G1 g_rl;
+  Bytes ciphertext;  // E_K(g^rj, g^rl, ts1, ts2)
+
+  Bytes to_bytes() const;
+  static PeerConfirm from_bytes(BytesView data);
+};
+
+/// Per-session data traffic: MAC-authenticated AEAD frames (the hybrid
+/// design of Sec. V.C — group signatures only at session setup).
+struct DataFrame {
+  Bytes session_id;      // (g^rR || g^rj) or (g^rj || g^rl)
+  std::uint64_t seq = 0;  // strictly increasing; receivers reject replays
+  Bytes ciphertext;       // AEAD(payload), bound to session_id and seq
+
+  Bytes to_bytes() const;
+  static DataFrame from_bytes(BytesView data);
+};
+
+/// Session identifier helpers — sessions are identified only by pairs of
+/// fresh random group elements (a privacy property the tests check).
+Bytes session_id_from(const G1& a, const G1& b);
+
+}  // namespace peace::proto

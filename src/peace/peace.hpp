@@ -1,0 +1,25 @@
+// Umbrella header: everything a PEACE integrator needs.
+//
+//   #include "peace/peace.hpp"
+//
+//   peace::curve::Bn254::init();                       // once per process
+//   peace::proto::NetworkOperator no(...);             // operator side
+//   peace::proto::TrustedThirdParty ttp;               // setup escrow
+//   auto gm = no.register_group("Company XYZ", n, ttp);
+//   peace::proto::User user(uid, no.params(), rng);    // subscriber side
+//   user.complete_enrollment(gm.enroll(uid, ttp));
+//   peace::proto::MeshRouter router(...);              // infrastructure
+//
+// then drive the M.1/M.2/M.3 and M~.1-3 handshakes via
+// MeshRouter::make_beacon / User::process_beacon /
+// MeshRouter::handle_access_request / User::process_access_confirm, and
+// move data with proto::Session. See examples/quickstart.cpp for the full
+// walk-through and DESIGN.md for the architecture.
+#pragma once
+
+#include "peace/entities.hpp"
+#include "peace/messages.hpp"
+#include "peace/puzzle.hpp"
+#include "peace/router.hpp"
+#include "peace/session.hpp"
+#include "peace/user.hpp"

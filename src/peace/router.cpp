@@ -1,0 +1,156 @@
+#include "peace/router.hpp"
+
+#include "common/serde.hpp"
+#include "curve/hash_to_curve.hpp"
+
+namespace peace::proto {
+
+using curve::Bn254;
+using curve::g1_to_bytes;
+using curve::random_fr;
+
+MeshRouter::MeshRouter(RouterId id, curve::EcdsaKeyPair keypair,
+                       RouterCertificate certificate, SystemParams params,
+                       crypto::Drbg rng, ProtocolConfig config)
+    : id_(id),
+      keypair_(std::move(keypair)),
+      certificate_(std::move(certificate)),
+      params_(std::move(params)),
+      rng_(std::move(rng)),
+      config_(config) {}
+
+void MeshRouter::install_revocation_lists(const SignedRevocationList& crl,
+                                          const SignedRevocationList& url) {
+  if (!curve::ecdsa_verify(params_.network_public_key, crl.signed_payload(),
+                           crl.signature) ||
+      !curve::ecdsa_verify(params_.network_public_key, url.signed_payload(),
+                           url.signature))
+    throw Error("router: revocation list not signed by NO");
+  if (crl.version < crl_.version || url.version < url_.version)
+    throw Error("router: stale revocation list");
+  crl_ = crl;
+  url_ = url;
+  url_tokens_.clear();
+  url_tokens_.reserve(url.entries.size());
+  for (const Bytes& e : url.entries)
+    url_tokens_.push_back(RevocationToken::from_bytes(e));
+}
+
+void MeshRouter::set_under_attack(bool attacked,
+                                  std::uint8_t difficulty_bits) {
+  puzzle_difficulty_ = attacked ? difficulty_bits : 0;
+}
+
+BeaconMessage MeshRouter::make_beacon(Timestamp now) {
+  BeaconState state;
+  state.g = Bn254::get().g1_gen * random_fr(rng_);
+  state.r_r = random_fr(rng_);
+  state.ts = now;
+
+  BeaconMessage beacon;
+  beacon.router_id = id_;
+  beacon.g = state.g;
+  beacon.g_rr = state.g * state.r_r;
+  beacon.ts1 = now;
+  beacon.signature = keypair_.sign(beacon.signed_payload(), rng_);
+  beacon.certificate = certificate_;
+  beacon.crl = crl_;
+  beacon.url = url_;
+  if (puzzle_difficulty_ > 0) {
+    puzzle_nonce_ = rng_.bytes(16);
+    beacon.puzzle = make_puzzle(puzzle_nonce_, puzzle_difficulty_);
+  }
+
+  state.g_rr_bytes = g1_to_bytes(beacon.g_rr);
+  recent_beacons_.push_front(std::move(state));
+  while (recent_beacons_.size() > config_.beacon_history)
+    recent_beacons_.pop_back();
+  ++stats_.beacons_sent;
+  return beacon;
+}
+
+std::optional<MeshRouter::AccessOutcome> MeshRouter::handle_access_request(
+    const AccessRequest& m2, Timestamp now) {
+  ++stats_.requests_received;
+
+  // Step 3.1: the request must target one of our recent beacons...
+  const Bytes g_rr_bytes = g1_to_bytes(m2.g_rr);
+  const BeaconState* beacon = nullptr;
+  for (const BeaconState& b : recent_beacons_) {
+    if (b.g_rr_bytes == g_rr_bytes) {
+      beacon = &b;
+      break;
+    }
+  }
+  if (beacon == nullptr) {
+    ++stats_.rejected_unknown_beacon;
+    return std::nullopt;
+  }
+  // ...and carry a fresh timestamp.
+  const Timestamp age = now >= m2.ts2 ? now - m2.ts2 : m2.ts2 - now;
+  if (age > config_.replay_window_ms) {
+    ++stats_.rejected_stale;
+    return std::nullopt;
+  }
+  // Replay cache on the session identifier.
+  const Bytes sid = session_id_from(m2.g_rr, m2.g_rj);
+  const std::string sid_hex = to_hex(sid);
+  if (seen_requests_.contains(sid_hex)) {
+    ++stats_.rejected_replay;
+    return std::nullopt;
+  }
+
+  // DoS defence: the cheap puzzle check gates the expensive pairing work.
+  if (puzzle_difficulty_ > 0) {
+    if (!m2.puzzle_solution.has_value() ||
+        !verify_puzzle(
+            PuzzleChallenge{m2.puzzle_solution->server_nonce,
+                            puzzle_difficulty_},
+            *m2.puzzle_solution, g1_to_bytes(m2.g_rj)) ||
+        !ct_equal(m2.puzzle_solution->server_nonce, puzzle_nonce_)) {
+      ++stats_.rejected_puzzle;
+      return std::nullopt;
+    }
+  }
+
+  // Step 3.2: group-signature verification (expensive; instrumented).
+  ++stats_.signature_verifications;
+  if (!groupsig::verify_proof(params_.gpk, m2.signed_payload(),
+                              m2.signature)) {
+    ++stats_.rejected_bad_signature;
+    return std::nullopt;
+  }
+  // Step 3.3: Eq.3 against every URL token.
+  for (const RevocationToken& token : url_tokens_) {
+    if (groupsig::matches_token(params_.gpk, m2.signed_payload(), m2.signature,
+                                token)) {
+      ++stats_.rejected_revoked;
+      return std::nullopt;
+    }
+  }
+
+  // Step 3.4: K = (g^rj)^rR, session established, M.3 returned.
+  seen_requests_.insert(sid_hex);
+  const G1 shared = m2.g_rj * beacon->r_r;
+  sessions_.emplace(sid_hex,
+                    Session::establish(shared, sid, Session::Role::kResponder));
+
+  AccessOutcome out;
+  out.session_id = sid;
+  out.confirm.g_rj = m2.g_rj;
+  out.confirm.g_rr = m2.g_rr;
+  Writer payload;
+  payload.u32(id_);
+  payload.raw(g1_to_bytes(m2.g_rj));
+  payload.raw(g1_to_bytes(m2.g_rr));
+  out.confirm.ciphertext = confirm_seal(shared, sid, payload.data());
+  ++stats_.accepted;
+  return out;
+}
+
+Session* MeshRouter::session(BytesView session_id) {
+  const auto it = sessions_.find(to_hex(session_id));
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+}  // namespace peace::proto

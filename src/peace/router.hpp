@@ -1,0 +1,102 @@
+// Mesh-router protocol endpoint: beacon generation (M.1), access-request
+// handling (M.2 -> M.3), session management, and the client-puzzle DoS
+// defence. One instance per router; the mesh simulator wires instances
+// together over a lossy radio model.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "peace/entities.hpp"
+#include "peace/session.hpp"
+
+namespace peace::proto {
+
+/// Counters for the security analysis experiments (A1/A2/E8): why requests
+/// were rejected and how much expensive work the router actually performed.
+struct RouterStats {
+  std::uint64_t beacons_sent = 0;
+  std::uint64_t requests_received = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_unknown_beacon = 0;
+  std::uint64_t rejected_stale = 0;
+  std::uint64_t rejected_replay = 0;
+  std::uint64_t rejected_puzzle = 0;
+  std::uint64_t rejected_bad_signature = 0;
+  std::uint64_t rejected_revoked = 0;
+  std::uint64_t signature_verifications = 0;  // expensive pairing work
+};
+
+class MeshRouter {
+ public:
+  MeshRouter(RouterId id, curve::EcdsaKeyPair keypair,
+             RouterCertificate certificate, SystemParams params,
+             crypto::Drbg rng, ProtocolConfig config = {});
+
+  RouterId id() const { return id_; }
+  const RouterStats& stats() const { return stats_; }
+  const RouterCertificate& certificate() const { return certificate_; }
+
+  /// Installs newer signed revocation lists (stale or badly signed lists are
+  /// rejected — the version check closes the paper's phishing window).
+  void install_revocation_lists(const SignedRevocationList& crl,
+                                const SignedRevocationList& url);
+
+  /// Installs new system parameters after NO rotates the group master key
+  /// (membership renewal). Pushed over the operator's secure channel;
+  /// established sessions keep draining on their symmetric keys.
+  void install_params(const SystemParams& params) { params_ = params; }
+
+  /// Enables the client-puzzle defence (Sec. V.A) at the given difficulty.
+  void set_under_attack(bool attacked, std::uint8_t difficulty_bits = 16);
+  bool under_attack() const { return puzzle_difficulty_ > 0; }
+
+  /// M.1: a fresh beacon — new random generator g and exponent rR each
+  /// period, current CRL/URL attached, optionally a puzzle challenge.
+  BeaconMessage make_beacon(Timestamp now);
+
+  struct AccessOutcome {
+    AccessConfirm confirm;
+    Bytes session_id;
+  };
+
+  /// Paper step 3: full validation pipeline for M.2. Returns nullopt and
+  /// bumps the matching rejection counter on failure; on success a session
+  /// is established and M.3 returned.
+  std::optional<AccessOutcome> handle_access_request(const AccessRequest& m2,
+                                                     Timestamp now);
+
+  /// Established session lookup (by the (g^rR, g^rj) identifier).
+  Session* session(BytesView session_id);
+  std::size_t session_count() const { return sessions_.size(); }
+
+ private:
+  struct BeaconState {
+    G1 g;
+    Fr r_r;
+    Bytes g_rr_bytes;
+    Timestamp ts = 0;
+  };
+
+  RouterId id_;
+  curve::EcdsaKeyPair keypair_;
+  RouterCertificate certificate_;
+  SystemParams params_;
+  crypto::Drbg rng_;
+  ProtocolConfig config_;
+
+  SignedRevocationList crl_;
+  SignedRevocationList url_;
+  std::vector<RevocationToken> url_tokens_;
+
+  std::deque<BeaconState> recent_beacons_;
+  std::uint8_t puzzle_difficulty_ = 0;
+  Bytes puzzle_nonce_;
+
+  std::unordered_set<std::string> seen_requests_;  // replay cache
+  std::unordered_map<std::string, Session> sessions_;
+  RouterStats stats_;
+};
+
+}  // namespace peace::proto

@@ -1,0 +1,109 @@
+#include "peace/session.hpp"
+
+#include "common/serde.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/hmac.hpp"
+
+namespace peace::proto {
+
+namespace {
+
+Bytes dh_ikm(const G1& shared_dh) { return curve::g1_to_bytes(shared_dh); }
+
+Bytes derive(const G1& shared_dh, BytesView session_id, std::string_view label,
+             std::size_t len) {
+  return crypto::hkdf(session_id, dh_ikm(shared_dh), as_bytes(label), len);
+}
+
+Bytes seq_nonce(std::uint64_t seq) {
+  Bytes nonce(crypto::kAeadNonceSize, 0);
+  for (int i = 0; i < 8; ++i)
+    nonce[4 + i] = static_cast<std::uint8_t>(seq >> (56 - 8 * i));
+  return nonce;
+}
+
+}  // namespace
+
+Session Session::establish(const G1& shared_dh, BytesView session_id,
+                           Role role, CipherSuite suite) {
+  Session s;
+  s.id_.assign(session_id.begin(), session_id.end());
+  s.suite_ = suite;
+  // Suite-specific key length and HKDF labels, so switching suites can
+  // never reuse key material.
+  const bool aes = suite == CipherSuite::kAes128Gcm;
+  const std::size_t klen = aes ? crypto::kGcmKeySize : 32;
+  const char* init_label =
+      aes ? "peace/session/aes/initiator" : "peace/session/initiator";
+  const char* resp_label =
+      aes ? "peace/session/aes/responder" : "peace/session/responder";
+  const Bytes ki = derive(shared_dh, session_id, init_label, klen);
+  const Bytes kr = derive(shared_dh, session_id, resp_label, klen);
+  s.mac_key_ = derive(shared_dh, session_id, "peace/session/mac", 32);
+  if (role == Role::kInitiator) {
+    s.send_key_ = ki;
+    s.recv_key_ = kr;
+  } else {
+    s.send_key_ = kr;
+    s.recv_key_ = ki;
+  }
+  return s;
+}
+
+DataFrame Session::seal(BytesView payload) {
+  DataFrame frame;
+  frame.session_id = id_;
+  frame.seq = send_seq_++;
+  // Bind session id and sequence number as AAD so a frame cannot be
+  // replayed into another session or position.
+  Writer aad;
+  aad.bytes(id_);
+  aad.u64(frame.seq);
+  frame.ciphertext =
+      suite_ == CipherSuite::kAes128Gcm
+          ? crypto::aes_gcm_seal(send_key_, seq_nonce(frame.seq), aad.data(),
+                                 payload)
+          : crypto::aead_seal(send_key_, seq_nonce(frame.seq), aad.data(),
+                              payload);
+  return frame;
+}
+
+std::optional<Bytes> Session::open(const DataFrame& frame) {
+  if (frame.session_id != id_) return std::nullopt;
+  if (frame.seq < next_recv_seq_) return std::nullopt;  // replay/reorder
+  Writer aad;
+  aad.bytes(id_);
+  aad.u64(frame.seq);
+  auto plain = suite_ == CipherSuite::kAes128Gcm
+                   ? crypto::aes_gcm_open(recv_key_, seq_nonce(frame.seq),
+                                          aad.data(), frame.ciphertext)
+                   : crypto::aead_open(recv_key_, seq_nonce(frame.seq),
+                                       aad.data(), frame.ciphertext);
+  if (plain.has_value()) next_recv_seq_ = frame.seq + 1;
+  return plain;
+}
+
+Bytes Session::mac(BytesView data) const {
+  return crypto::hmac_sha256(mac_key_, data);
+}
+
+bool Session::check_mac(BytesView data, BytesView tag) const {
+  return ct_equal(mac(data), tag);
+}
+
+Bytes confirm_seal(const G1& shared_dh, BytesView session_id,
+                   BytesView payload) {
+  const Bytes key = derive(shared_dh, session_id, "peace/confirm", 32);
+  return crypto::aead_seal(key, Bytes(crypto::kAeadNonceSize, 0), session_id,
+                           payload);
+}
+
+std::optional<Bytes> confirm_open(const G1& shared_dh, BytesView session_id,
+                                  BytesView ciphertext) {
+  const Bytes key = derive(shared_dh, session_id, "peace/confirm", 32);
+  return crypto::aead_open(key, Bytes(crypto::kAeadNonceSize, 0), session_id,
+                           ciphertext);
+}
+
+}  // namespace peace::proto

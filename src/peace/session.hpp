@@ -1,0 +1,66 @@
+// Session keying and the hybrid data path (paper Sec. V.C): the expensive
+// group-signature handshake runs once per session; every subsequent frame is
+// protected by symmetric AEAD/MAC keys derived from the Diffie-Hellman
+// share K = g^(rR rj) via HKDF. Sessions are identified only by the pair of
+// fresh random DH shares, never by anything user-linkable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "peace/messages.hpp"
+
+namespace peace::proto {
+
+class Session {
+ public:
+  enum class Role { kInitiator, kResponder };
+
+  /// The symmetric suite protecting data frames. Both endpoints must pick
+  /// the same one at establishment (a mismatch simply fails to decrypt).
+  enum class CipherSuite { kChaCha20Poly1305, kAes128Gcm };
+
+  /// Derives directional encryption keys and the MAC key from the DH shared
+  /// point and the public session id.
+  static Session establish(const G1& shared_dh, BytesView session_id,
+                           Role role,
+                           CipherSuite suite = CipherSuite::kChaCha20Poly1305);
+
+  CipherSuite suite() const { return suite_; }
+
+  const Bytes& id() const { return id_; }
+  std::uint64_t frames_sent() const { return send_seq_; }
+
+  /// Encrypts and authenticates one payload; the sequence number is bound
+  /// into the AEAD so frames cannot be reordered or replayed.
+  DataFrame seal(BytesView payload);
+
+  /// Verifies, decrypts, and enforces strictly increasing sequence numbers.
+  /// Returns nullopt on any failure (wrong session, replay, tamper).
+  std::optional<Bytes> open(const DataFrame& frame);
+
+  /// Lightweight integrity-only path (HMAC-SHA256) for traffic that needs
+  /// authentication but not confidentiality.
+  Bytes mac(BytesView data) const;
+  bool check_mac(BytesView data, BytesView tag) const;
+
+ private:
+  Bytes id_;
+  CipherSuite suite_ = CipherSuite::kChaCha20Poly1305;
+  Bytes send_key_;  // 32 bytes (ChaCha) or 16 (AES-128)
+  Bytes recv_key_;
+  Bytes mac_key_;   // 32 bytes
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t next_recv_seq_ = 0;
+};
+
+/// One-shot authenticated encryption for the key-confirmation ciphertexts
+/// in (M.3) and (M~.3); uses a key derived from the same DH share under a
+/// separate HKDF label so confirmation traffic can never collide with data
+/// frames.
+Bytes confirm_seal(const G1& shared_dh, BytesView session_id,
+                   BytesView payload);
+std::optional<Bytes> confirm_open(const G1& shared_dh, BytesView session_id,
+                                  BytesView ciphertext);
+
+}  // namespace peace::proto

@@ -1,0 +1,253 @@
+#include "peace/user.hpp"
+
+#include "common/serde.hpp"
+#include "crypto/sha256.hpp"
+#include "curve/hash_to_curve.hpp"
+
+namespace peace::proto {
+
+using curve::ecdsa_verify;
+using curve::g1_to_bytes;
+using curve::random_fr;
+
+User::User(std::string uid, SystemParams params, crypto::Drbg rng,
+           ProtocolConfig config)
+    : uid_(std::move(uid)),
+      params_(std::move(params)),
+      rng_(std::move(rng)),
+      config_(config),
+      receipt_key_(curve::EcdsaKeyPair::generate(rng_)) {}
+
+curve::EcdsaSignature User::complete_enrollment(
+    const GroupManager::Enrollment& enrollment) {
+  MemberKey key;
+  key.a = unblind_credential(enrollment.blinded_credential, enrollment.x);
+  key.grp = enrollment.grp;
+  key.x = enrollment.x;
+  if (!key.is_valid(params_.gpk))
+    throw Error("user: assembled credential fails the SDH check");
+  credentials_[enrollment.index.group] = key;
+  // Non-repudiation: sign for what was received (paper IV.A).
+  return receipt_key_.sign(
+      GroupManager::enrollment_receipt_payload(enrollment), rng_);
+}
+
+std::vector<GroupId> User::enrolled_groups() const {
+  std::vector<GroupId> out;
+  out.reserve(credentials_.size());
+  for (const auto& [gid, _] : credentials_) out.push_back(gid);
+  return out;
+}
+
+const MemberKey& User::credential(GroupId group) const {
+  const auto it = credentials_.find(group);
+  if (it == credentials_.end()) throw Error("user: not enrolled in group");
+  return it->second;
+}
+
+const MemberKey& User::pick_credential(GroupId via_group) const {
+  if (credentials_.empty()) throw Error("user: no credentials");
+  if (via_group == 0) return credentials_.begin()->second;
+  return credential(via_group);
+}
+
+bool User::beacon_trustworthy(const BeaconMessage& beacon, Timestamp now) {
+  // Step 2.1: timestamp freshness.
+  const Timestamp age =
+      now >= beacon.ts1 ? now - beacon.ts1 : beacon.ts1 - now;
+  if (age > config_.replay_window_ms) return false;
+  // Certificate: signed by NO, not expired, consistent router id.
+  const RouterCertificate& cert = beacon.certificate;
+  if (cert.router_id != beacon.router_id) return false;
+  if (cert.expires_at <= now) return false;
+  if (!ecdsa_verify(params_.network_public_key, cert.signed_payload(),
+                    cert.signature))
+    return false;
+  // Revocation lists: must be authentic before they are used or cached.
+  if (!ecdsa_verify(params_.network_public_key, beacon.crl.signed_payload(),
+                    beacon.crl.signature))
+    return false;
+  if (!ecdsa_verify(params_.network_public_key, beacon.url.signed_payload(),
+                    beacon.url.signature))
+    return false;
+  // Cache the freshest authentic lists first (monotone versions only) —
+  // a revoked router will keep distributing the stale CRL that predates
+  // its own revocation, so the check below must use the newest list this
+  // user has seen from ANY router, not the beacon's copy.
+  if (beacon.crl.version >= crl_.version) crl_ = beacon.crl;
+  if (beacon.url.version >= url_.version) {
+    url_ = beacon.url;
+    url_tokens_.clear();
+    for (const Bytes& e : url_.entries)
+      url_tokens_.push_back(RevocationToken::from_bytes(e));
+  }
+  // CRL check: has this router's certificate been revoked?
+  Writer rid;
+  rid.u32(beacon.router_id);
+  for (const Bytes& e : crl_.entries)
+    if (e == rid.data()) return false;
+  // Beacon signature under the certified router key.
+  if (!ecdsa_verify(cert.public_key, beacon.signed_payload(),
+                    beacon.signature))
+    return false;
+  return true;
+}
+
+std::optional<AccessRequest> User::process_beacon(const BeaconMessage& beacon,
+                                                  Timestamp now,
+                                                  GroupId via_group) {
+  ++stats_.beacons_seen;
+  if (!beacon_trustworthy(beacon, now)) {
+    ++stats_.beacons_rejected;
+    return std::nullopt;
+  }
+
+  // Step 2.2.1: fresh DH share under the beacon's generator.
+  const Fr r_j = random_fr(rng_);
+  AccessRequest m2;
+  m2.g_rj = beacon.g * r_j;
+  m2.g_rr = beacon.g_rr;
+  m2.ts2 = now;
+
+  // DoS defence: solve the router's puzzle before signing.
+  if (beacon.puzzle.has_value()) {
+    stats_.puzzle_hashes += static_cast<std::uint64_t>(
+        puzzle_expected_work(beacon.puzzle->difficulty_bits));
+    m2.puzzle_solution = solve_puzzle(*beacon.puzzle, g1_to_bytes(m2.g_rj));
+  }
+
+  // Steps 2.2.2 - 2.2.4: group signature over (g^rj, g^rR, ts2).
+  m2.signature = groupsig::sign(params_.gpk, pick_credential(via_group),
+                                m2.signed_payload(), rng_);
+
+  // Step 2.2.5: K = (g^rR)^rj, remembered until M.3 arrives.
+  const Bytes sid = session_id_from(m2.g_rr, m2.g_rj);
+  pending_access_[to_hex(sid)] =
+      PendingAccess{beacon.g_rr * r_j, beacon.router_id, m2.g_rj, m2.g_rr};
+  return m2;
+}
+
+std::optional<Session> User::process_access_confirm(const AccessConfirm& m3) {
+  const Bytes sid = session_id_from(m3.g_rr, m3.g_rj);
+  const auto it = pending_access_.find(to_hex(sid));
+  if (it == pending_access_.end()) return std::nullopt;
+  const PendingAccess& pending = it->second;
+
+  const auto payload = confirm_open(pending.shared, sid, m3.ciphertext);
+  if (!payload.has_value()) return std::nullopt;
+  // The confirmation must name the router and echo both DH shares.
+  Writer expect;
+  expect.u32(pending.router_id);
+  expect.raw(g1_to_bytes(pending.g_rj));
+  expect.raw(g1_to_bytes(pending.g_rr));
+  if (*payload != expect.data()) return std::nullopt;
+
+  Session session =
+      Session::establish(pending.shared, sid, Session::Role::kInitiator);
+  pending_access_.erase(it);
+  ++stats_.sessions_established;
+  return session;
+}
+
+bool User::peer_signature_ok(BytesView payload,
+                             const groupsig::Signature& sig) {
+  if (!groupsig::verify_proof(params_.gpk, payload, sig)) return false;
+  for (const RevocationToken& token : url_tokens_) {
+    if (groupsig::matches_token(params_.gpk, payload, sig, token))
+      return false;
+  }
+  return true;
+}
+
+PeerHello User::make_peer_hello(const G1& g, Timestamp now,
+                                GroupId via_group) {
+  const Fr r_j = random_fr(rng_);
+  PeerHello hello;
+  hello.g = g;
+  hello.g_rj = g * r_j;
+  hello.ts1 = now;
+  hello.signature = groupsig::sign(params_.gpk, pick_credential(via_group),
+                                   hello.signed_payload(), rng_);
+  pending_peer_init_[to_hex(g1_to_bytes(hello.g_rj))] =
+      PendingPeerInitiator{r_j, hello.g_rj, now};
+  return hello;
+}
+
+std::optional<PeerReply> User::process_peer_hello(const PeerHello& hello,
+                                                  Timestamp now,
+                                                  GroupId via_group) {
+  const Timestamp age = now >= hello.ts1 ? now - hello.ts1 : hello.ts1 - now;
+  if (age > config_.replay_window_ms) return std::nullopt;
+  if (!peer_signature_ok(hello.signed_payload(), hello.signature))
+    return std::nullopt;
+
+  const Fr r_l = random_fr(rng_);
+  PeerReply reply;
+  reply.g_rj = hello.g_rj;
+  reply.g_rl = hello.g * r_l;
+  reply.ts2 = now;
+  reply.signature = groupsig::sign(params_.gpk, pick_credential(via_group),
+                                   reply.signed_payload(), rng_);
+
+  const Bytes sid = session_id_from(reply.g_rj, reply.g_rl);
+  pending_peer_resp_[to_hex(sid)] =
+      PendingPeerResponder{hello.g_rj * r_l, hello.ts1, now};
+  return reply;
+}
+
+std::optional<User::PeerEstablished> User::process_peer_reply(
+    const PeerReply& reply, Timestamp now) {
+  const auto it = pending_peer_init_.find(to_hex(g1_to_bytes(reply.g_rj)));
+  if (it == pending_peer_init_.end()) return std::nullopt;
+  const PendingPeerInitiator& pending = it->second;
+
+  // Paper step 3: ts2 - ts1 within the acceptable delay window.
+  if (reply.ts2 < pending.ts1 ||
+      reply.ts2 - pending.ts1 > config_.replay_window_ms)
+    return std::nullopt;
+  const Timestamp age = now >= reply.ts2 ? now - reply.ts2 : reply.ts2 - now;
+  if (age > config_.replay_window_ms) return std::nullopt;
+  if (!peer_signature_ok(reply.signed_payload(), reply.signature))
+    return std::nullopt;
+
+  const G1 shared = reply.g_rl * pending.r_j;
+  const Bytes sid = session_id_from(reply.g_rj, reply.g_rl);
+
+  PeerEstablished out{
+      PeerConfirm{reply.g_rj, reply.g_rl, {}},
+      Session::establish(shared, sid, Session::Role::kInitiator)};
+  Writer payload;
+  payload.raw(g1_to_bytes(reply.g_rj));
+  payload.raw(g1_to_bytes(reply.g_rl));
+  payload.u64(pending.ts1);
+  payload.u64(reply.ts2);
+  out.confirm.ciphertext = confirm_seal(shared, sid, payload.data());
+
+  pending_peer_init_.erase(it);
+  ++stats_.peer_sessions_established;
+  return out;
+}
+
+std::optional<Session> User::process_peer_confirm(const PeerConfirm& confirm) {
+  const Bytes sid = session_id_from(confirm.g_rj, confirm.g_rl);
+  const auto it = pending_peer_resp_.find(to_hex(sid));
+  if (it == pending_peer_resp_.end()) return std::nullopt;
+  const PendingPeerResponder& pending = it->second;
+
+  const auto payload = confirm_open(pending.shared, sid, confirm.ciphertext);
+  if (!payload.has_value()) return std::nullopt;
+  Writer expect;
+  expect.raw(g1_to_bytes(confirm.g_rj));
+  expect.raw(g1_to_bytes(confirm.g_rl));
+  expect.u64(pending.ts1);
+  expect.u64(pending.ts2);
+  if (*payload != expect.data()) return std::nullopt;
+
+  Session session =
+      Session::establish(pending.shared, sid, Session::Role::kResponder);
+  pending_peer_resp_.erase(it);
+  ++stats_.peer_sessions_established;
+  return session;
+}
+
+}  // namespace peace::proto

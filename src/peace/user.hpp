@@ -1,0 +1,133 @@
+// Network-user protocol endpoint: beacon validation, the anonymous access
+// handshake (M.2/M.3), and the user-user mutual authentication protocol
+// (M~.1 - M~.3). A user may hold credentials from several user groups
+// (paper Sec. III.C) and chooses which role to present per session.
+#pragma once
+
+#include <unordered_map>
+
+#include "peace/entities.hpp"
+#include "peace/session.hpp"
+
+namespace peace::proto {
+
+struct UserStats {
+  std::uint64_t beacons_seen = 0;
+  std::uint64_t beacons_rejected = 0;  // bad cert / signature / revoked router
+  std::uint64_t sessions_established = 0;
+  std::uint64_t peer_sessions_established = 0;
+  std::uint64_t puzzle_hashes = 0;  // brute-force work spent on DoS puzzles
+};
+
+class User {
+ public:
+  User(std::string uid, SystemParams params, crypto::Drbg rng,
+       ProtocolConfig config = {});
+
+  const std::string& uid() const { return uid_; }
+  const UserStats& stats() const { return stats_; }
+
+  /// Final step of setup: unblind the TTP blob with x, assemble
+  /// gsk[i,j] = (A, grp, x), and verify it against gpk before accepting.
+  /// Returns the non-repudiation receipt (paper IV.A) — the user's ECDSA
+  /// signature over everything received — for the GM to archive via
+  /// GroupManager::record_receipt.
+  curve::EcdsaSignature complete_enrollment(
+      const GroupManager::Enrollment& enrollment);
+
+  /// The long-term key the user signs setup receipts with.
+  const G1& receipt_public_key() const {
+    return receipt_key_.public_key();
+  }
+
+  /// A master-key rotation (membership renewal) invalidates every held
+  /// credential: install the new parameters and re-enroll.
+  void install_params(const SystemParams& params) {
+    params_ = params;
+    credentials_.clear();
+    url_tokens_.clear();
+    url_ = {};
+    crl_ = {};
+  }
+
+  /// Which groups this user can sign for.
+  std::vector<GroupId> enrolled_groups() const;
+  const MemberKey& credential(GroupId group) const;
+
+  /// Paper step 2: validate the beacon (timestamp, certificate chain, CRL,
+  /// router signature) and, if it is trustworthy, produce M.2. `via_group`
+  /// picks which of the user's roles signs; 0 means the first enrolled.
+  /// Returns nullopt when the beacon must be rejected.
+  std::optional<AccessRequest> process_beacon(const BeaconMessage& beacon,
+                                              Timestamp now,
+                                              GroupId via_group = 0);
+
+  /// Completes the handshake with the router's M.3; verifies the key
+  /// confirmation before trusting the session.
+  std::optional<Session> process_access_confirm(const AccessConfirm& m3);
+
+  // --- user-user authentication (paper IV.C) ---
+
+  /// M~.1: local broadcast; `g` comes from the serving router's beacon.
+  PeerHello make_peer_hello(const G1& g, Timestamp now, GroupId via_group = 0);
+
+  /// Responder side: validate M~.1 and answer with M~.2 (key not yet
+  /// confirmed; completed by process_peer_confirm).
+  std::optional<PeerReply> process_peer_hello(const PeerHello& hello,
+                                              Timestamp now,
+                                              GroupId via_group = 0);
+
+  /// Initiator side: validate M~.2, derive the key, emit M~.3.
+  struct PeerEstablished {
+    PeerConfirm confirm;
+    Session session;
+  };
+  std::optional<PeerEstablished> process_peer_reply(const PeerReply& reply,
+                                                    Timestamp now);
+
+  /// Responder side: verify M~.3 and finalize the session.
+  std::optional<Session> process_peer_confirm(const PeerConfirm& confirm);
+
+  /// Latest revocation lists the user has accepted from beacons.
+  const SignedRevocationList& current_url() const { return url_; }
+
+ private:
+  bool beacon_trustworthy(const BeaconMessage& beacon, Timestamp now);
+  bool peer_signature_ok(BytesView payload, const groupsig::Signature& sig);
+  const MemberKey& pick_credential(GroupId via_group) const;
+
+  std::string uid_;
+  SystemParams params_;
+  crypto::Drbg rng_;
+  ProtocolConfig config_;
+  curve::EcdsaKeyPair receipt_key_;
+  std::map<GroupId, MemberKey> credentials_;
+
+  SignedRevocationList crl_;
+  SignedRevocationList url_;
+  std::vector<RevocationToken> url_tokens_;
+
+  struct PendingAccess {
+    G1 shared;
+    RouterId router_id;
+    G1 g_rj, g_rr;
+  };
+  std::unordered_map<std::string, PendingAccess> pending_access_;
+
+  struct PendingPeerInitiator {
+    Fr r_j;
+    G1 g_rj;
+    Timestamp ts1;
+  };
+  std::unordered_map<std::string, PendingPeerInitiator> pending_peer_init_;
+
+  struct PendingPeerResponder {
+    G1 shared;
+    Timestamp ts1, ts2;
+  };
+  std::unordered_map<std::string, PendingPeerResponder> pending_peer_resp_;
+
+  UserStats stats_;
+};
+
+}  // namespace peace::proto

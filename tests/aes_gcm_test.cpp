@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "crypto/aes.hpp"
+#include "crypto/gcm.hpp"
+
+namespace peace::crypto {
+namespace {
+
+TEST(Aes128, SboxAnchors) {
+  // Well-known S-box entries pin the computed table.
+  const auto& box = Aes128::sbox();
+  EXPECT_EQ(box[0x00], 0x63);
+  EXPECT_EQ(box[0x01], 0x7c);
+  EXPECT_EQ(box[0x53], 0xed);
+  EXPECT_EQ(box[0xff], 0x16);
+  // The S-box is a permutation.
+  std::array<bool, 256> seen{};
+  for (int i = 0; i < 256; ++i) seen[box[static_cast<std::size_t>(i)]] = true;
+  for (int i = 0; i < 256; ++i) EXPECT_TRUE(seen[static_cast<std::size_t>(i)]);
+}
+
+TEST(Aes128, Fips197Vector) {
+  // FIPS 197 Appendix C.1.
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  Aes128 aes(key);
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(to_hex({ct, 16}), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, KeySizeValidated) {
+  EXPECT_THROW(Aes128(Bytes(15, 0)), Error);
+  EXPECT_THROW(Aes128(Bytes(17, 0)), Error);
+}
+
+TEST(Ghash, MultiplicationProperties) {
+  // Commutativity and distributivity of the GF(2^128) product, plus the
+  // zero annihilator — algebraic anchors independent of test vectors.
+  std::array<std::uint8_t, 16> a{}, b{}, c{}, zero{};
+  for (int i = 0; i < 16; ++i) {
+    a[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(17 * i + 3);
+    b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(31 * i + 7);
+    c[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(13 * i + 1);
+  }
+  EXPECT_EQ(ghash_multiply(a, b), ghash_multiply(b, a));
+  EXPECT_EQ(ghash_multiply(a, zero), zero);
+  // a*(b+c) == a*b + a*c (XOR is addition).
+  std::array<std::uint8_t, 16> bc, left, sum;
+  for (int i = 0; i < 16; ++i)
+    bc[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(i)] ^
+                                      c[static_cast<std::size_t>(i)];
+  left = ghash_multiply(a, bc);
+  const auto ab = ghash_multiply(a, b);
+  const auto ac = ghash_multiply(a, c);
+  for (int i = 0; i < 16; ++i)
+    sum[static_cast<std::size_t>(i)] = ab[static_cast<std::size_t>(i)] ^
+                                       ac[static_cast<std::size_t>(i)];
+  EXPECT_EQ(left, sum);
+}
+
+TEST(AesGcm, NistTestCase1) {
+  // SP 800-38D / McGrew-Viega test case 1: empty plaintext and AAD.
+  const Bytes key(16, 0);
+  const Bytes iv(12, 0);
+  const Bytes sealed = aes_gcm_seal(key, iv, {}, {});
+  EXPECT_EQ(to_hex(sealed), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(AesGcm, NistTestCase2) {
+  // Test case 2: one zero block.
+  const Bytes key(16, 0);
+  const Bytes iv(12, 0);
+  const Bytes pt(16, 0);
+  const Bytes sealed = aes_gcm_seal(key, iv, {}, pt);
+  EXPECT_EQ(to_hex(sealed),
+            "0388dace60b6a392f328c2b971b2fe78"
+            "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+TEST(AesGcm, RoundTrip) {
+  const Bytes key = from_hex("feffe9928665731c6d6a8f9467308308");
+  const Bytes iv = from_hex("cafebabefacedbaddecaf888");
+  const Bytes sealed =
+      aes_gcm_seal(key, iv, as_bytes("header"), as_bytes("payload body"));
+  const auto opened = aes_gcm_open(key, iv, as_bytes("header"), sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, to_bytes("payload body"));
+}
+
+TEST(AesGcm, TamperAndWrongContextRejected) {
+  const Bytes key(16, 0x42);
+  const Bytes iv(12, 0x24);
+  Bytes sealed = aes_gcm_seal(key, iv, as_bytes("a"), as_bytes("m"));
+  Bytes t1 = sealed;
+  t1[0] ^= 1;
+  EXPECT_FALSE(aes_gcm_open(key, iv, as_bytes("a"), t1).has_value());
+  Bytes t2 = sealed;
+  t2.back() ^= 1;
+  EXPECT_FALSE(aes_gcm_open(key, iv, as_bytes("a"), t2).has_value());
+  EXPECT_FALSE(aes_gcm_open(key, iv, as_bytes("b"), sealed).has_value());
+  EXPECT_FALSE(
+      aes_gcm_open(Bytes(16, 0x43), iv, as_bytes("a"), sealed).has_value());
+  EXPECT_FALSE(aes_gcm_open(key, iv, as_bytes("a"), Bytes(8, 0)).has_value());
+}
+
+TEST(AesGcm, NonBlockAlignedLengths) {
+  const Bytes key(16, 7);
+  const Bytes iv(12, 9);
+  for (std::size_t n : {1u, 15u, 16u, 17u, 31u, 33u, 100u}) {
+    Bytes pt(n);
+    for (std::size_t i = 0; i < n; ++i) pt[i] = static_cast<std::uint8_t>(i);
+    const Bytes sealed = aes_gcm_seal(key, iv, as_bytes("aad"), pt);
+    EXPECT_EQ(sealed.size(), n + kGcmTagSize);
+    const auto opened = aes_gcm_open(key, iv, as_bytes("aad"), sealed);
+    ASSERT_TRUE(opened.has_value()) << n;
+    EXPECT_EQ(*opened, pt) << n;
+  }
+}
+
+TEST(AesGcm, NonceSizeValidated) {
+  EXPECT_THROW(aes_gcm_seal(Bytes(16, 0), Bytes(11, 0), {}, {}), Error);
+}
+
+}  // namespace
+}  // namespace peace::crypto

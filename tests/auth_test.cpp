@@ -1,0 +1,345 @@
+// The authentication and key-agreement protocols (paper IV.B / IV.C),
+// end-to-end across real entity objects: user-router M.1 -> M.2 -> M.3 and
+// user-user M~.1 -> M~.2 -> M~.3, plus the rejection paths (replay, stale
+// timestamps, revoked signers, rogue routers, tampered confirms).
+#include <gtest/gtest.h>
+
+#include "peace/router.hpp"
+#include "peace/user.hpp"
+
+namespace peace::proto {
+namespace {
+
+class AuthTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { curve::Bn254::init(); }
+
+  AuthTest() : no_(crypto::Drbg::from_string("auth-no")) {
+    gm_ = std::make_unique<GroupManager>(no_.register_group("G", 8, ttp_));
+
+    auto provision = no_.provision_router(1, kFarFuture);
+    router_ = std::make_unique<MeshRouter>(
+        1, provision.keypair, provision.certificate, no_.params(),
+        crypto::Drbg::from_string("router1"));
+    router_->install_revocation_lists(no_.current_crl(), no_.current_url());
+
+    alice_ = make_user("alice");
+    bob_ = make_user("bob");
+  }
+
+  std::unique_ptr<User> make_user(const std::string& uid) {
+    auto user = std::make_unique<User>(uid, no_.params(),
+                                       crypto::Drbg::from_string(uid));
+    user->complete_enrollment(gm_->enroll(uid, ttp_));
+    return user;
+  }
+
+  /// Runs the full M.1-M.3 handshake; returns the two session endpoints.
+  struct Established {
+    Session user_session;
+    Bytes session_id;
+  };
+  std::optional<Established> full_handshake(User& user, Timestamp now) {
+    const BeaconMessage beacon = router_->make_beacon(now);
+    auto m2 = user.process_beacon(beacon, now);
+    if (!m2.has_value()) return std::nullopt;
+    auto outcome = router_->handle_access_request(*m2, now + 10);
+    if (!outcome.has_value()) return std::nullopt;
+    auto session = user.process_access_confirm(outcome->confirm);
+    if (!session.has_value()) return std::nullopt;
+    return Established{std::move(*session), outcome->session_id};
+  }
+
+  static constexpr Timestamp kFarFuture = 1000ull * 86400 * 365;
+
+  NetworkOperator no_;
+  TrustedThirdParty ttp_;
+  std::unique_ptr<GroupManager> gm_;
+  std::unique_ptr<MeshRouter> router_;
+  std::unique_ptr<User> alice_;
+  std::unique_ptr<User> bob_;
+};
+
+TEST_F(AuthTest, UserRouterHandshakeSucceeds) {
+  auto result = full_handshake(*alice_, 1000);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(router_->stats().accepted, 1u);
+  EXPECT_EQ(router_->session_count(), 1u);
+  EXPECT_EQ(alice_->stats().sessions_established, 1u);
+}
+
+TEST_F(AuthTest, EstablishedSessionCarriesData) {
+  auto result = full_handshake(*alice_, 1000);
+  ASSERT_TRUE(result.has_value());
+  Session* router_side = router_->session(result->session_id);
+  ASSERT_NE(router_side, nullptr);
+
+  // User -> router.
+  DataFrame up = result->user_session.seal(as_bytes("GET /index.html"));
+  auto got = router_side->open(up);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, to_bytes("GET /index.html"));
+
+  // Router -> user.
+  DataFrame down = router_side->seal(as_bytes("200 OK"));
+  auto got2 = result->user_session.open(down);
+  ASSERT_TRUE(got2.has_value());
+  EXPECT_EQ(*got2, to_bytes("200 OK"));
+}
+
+TEST_F(AuthTest, ReplayedAccessRequestRejected) {
+  const BeaconMessage beacon = router_->make_beacon(1000);
+  auto m2 = alice_->process_beacon(beacon, 1000);
+  ASSERT_TRUE(m2.has_value());
+  ASSERT_TRUE(router_->handle_access_request(*m2, 1010).has_value());
+  EXPECT_FALSE(router_->handle_access_request(*m2, 1020).has_value());
+  EXPECT_EQ(router_->stats().rejected_replay, 1u);
+}
+
+TEST_F(AuthTest, StaleTimestampRejected) {
+  const BeaconMessage beacon = router_->make_beacon(1000);
+  auto m2 = alice_->process_beacon(beacon, 1000);
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_FALSE(router_->handle_access_request(*m2, 1000 + 60000).has_value());
+  EXPECT_EQ(router_->stats().rejected_stale, 1u);
+}
+
+TEST_F(AuthTest, RequestAgainstUnknownBeaconRejected) {
+  const BeaconMessage beacon = router_->make_beacon(1000);
+  auto m2 = alice_->process_beacon(beacon, 1000);
+  ASSERT_TRUE(m2.has_value());
+  // Age out the beacon by issuing many fresh ones.
+  for (int i = 0; i < 10; ++i) router_->make_beacon(1100 + i);
+  EXPECT_FALSE(router_->handle_access_request(*m2, 1200).has_value());
+  EXPECT_EQ(router_->stats().rejected_unknown_beacon, 1u);
+}
+
+TEST_F(AuthTest, ForgedSignatureRejected) {
+  const BeaconMessage beacon = router_->make_beacon(1000);
+  auto m2 = alice_->process_beacon(beacon, 1000);
+  ASSERT_TRUE(m2.has_value());
+  m2->ts2 += 1;  // signature no longer covers the message
+  EXPECT_FALSE(router_->handle_access_request(*m2, 1010).has_value());
+  EXPECT_EQ(router_->stats().rejected_bad_signature, 1u);
+}
+
+TEST_F(AuthTest, RevokedUserRejectedByRouter) {
+  // Revoke alice's key; router refreshes its URL; alice can no longer join.
+  const auto audit_target = gm_->enroll("victim", ttp_);
+  User victim("victim", no_.params(), crypto::Drbg::from_string("victim2"));
+  victim.complete_enrollment(audit_target);
+  no_.revoke_user_key(audit_target.index, 999);
+  router_->install_revocation_lists(no_.current_crl(), no_.current_url());
+
+  EXPECT_FALSE(full_handshake(victim, 2000).has_value());
+  EXPECT_EQ(router_->stats().rejected_revoked, 1u);
+  // Other users are unaffected.
+  EXPECT_TRUE(full_handshake(*alice_, 3000).has_value());
+}
+
+TEST_F(AuthTest, UserRejectsRogueRouterWithoutCertificate) {
+  // A rogue router self-signs: users must refuse (phishing, Sec. V.A).
+  crypto::Drbg rng = crypto::Drbg::from_string("rogue");
+  auto keypair = curve::EcdsaKeyPair::generate(rng);
+  RouterCertificate fake_cert;
+  fake_cert.router_id = 66;
+  fake_cert.public_key = keypair.public_key();
+  fake_cert.expires_at = kFarFuture;
+  fake_cert.signature = keypair.sign(fake_cert.signed_payload(), rng);  // !NO
+  MeshRouter rogue(66, keypair, fake_cert, no_.params(),
+                   crypto::Drbg::from_string("rogue-router"));
+  const BeaconMessage beacon = rogue.make_beacon(1000);
+  EXPECT_FALSE(alice_->process_beacon(beacon, 1000).has_value());
+  EXPECT_EQ(alice_->stats().beacons_rejected, 1u);
+}
+
+TEST_F(AuthTest, UserRejectsRevokedRouter) {
+  no_.revoke_router(1, 500);
+  router_->install_revocation_lists(no_.current_crl(), no_.current_url());
+  const BeaconMessage beacon = router_->make_beacon(1000);
+  EXPECT_FALSE(alice_->process_beacon(beacon, 1000).has_value());
+}
+
+TEST_F(AuthTest, UserRejectsExpiredCertificate) {
+  auto provision = no_.provision_router(2, /*expires_at=*/2000);
+  MeshRouter expiring(2, provision.keypair, provision.certificate,
+                      no_.params(), crypto::Drbg::from_string("r2"));
+  expiring.install_revocation_lists(no_.current_crl(), no_.current_url());
+  const BeaconMessage beacon = expiring.make_beacon(5000);
+  EXPECT_FALSE(alice_->process_beacon(beacon, 5000).has_value());
+}
+
+TEST_F(AuthTest, UserRejectsStaleBeacon) {
+  const BeaconMessage beacon = router_->make_beacon(1000);
+  EXPECT_FALSE(alice_->process_beacon(beacon, 1000 + 60000).has_value());
+}
+
+TEST_F(AuthTest, UserRejectsTamperedBeacon) {
+  BeaconMessage beacon = router_->make_beacon(1000);
+  beacon.ts1 += 1;
+  EXPECT_FALSE(alice_->process_beacon(beacon, 1001).has_value());
+}
+
+TEST_F(AuthTest, TamperedConfirmRejected) {
+  const BeaconMessage beacon = router_->make_beacon(1000);
+  auto m2 = alice_->process_beacon(beacon, 1000);
+  ASSERT_TRUE(m2.has_value());
+  auto outcome = router_->handle_access_request(*m2, 1010);
+  ASSERT_TRUE(outcome.has_value());
+  outcome->confirm.ciphertext[3] ^= 0xff;
+  EXPECT_FALSE(alice_->process_access_confirm(outcome->confirm).has_value());
+}
+
+TEST_F(AuthTest, ConfirmFromWrongRouterRejected) {
+  // A second legitimate router cannot hijack alice's pending handshake: the
+  // confirmation is bound to the DH transcript, which it cannot complete.
+  const BeaconMessage beacon = router_->make_beacon(1000);
+  auto m2 = alice_->process_beacon(beacon, 1000);
+  ASSERT_TRUE(m2.has_value());
+  AccessConfirm forged;
+  forged.g_rj = m2->g_rj;
+  forged.g_rr = m2->g_rr;
+  forged.ciphertext = Bytes(48, 0xab);
+  EXPECT_FALSE(alice_->process_access_confirm(forged).has_value());
+}
+
+TEST_F(AuthTest, MultipleConcurrentSessions) {
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(full_handshake(*alice_, 1000 + i * 100).has_value());
+    ASSERT_TRUE(full_handshake(*bob_, 1050 + i * 100).has_value());
+  }
+  EXPECT_EQ(router_->session_count(), 6u);
+}
+
+TEST_F(AuthTest, CustomReplayWindowEnforced) {
+  // A router configured with a tight 100 ms window rejects what the
+  // default 5 s window would accept.
+  auto provision = no_.provision_router(3, kFarFuture);
+  ProtocolConfig tight;
+  tight.replay_window_ms = 100;
+  MeshRouter strict(3, provision.keypair, provision.certificate, no_.params(),
+                    crypto::Drbg::from_string("strict"), tight);
+  strict.install_revocation_lists(no_.current_crl(), no_.current_url());
+
+  const BeaconMessage beacon = strict.make_beacon(1000);
+  auto m2 = alice_->process_beacon(beacon, 1000);
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_FALSE(strict.handle_access_request(*m2, 1000 + 200).has_value());
+  EXPECT_EQ(strict.stats().rejected_stale, 1u);
+
+  auto m2b = alice_->process_beacon(strict.make_beacon(2000), 2000);
+  ASSERT_TRUE(m2b.has_value());
+  EXPECT_TRUE(strict.handle_access_request(*m2b, 2000 + 50).has_value());
+}
+
+TEST_F(AuthTest, BeaconHistoryDepthConfigurable) {
+  auto provision = no_.provision_router(4, kFarFuture);
+  ProtocolConfig shallow;
+  shallow.beacon_history = 1;  // only the latest beacon is honoured
+  MeshRouter forgetful(4, provision.keypair, provision.certificate,
+                       no_.params(), crypto::Drbg::from_string("forgetful"),
+                       shallow);
+  forgetful.install_revocation_lists(no_.current_crl(), no_.current_url());
+
+  const BeaconMessage b1 = forgetful.make_beacon(1000);
+  auto m2 = alice_->process_beacon(b1, 1000);
+  ASSERT_TRUE(m2.has_value());
+  forgetful.make_beacon(1100);  // evicts b1's state
+  EXPECT_FALSE(forgetful.handle_access_request(*m2, 1200).has_value());
+  EXPECT_EQ(forgetful.stats().rejected_unknown_beacon, 1u);
+}
+
+// --- user-user protocol -------------------------------------------------------
+
+TEST_F(AuthTest, PeerHandshakeSucceeds) {
+  // Both users first learn g and the current URL from a beacon.
+  const BeaconMessage beacon = router_->make_beacon(1000);
+  ASSERT_TRUE(alice_->process_beacon(beacon, 1000).has_value());
+  ASSERT_TRUE(bob_->process_beacon(beacon, 1000).has_value());
+
+  const PeerHello hello = alice_->make_peer_hello(beacon.g, 1100);
+  auto reply = bob_->process_peer_hello(hello, 1110);
+  ASSERT_TRUE(reply.has_value());
+  auto established = alice_->process_peer_reply(*reply, 1120);
+  ASSERT_TRUE(established.has_value());
+  auto bob_session = bob_->process_peer_confirm(established->confirm);
+  ASSERT_TRUE(bob_session.has_value());
+
+  // Relay traffic flows both ways.
+  DataFrame f = established->session.seal(as_bytes("relay me"));
+  auto got = bob_session->open(f);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, to_bytes("relay me"));
+  DataFrame back = bob_session->seal(as_bytes("ack"));
+  EXPECT_TRUE(established->session.open(back).has_value());
+}
+
+TEST_F(AuthTest, PeerHelloFromRevokedUserRejected) {
+  const auto enrollment = gm_->enroll("mallory", ttp_);
+  User mallory("mallory", no_.params(), crypto::Drbg::from_string("m"));
+  mallory.complete_enrollment(enrollment);
+  no_.revoke_user_key(enrollment.index, 900);
+
+  // Bob refreshes URL from a beacon of the updated router.
+  router_->install_revocation_lists(no_.current_crl(), no_.current_url());
+  const BeaconMessage beacon = router_->make_beacon(1000);
+  ASSERT_TRUE(bob_->process_beacon(beacon, 1000).has_value());
+
+  const PeerHello hello = mallory.make_peer_hello(beacon.g, 1100);
+  EXPECT_FALSE(bob_->process_peer_hello(hello, 1110).has_value());
+}
+
+TEST_F(AuthTest, PeerStaleHelloRejected) {
+  const BeaconMessage beacon = router_->make_beacon(1000);
+  const PeerHello hello = alice_->make_peer_hello(beacon.g, 1000);
+  EXPECT_FALSE(bob_->process_peer_hello(hello, 1000 + 60000).has_value());
+}
+
+TEST_F(AuthTest, PeerTamperedReplyRejected) {
+  const BeaconMessage beacon = router_->make_beacon(1000);
+  const PeerHello hello = alice_->make_peer_hello(beacon.g, 1000);
+  auto reply = bob_->process_peer_hello(hello, 1010);
+  ASSERT_TRUE(reply.has_value());
+  reply->ts2 += 1;
+  EXPECT_FALSE(alice_->process_peer_reply(*reply, 1020).has_value());
+}
+
+TEST_F(AuthTest, PeerConfirmTamperRejected) {
+  const BeaconMessage beacon = router_->make_beacon(1000);
+  const PeerHello hello = alice_->make_peer_hello(beacon.g, 1000);
+  auto reply = bob_->process_peer_hello(hello, 1010);
+  ASSERT_TRUE(reply.has_value());
+  auto established = alice_->process_peer_reply(*reply, 1020);
+  ASSERT_TRUE(established.has_value());
+  established->confirm.ciphertext[0] ^= 1;
+  EXPECT_FALSE(bob_->process_peer_confirm(established->confirm).has_value());
+}
+
+TEST_F(AuthTest, PeerReplyDelayWindowEnforced) {
+  // Paper step 3: ts2 - ts1 must be within the acceptable delay window.
+  const BeaconMessage beacon = router_->make_beacon(1000);
+  const PeerHello hello = alice_->make_peer_hello(beacon.g, 1000);
+  auto reply = bob_->process_peer_hello(hello, 1010);
+  ASSERT_TRUE(reply.has_value());
+  reply->ts2 = 1000 + 60000;  // breaks signature too, but window is checked
+  EXPECT_FALSE(alice_->process_peer_reply(*reply, 61010).has_value());
+}
+
+TEST_F(AuthTest, MessagesRoundTripOnWire) {
+  // Every protocol message survives serialize -> parse intact.
+  const BeaconMessage beacon = router_->make_beacon(1000);
+  const BeaconMessage beacon2 =
+      BeaconMessage::from_bytes(beacon.to_bytes());
+  EXPECT_EQ(beacon2.to_bytes(), beacon.to_bytes());
+  auto m2 = alice_->process_beacon(beacon2, 1000);
+  ASSERT_TRUE(m2.has_value());
+  const AccessRequest m2_wire = AccessRequest::from_bytes(m2->to_bytes());
+  EXPECT_EQ(m2_wire.to_bytes(), m2->to_bytes());
+  auto outcome = router_->handle_access_request(m2_wire, 1010);
+  ASSERT_TRUE(outcome.has_value());
+  const AccessConfirm m3 = AccessConfirm::from_bytes(outcome->confirm.to_bytes());
+  EXPECT_TRUE(alice_->process_access_confirm(m3).has_value());
+}
+
+}  // namespace
+}  // namespace peace::proto

@@ -1,0 +1,157 @@
+// Baselines: RSA (the paper's signature-size comparator) and the
+// non-anonymous plain-certificate framework.
+#include <gtest/gtest.h>
+
+#include "baseline/plain_auth.hpp"
+#include "baseline/rsa.hpp"
+
+namespace peace::baseline {
+namespace {
+
+class RsaTest : public ::testing::Test {
+ protected:
+  // Key generation is expensive; share one 1024-bit key across tests.
+  static RsaKeyPair& shared_key() {
+    static RsaKeyPair kp = [] {
+      crypto::Drbg rng = crypto::Drbg::from_string("rsa-shared");
+      return RsaKeyPair::generate(1024, rng);
+    }();
+    return kp;
+  }
+};
+
+TEST_F(RsaTest, GeneratePrimeIsOdd) {
+  crypto::Drbg rng = crypto::Drbg::from_string("prime");
+  const BigInt p = generate_prime(128, rng, 10);
+  EXPECT_EQ(p.bit_length(), 128u);
+  EXPECT_TRUE(p.is_odd());
+  // Certify with an independent Miller-Rabin run.
+  crypto::Drbg rng2 = crypto::Drbg::from_string("prime-check");
+  auto rand_below = [&rng2, &p]() {
+    for (;;) {
+      const BigInt c = BigInt::from_bytes(rng2.bytes(16));
+      if (BigInt::cmp(c, BigInt(2)) >= 0 && BigInt::cmp(c, p - BigInt(2)) <= 0)
+        return c;
+    }
+  };
+  EXPECT_TRUE(BigInt::is_probable_prime(p, 20, rand_below));
+}
+
+TEST_F(RsaTest, SignatureSizeIs128Bytes) {
+  EXPECT_EQ(shared_key().modulus_bytes(), 128u);
+  EXPECT_EQ(shared_key().modulus().bit_length(), 1024u);
+  const Bytes sig = shared_key().sign(as_bytes("msg"));
+  EXPECT_EQ(sig.size(), 128u);  // the paper's comparison point
+}
+
+TEST_F(RsaTest, SignVerifyRoundTrip) {
+  const Bytes sig = shared_key().sign(as_bytes("attack at dawn"));
+  EXPECT_TRUE(shared_key().verify(as_bytes("attack at dawn"), sig));
+  EXPECT_FALSE(shared_key().verify(as_bytes("attack at dusk"), sig));
+}
+
+TEST_F(RsaTest, TamperedSignatureRejected) {
+  Bytes sig = shared_key().sign(as_bytes("m"));
+  sig[5] ^= 1;
+  EXPECT_FALSE(shared_key().verify(as_bytes("m"), sig));
+  EXPECT_FALSE(shared_key().verify(as_bytes("m"), Bytes(10, 0)));
+  EXPECT_FALSE(shared_key().verify(as_bytes("m"), Bytes(128, 0xff)));
+}
+
+TEST_F(RsaTest, DistinctKeysDontInterop) {
+  crypto::Drbg rng = crypto::Drbg::from_string("rsa-other");
+  const RsaKeyPair other = RsaKeyPair::generate(512, rng);
+  const Bytes sig = other.sign(as_bytes("m"));
+  EXPECT_TRUE(other.verify(as_bytes("m"), sig));
+  EXPECT_FALSE(shared_key().verify(as_bytes("m"), sig));
+}
+
+TEST_F(RsaTest, ParameterValidation) {
+  crypto::Drbg rng = crypto::Drbg::from_string("rsa-bad");
+  EXPECT_THROW(RsaKeyPair::generate(128, rng), Error);
+  EXPECT_THROW(RsaKeyPair::generate(513, rng), Error);
+  EXPECT_THROW(generate_prime(8, rng), Error);
+}
+
+class PlainAuthTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { curve::Bn254::init(); }
+
+  PlainAuthTest()
+      : rng_(crypto::Drbg::from_string("plain")),
+        authority_(crypto::Drbg::from_string("plain-authority")) {}
+
+  crypto::Drbg rng_;
+  PlainAuthority authority_;
+};
+
+TEST_F(PlainAuthTest, RoundTrip) {
+  const auto user = authority_.issue_user("alice", 1000000);
+  const G1 g_rj = curve::Bn254::get().g1_gen * curve::random_fr(rng_);
+  const G1 g_rr = curve::Bn254::get().g1_gen * curve::random_fr(rng_);
+  const auto req = make_plain_request(user, g_rj, g_rr, 1000, rng_);
+  const auto uid = verify_plain_request(authority_, req, 1001, 5000);
+  ASSERT_TRUE(uid.has_value());
+  EXPECT_EQ(*uid, "alice");
+}
+
+TEST_F(PlainAuthTest, IdentityIsOnTheWire) {
+  // The contrast with PEACE: the uid is literally in the serialized bytes.
+  const auto user = authority_.issue_user("alice-identity", 1000000);
+  const G1 g = curve::Bn254::get().g1_gen;
+  const auto req = make_plain_request(user, g, g, 1000, rng_);
+  const Bytes wire = req.to_bytes();
+  const std::string s(wire.begin(), wire.end());
+  EXPECT_NE(s.find("alice-identity"), std::string::npos);
+}
+
+TEST_F(PlainAuthTest, RevocationByUid) {
+  const auto user = authority_.issue_user("bob", 1000000);
+  authority_.revoke("bob");
+  const G1 g = curve::Bn254::get().g1_gen;
+  const auto req = make_plain_request(user, g, g, 1000, rng_);
+  EXPECT_FALSE(verify_plain_request(authority_, req, 1001, 5000).has_value());
+}
+
+TEST_F(PlainAuthTest, ExpiryAndStaleness) {
+  const auto user = authority_.issue_user("carol", 2000);
+  const G1 g = curve::Bn254::get().g1_gen;
+  const auto req = make_plain_request(user, g, g, 1000, rng_);
+  EXPECT_TRUE(verify_plain_request(authority_, req, 1001, 5000).has_value());
+  EXPECT_FALSE(verify_plain_request(authority_, req, 3000, 5000).has_value());
+  EXPECT_FALSE(verify_plain_request(authority_, req, 90000, 500).has_value());
+}
+
+TEST_F(PlainAuthTest, ForgedCertificateRejected) {
+  crypto::Drbg rng = crypto::Drbg::from_string("mallory");
+  auto mallory_kp = curve::EcdsaKeyPair::generate(rng);
+  PlainUserCertificate cert;
+  cert.uid = "mallory";
+  cert.public_key = mallory_kp.public_key();
+  cert.expires_at = 1000000;
+  cert.signature = mallory_kp.sign(cert.signed_payload(), rng);  // self-signed
+  PlainAuthority::IssuedUser fake{mallory_kp, cert};
+  const G1 g = curve::Bn254::get().g1_gen;
+  const auto req = make_plain_request(fake, g, g, 1000, rng);
+  EXPECT_FALSE(verify_plain_request(authority_, req, 1001, 5000).has_value());
+}
+
+TEST_F(PlainAuthTest, TamperedRequestRejected) {
+  const auto user = authority_.issue_user("dave", 1000000);
+  const G1 g = curve::Bn254::get().g1_gen;
+  auto req = make_plain_request(user, g, g, 1000, rng_);
+  req.ts += 1;
+  EXPECT_FALSE(verify_plain_request(authority_, req, 1001, 5000).has_value());
+}
+
+TEST_F(PlainAuthTest, SerializationRoundTrip) {
+  const auto user = authority_.issue_user("erin", 1000000);
+  const G1 g = curve::Bn254::get().g1_gen;
+  const auto req = make_plain_request(user, g, g, 1000, rng_);
+  const auto again = PlainAccessRequest::from_bytes(req.to_bytes());
+  EXPECT_EQ(again.to_bytes(), req.to_bytes());
+  EXPECT_TRUE(verify_plain_request(authority_, again, 1001, 5000).has_value());
+}
+
+}  // namespace
+}  // namespace peace::baseline

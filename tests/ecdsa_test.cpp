@@ -1,0 +1,105 @@
+#include "curve/ecdsa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peace::curve {
+namespace {
+
+class EcdsaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { Bn254::init(); }
+  crypto::Drbg rng_ = crypto::Drbg::from_string("ecdsa-test");
+};
+
+TEST_F(EcdsaTest, SignVerifyRoundTrip) {
+  const EcdsaKeyPair kp = EcdsaKeyPair::generate(rng_);
+  const auto sig = kp.sign(as_bytes("hello wmn"), rng_);
+  EXPECT_TRUE(ecdsa_verify(kp.public_key(), as_bytes("hello wmn"), sig));
+}
+
+TEST_F(EcdsaTest, WrongMessageRejected) {
+  const EcdsaKeyPair kp = EcdsaKeyPair::generate(rng_);
+  const auto sig = kp.sign(as_bytes("msg"), rng_);
+  EXPECT_FALSE(ecdsa_verify(kp.public_key(), as_bytes("other"), sig));
+}
+
+TEST_F(EcdsaTest, WrongKeyRejected) {
+  const EcdsaKeyPair kp1 = EcdsaKeyPair::generate(rng_);
+  const EcdsaKeyPair kp2 = EcdsaKeyPair::generate(rng_);
+  const auto sig = kp1.sign(as_bytes("msg"), rng_);
+  EXPECT_FALSE(ecdsa_verify(kp2.public_key(), as_bytes("msg"), sig));
+}
+
+TEST_F(EcdsaTest, TamperedSignatureRejected) {
+  const EcdsaKeyPair kp = EcdsaKeyPair::generate(rng_);
+  auto sig = kp.sign(as_bytes("msg"), rng_);
+  sig.s = sig.s + Fr::one();
+  EXPECT_FALSE(ecdsa_verify(kp.public_key(), as_bytes("msg"), sig));
+}
+
+TEST_F(EcdsaTest, ZeroComponentsRejected) {
+  const EcdsaKeyPair kp = EcdsaKeyPair::generate(rng_);
+  EXPECT_FALSE(ecdsa_verify(kp.public_key(), as_bytes("m"),
+                            {Fr::zero(), Fr::one()}));
+  EXPECT_FALSE(ecdsa_verify(kp.public_key(), as_bytes("m"),
+                            {Fr::one(), Fr::zero()}));
+}
+
+TEST_F(EcdsaTest, InfinityPublicKeyRejected) {
+  const EcdsaKeyPair kp = EcdsaKeyPair::generate(rng_);
+  const auto sig = kp.sign(as_bytes("m"), rng_);
+  EXPECT_FALSE(ecdsa_verify(G1::infinity(), as_bytes("m"), sig));
+}
+
+TEST_F(EcdsaTest, SerializationRoundTrip) {
+  const EcdsaKeyPair kp = EcdsaKeyPair::generate(rng_);
+  const auto sig = kp.sign(as_bytes("m"), rng_);
+  const Bytes b = sig.to_bytes();
+  EXPECT_EQ(b.size(), kEcdsaSignatureSize);
+  EXPECT_EQ(EcdsaSignature::from_bytes(b), sig);
+  EXPECT_THROW(EcdsaSignature::from_bytes(Bytes(10, 0)), Error);
+}
+
+TEST_F(EcdsaTest, FromSecretReconstructsKey) {
+  const EcdsaKeyPair kp = EcdsaKeyPair::generate(rng_);
+  const EcdsaKeyPair kp2 = EcdsaKeyPair::from_secret(kp.secret_key());
+  EXPECT_EQ(kp.public_key(), kp2.public_key());
+  EXPECT_THROW(EcdsaKeyPair::from_secret(Fr::zero()), Error);
+}
+
+TEST_F(EcdsaTest, SignaturesRandomized) {
+  const EcdsaKeyPair kp = EcdsaKeyPair::generate(rng_);
+  const auto s1 = kp.sign(as_bytes("m"), rng_);
+  const auto s2 = kp.sign(as_bytes("m"), rng_);
+  EXPECT_FALSE(s1 == s2);
+  EXPECT_TRUE(ecdsa_verify(kp.public_key(), as_bytes("m"), s1));
+  EXPECT_TRUE(ecdsa_verify(kp.public_key(), as_bytes("m"), s2));
+}
+
+TEST_F(EcdsaTest, RandomFrNonZeroAndDistinct) {
+  const Fr a = random_fr(rng_);
+  const Fr b = random_fr(rng_);
+  EXPECT_FALSE(a.is_zero());
+  EXPECT_FALSE(a == b);
+}
+
+class EcdsaMany : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() { Bn254::init(); }
+};
+
+TEST_P(EcdsaMany, RoundTripSweep) {
+  crypto::Drbg rng = crypto::Drbg::from_string("ecdsa-sweep", GetParam());
+  const EcdsaKeyPair kp = EcdsaKeyPair::generate(rng);
+  const Bytes msg = rng.bytes(1 + GetParam() * 17);
+  const auto sig = kp.sign(msg, rng);
+  EXPECT_TRUE(ecdsa_verify(kp.public_key(), msg, sig));
+  Bytes tampered = msg;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(ecdsa_verify(kp.public_key(), tampered, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EcdsaMany, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace peace::curve

@@ -1,0 +1,122 @@
+// Robustness of every wire decoder against hostile bytes: random buffers
+// and bit-flipped valid messages must either parse cleanly or throw
+// peace::Error — never crash, never read out of bounds, and never produce
+// a message that verifies.
+#include <gtest/gtest.h>
+
+#include "baseline/plain_auth.hpp"
+#include "peace/router.hpp"
+#include "peace/user.hpp"
+
+namespace peace::proto {
+namespace {
+
+class FuzzTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() { curve::Bn254::init(); }
+};
+
+template <typename Parser>
+void expect_no_crash(BytesView data, Parser&& parse) {
+  try {
+    parse(data);
+  } catch (const Error&) {
+    // rejecting is fine; crashing or UB is not.
+  }
+}
+
+TEST_P(FuzzTest, RandomBytesDontCrashDecoders) {
+  crypto::Drbg rng = crypto::Drbg::from_string("fuzz-random", GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const Bytes junk = rng.bytes(rng.uniform(600));
+    expect_no_crash(junk, [](BytesView d) { BeaconMessage::from_bytes(d); });
+    expect_no_crash(junk, [](BytesView d) { AccessRequest::from_bytes(d); });
+    expect_no_crash(junk, [](BytesView d) { AccessConfirm::from_bytes(d); });
+    expect_no_crash(junk, [](BytesView d) { PeerHello::from_bytes(d); });
+    expect_no_crash(junk, [](BytesView d) { PeerReply::from_bytes(d); });
+    expect_no_crash(junk, [](BytesView d) { PeerConfirm::from_bytes(d); });
+    expect_no_crash(junk, [](BytesView d) { DataFrame::from_bytes(d); });
+    expect_no_crash(junk,
+                    [](BytesView d) { RouterCertificate::from_bytes(d); });
+    expect_no_crash(junk,
+                    [](BytesView d) { SignedRevocationList::from_bytes(d); });
+    expect_no_crash(junk,
+                    [](BytesView d) { groupsig::Signature::from_bytes(d); });
+    expect_no_crash(junk, [](BytesView d) { curve::g1_from_bytes(d); });
+    expect_no_crash(junk, [](BytesView d) { curve::g2_from_bytes(d); });
+    expect_no_crash(junk, [](BytesView d) {
+      baseline::PlainAccessRequest::from_bytes(d);
+    });
+  }
+}
+
+struct FuzzWorld {
+  FuzzWorld() : no(crypto::Drbg::from_string("fuzz-no")) {
+    gm = std::make_unique<GroupManager>(no.register_group("G", 4, ttp));
+    auto provision = no.provision_router(1, ~Timestamp{0});
+    router = std::make_unique<MeshRouter>(
+        1, provision.keypair, provision.certificate, no.params(),
+        crypto::Drbg::from_string("fuzz-router"));
+    router->install_revocation_lists(no.current_crl(), no.current_url());
+    user = std::make_unique<User>("fuzz-user", no.params(),
+                                  crypto::Drbg::from_string("fuzz-u"));
+    user->complete_enrollment(gm->enroll("fuzz-user", ttp));
+  }
+  static FuzzWorld& get() {
+    static FuzzWorld w;
+    return w;
+  }
+  NetworkOperator no;
+  TrustedThirdParty ttp;
+  std::unique_ptr<GroupManager> gm;
+  std::unique_ptr<MeshRouter> router;
+  std::unique_ptr<User> user;
+};
+
+TEST_P(FuzzTest, BitFlippedAccessRequestsNeverAccepted) {
+  FuzzWorld& w = FuzzWorld::get();
+  crypto::Drbg rng = crypto::Drbg::from_string("fuzz-flip", GetParam());
+  const Timestamp now = 1000 + static_cast<Timestamp>(GetParam()) * 100;
+  const auto beacon = w.router->make_beacon(now);
+  auto m2 = w.user->process_beacon(beacon, now);
+  ASSERT_TRUE(m2.has_value());
+  const Bytes wire = m2->to_bytes();
+
+  for (int i = 0; i < 30; ++i) {
+    Bytes mutated = wire;
+    mutated[rng.uniform(mutated.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.uniform(255));
+    try {
+      const AccessRequest parsed = AccessRequest::from_bytes(mutated);
+      // If it parses, the router must reject it (bad signature / unknown
+      // beacon / wrong timestamp) — it must never establish a session.
+      EXPECT_FALSE(
+          w.router->handle_access_request(parsed, now + 1).has_value());
+    } catch (const Error&) {
+    }
+  }
+  // The pristine request still works afterwards (state not corrupted).
+  EXPECT_TRUE(w.router
+                  ->handle_access_request(AccessRequest::from_bytes(wire),
+                                          now + 2)
+                  .has_value());
+}
+
+TEST_P(FuzzTest, TruncatedMessagesRejected) {
+  FuzzWorld& w = FuzzWorld::get();
+  const Timestamp now = 50'000 + static_cast<Timestamp>(GetParam()) * 100;
+  const auto beacon = w.router->make_beacon(now);
+  const Bytes wire = beacon.to_bytes();
+  for (std::size_t len : {0ul, 1ul, wire.size() / 2, wire.size() - 1}) {
+    EXPECT_THROW(BeaconMessage::from_bytes({wire.data(), len}), Error) << len;
+  }
+  // Trailing garbage also rejected.
+  Bytes extended = wire;
+  extended.push_back(0);
+  EXPECT_THROW(BeaconMessage::from_bytes(extended), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace peace::proto

@@ -1,0 +1,82 @@
+#include "curve/hash_to_curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "curve/pairing.hpp"
+
+namespace peace::curve {
+namespace {
+
+class HashToCurveTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { Bn254::init(); }
+};
+
+TEST_F(HashToCurveTest, FrDeterministic) {
+  EXPECT_EQ(hash_to_fr("d", as_bytes("m")), hash_to_fr("d", as_bytes("m")));
+  EXPECT_NE(hash_to_fr("d", as_bytes("m")), hash_to_fr("d", as_bytes("n")));
+  EXPECT_NE(hash_to_fr("d1", as_bytes("m")), hash_to_fr("d2", as_bytes("m")));
+}
+
+TEST_F(HashToCurveTest, G1OnCurveAndDeterministic) {
+  const G1 p = hash_to_g1("test", as_bytes("message"));
+  EXPECT_TRUE(p.is_on_curve());
+  EXPECT_FALSE(p.is_infinity());
+  EXPECT_EQ(p, hash_to_g1("test", as_bytes("message")));
+  EXPECT_NE(p, hash_to_g1("test", as_bytes("other")));
+}
+
+TEST_F(HashToCurveTest, G1InPrimeOrderSubgroup) {
+  const G1 p = hash_to_g1("test", as_bytes("subgroup"));
+  EXPECT_TRUE((p * Bn254::get().r).is_infinity());
+}
+
+TEST_F(HashToCurveTest, G2OnCurveInSubgroup) {
+  const G2 q = hash_to_g2("test", as_bytes("message"));
+  EXPECT_TRUE(q.is_on_curve());
+  EXPECT_FALSE(q.is_infinity());
+  EXPECT_TRUE((q * Bn254::get().r).is_infinity());
+  EXPECT_EQ(q, hash_to_g2("test", as_bytes("message")));
+}
+
+TEST_F(HashToCurveTest, ManyInputsAllValid) {
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    Bytes msg = {static_cast<std::uint8_t>(i)};
+    const G1 p = hash_to_g1("sweep", msg);
+    EXPECT_TRUE(p.is_on_curve());
+    const G2 q = hash_to_g2("sweep", msg);
+    EXPECT_TRUE(q.is_on_curve());
+    EXPECT_TRUE((q * Bn254::get().r).is_infinity());
+  }
+}
+
+TEST_F(HashToCurveTest, DistinctInputsDistinctPoints) {
+  const G1 a = hash_to_g1("x", as_bytes("1"));
+  const G1 b = hash_to_g1("x", as_bytes("2"));
+  EXPECT_NE(a, b);
+}
+
+TEST_F(HashToCurveTest, HashedPointsPairNontrivially) {
+  const G1 p = hash_to_g1("pair", as_bytes("p"));
+  const G2 q = hash_to_g2("pair", as_bytes("q"));
+  EXPECT_FALSE(pairing(p, q).is_one());
+}
+
+TEST_F(HashToCurveTest, SignatureBasesAllDistinct) {
+  const SignatureBases b = hash_to_bases(as_bytes("seed"));
+  EXPECT_TRUE(b.u.is_on_curve());
+  EXPECT_TRUE(b.v.is_on_curve());
+  EXPECT_TRUE(b.v_hat.is_on_curve());
+  EXPECT_NE(b.u, b.v);
+  const SignatureBases b2 = hash_to_bases(as_bytes("seed2"));
+  EXPECT_NE(b.u, b2.u);
+  EXPECT_NE(b.v, b2.v);
+  // Deterministic.
+  const SignatureBases b3 = hash_to_bases(as_bytes("seed"));
+  EXPECT_EQ(b.u, b3.u);
+  EXPECT_EQ(b.v, b3.v);
+  EXPECT_EQ(b.v_hat, b3.v_hat);
+}
+
+}  // namespace
+}  // namespace peace::curve

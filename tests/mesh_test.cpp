@@ -1,0 +1,237 @@
+// The WMN substrate end-to-end: beaconing, auto-connect authentication,
+// peer links, multihop greedy relay, roaming, loss, and revocation-list
+// dissemination through the simulated network.
+#include "mesh/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peace::mesh {
+namespace {
+
+constexpr proto::Timestamp kFarFuture = 1000ull * 86400 * 365;
+
+class MeshTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { curve::Bn254::init(); }
+
+  MeshTest()
+      : no_(crypto::Drbg::from_string("mesh-no")),
+        gm_(no_.register_group("city", 32, ttp_)),
+        net_(sim_, crypto::Drbg::from_string("mesh-net")) {}
+
+  std::unique_ptr<proto::User> make_user(const std::string& uid) {
+    auto user = std::make_unique<proto::User>(
+        uid, no_.params(), crypto::Drbg::from_string("mesh-" + uid));
+    user->complete_enrollment(gm_.enroll(uid, ttp_));
+    return user;
+  }
+
+  proto::NetworkOperator no_;
+  proto::TrustedThirdParty ttp_;
+  proto::GroupManager gm_;
+  Simulator sim_;
+  MeshNetwork net_;
+};
+
+TEST_F(MeshTest, UserInCoverageConnects) {
+  net_.add_router({0, 0}, no_, kFarFuture);
+  const NodeId u = net_.add_user({50, 0}, make_user("u1"));
+  net_.start_beaconing(100, 1000, 3000);
+  sim_.run_until(5000);
+  EXPECT_TRUE(net_.is_connected(u));
+  EXPECT_TRUE(net_.serving_router(u).has_value());
+}
+
+TEST_F(MeshTest, UserOutOfCoverageDoesNot) {
+  net_.add_router({0, 0}, no_, kFarFuture);
+  const NodeId far = net_.add_user({1000, 1000}, make_user("far"));
+  net_.start_beaconing(100, 1000, 3000);
+  sim_.run_until(5000);
+  EXPECT_FALSE(net_.is_connected(far));
+}
+
+TEST_F(MeshTest, DirectDataDelivery) {
+  const NodeId r = net_.add_router({0, 0}, no_, kFarFuture);
+  const NodeId u = net_.add_user({40, 0}, make_user("u1"));
+  net_.start_beaconing(100, 1000, 1100);
+  sim_.run_until(2000);
+  ASSERT_TRUE(net_.is_connected(u));
+  EXPECT_TRUE(net_.send_data(u, as_bytes("hello metro mesh")));
+  EXPECT_EQ(net_.stats().data_delivered, 1u);
+  EXPECT_EQ(net_.router(r).stats().accepted, 1u);
+}
+
+TEST_F(MeshTest, MultihopRelayDelivery) {
+  // User at 200m: inside router coverage (250) for auth, outside the 80m
+  // data radio — data must relay through the chain of peers.
+  net_.add_router({0, 0}, no_, kFarFuture);
+  const NodeId near = net_.add_user({60, 0}, make_user("near"));
+  const NodeId mid = net_.add_user({130, 0}, make_user("mid"));
+  const NodeId far = net_.add_user({200, 0}, make_user("far"));
+  net_.start_beaconing(100, 1000, 1100);
+  sim_.run_until(2000);
+  ASSERT_TRUE(net_.is_connected(far));
+  net_.establish_peer_links();
+  sim_.run_until(3000);
+
+  ASSERT_TRUE(net_.send_data(far, as_bytes("relayed")));
+  EXPECT_EQ(net_.stats().data_delivered, 1u);
+  EXPECT_EQ(net_.stats().relay_hops_total, 2u);  // far -> mid -> near -> router
+  (void)near;
+  (void)mid;
+}
+
+TEST_F(MeshTest, RelayStuckWithoutPeers) {
+  net_.add_router({0, 0}, no_, kFarFuture);
+  const NodeId far = net_.add_user({200, 0}, make_user("far"));
+  net_.start_beaconing(100, 1000, 1100);
+  sim_.run_until(2000);
+  ASSERT_TRUE(net_.is_connected(far));
+  // No peer links established: greedy relay has no next hop.
+  EXPECT_FALSE(net_.send_data(far, as_bytes("lost")));
+  EXPECT_EQ(net_.stats().data_undeliverable, 1u);
+}
+
+TEST_F(MeshTest, ManyUsersAllConnect) {
+  net_.add_router({0, 0}, no_, kFarFuture);
+  net_.add_router({400, 0}, no_, kFarFuture);
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(net_.add_user({40.0 * i, 10.0}, make_user(std::string("u") + std::to_string(i))));
+  }
+  net_.start_beaconing(100, 500, 2100);
+  sim_.run_until(4000);
+  for (const NodeId id : ids) EXPECT_TRUE(net_.is_connected(id)) << id;
+}
+
+TEST_F(MeshTest, LossyRadioEventuallyConnects) {
+  Simulator sim;
+  MeshNetwork lossy(sim, crypto::Drbg::from_string("lossy"),
+                    RadioConfig{.router_range = 250, .user_range = 80, .loss_probability = 0.4, .latency_ms = 2});
+  lossy.add_router({0, 0}, no_, kFarFuture);
+  const NodeId u = lossy.add_user({50, 0}, make_user("lossy-user"));
+  lossy.start_beaconing(100, 500, 20000);  // many retries available
+  sim.run_until(30000);
+  EXPECT_TRUE(lossy.is_connected(u));
+  EXPECT_GT(lossy.stats().frames_lost, 0u);
+}
+
+TEST_F(MeshTest, RoamingUserReconnects) {
+  net_.add_router({0, 0}, no_, kFarFuture);
+  const NodeId r2 = net_.add_router({1000, 0}, no_, kFarFuture);
+  const NodeId u = net_.add_user({50, 0}, make_user("roamer"));
+  net_.start_beaconing(100, 500, 600);
+  sim_.run_until(1000);
+  ASSERT_TRUE(net_.is_connected(u));
+  const auto first = net_.serving_router(u);
+
+  // Move into the second router's coverage and re-associate: the next
+  // beacon triggers a fresh anonymous handshake with r2 — a brand-new
+  // session, never a resumption (fresh identifiers per the privacy model).
+  net_.move_user(u, {1000 + 50, 0});
+  net_.reassociate(u);
+  EXPECT_FALSE(net_.is_connected(u));
+  net_.start_beaconing(1500, 500, 2600);
+  sim_.run_until(3000);
+  ASSERT_TRUE(net_.is_connected(u));
+  EXPECT_NE(net_.serving_router(u), first);
+  EXPECT_EQ(net_.serving_router(u), net_.router(r2).id());
+  // Data flows through the new router.
+  EXPECT_TRUE(net_.send_data(u, as_bytes("roamed traffic")));
+}
+
+TEST_F(MeshTest, RevocationListPropagatesThroughBeacons) {
+  net_.add_router({0, 0}, no_, kFarFuture);
+  const auto enrollment = gm_.enroll("badguy", ttp_);
+  auto bad = std::make_unique<proto::User>(
+      "badguy", no_.params(), crypto::Drbg::from_string("badguy"));
+  bad->complete_enrollment(enrollment);
+  const NodeId b = net_.add_user({30, 0}, std::move(bad));
+
+  no_.revoke_user_key(enrollment.index, 50);
+  net_.push_revocation_lists(no_.current_crl(), no_.current_url());
+
+  net_.start_beaconing(100, 500, 2100);
+  sim_.run_until(4000);
+  EXPECT_FALSE(net_.is_connected(b));
+
+  // A good user connects through the same beacons.
+  const NodeId g = net_.add_user({35, 0}, make_user("goodguy"));
+  net_.start_beaconing(5000, 500, 6100);
+  sim_.run_until(8000);
+  EXPECT_TRUE(net_.is_connected(g));
+}
+
+TEST_F(MeshTest, TapsSeeAllTraffic) {
+  net_.add_router({0, 0}, no_, kFarFuture);
+  net_.add_user({40, 0}, make_user("observed"));
+  std::size_t taps = 0;
+  net_.add_tap([&taps](const WireObservation&) { ++taps; });
+  net_.start_beaconing(100, 1000, 1100);
+  sim_.run_until(2000);
+  EXPECT_GT(taps, 0u);
+  EXPECT_EQ(net_.stats().frames_transmitted, taps);
+}
+
+TEST_F(MeshTest, ThreeLayerInternetDelivery) {
+  // Paper Fig. 1: user -> router -> multihop backbone -> wired AP.
+  // Routers 400 m apart (backbone range 500), AP at the far end.
+  const NodeId r1 = net_.add_router({0, 0}, no_, kFarFuture);
+  net_.add_router({400, 0}, no_, kFarFuture);
+  net_.add_router({800, 0}, no_, kFarFuture);
+  net_.add_access_point({1200, 0});
+  const NodeId u = net_.add_user({30, 0}, make_user("websurfer"));
+
+  net_.start_beaconing(100, 1000, 1100);
+  sim_.run_until(2000);
+  ASSERT_TRUE(net_.is_connected(u));
+  ASSERT_EQ(net_.serving_router(u), net_.router(r1).id());
+
+  const auto hops = net_.backbone_hops_to_ap(r1);
+  ASSERT_TRUE(hops.has_value());
+  EXPECT_EQ(*hops, 3u);  // r1 -> r2 -> r3 -> AP
+
+  EXPECT_TRUE(net_.send_to_internet(u, as_bytes("GET / HTTP/1.1")));
+  EXPECT_EQ(net_.stats().internet_delivered, 1u);
+  EXPECT_EQ(net_.stats().backbone_hops_total, 3u);
+  EXPECT_EQ(net_.stats().backbone_mac_failures, 0u);
+}
+
+TEST_F(MeshTest, InternetUnreachableWithoutAp) {
+  net_.add_router({0, 0}, no_, kFarFuture);
+  const NodeId u = net_.add_user({30, 0}, make_user("isolated"));
+  net_.start_beaconing(100, 1000, 1100);
+  sim_.run_until(2000);
+  ASSERT_TRUE(net_.is_connected(u));
+  EXPECT_FALSE(net_.send_to_internet(u, as_bytes("hello?")));
+  EXPECT_GE(net_.stats().data_undeliverable, 1u);
+}
+
+TEST_F(MeshTest, BackbonePartitionDetected) {
+  // A gap larger than backbone_range splits the backbone: the near router
+  // cannot reach the AP behind the gap.
+  const NodeId r1 = net_.add_router({0, 0}, no_, kFarFuture);
+  net_.add_router({2000, 0}, no_, kFarFuture);  // unreachable island
+  net_.add_access_point({2400, 0});
+  EXPECT_FALSE(net_.backbone_hops_to_ap(r1).has_value());
+  EXPECT_THROW(net_.backbone_hops_to_ap(999), Error);
+}
+
+TEST_F(MeshTest, ApAdjacentRouterIsZeroBackboneHops) {
+  const NodeId r = net_.add_router({0, 0}, no_, kFarFuture);
+  net_.add_access_point({100, 0});
+  EXPECT_EQ(net_.backbone_hops_to_ap(r), 1u);
+}
+
+TEST_F(MeshTest, PositionsAndAccessors) {
+  const NodeId r = net_.add_router({1, 2}, no_, kFarFuture);
+  EXPECT_DOUBLE_EQ(net_.position(r).x, 1.0);
+  EXPECT_EQ(net_.router_ids().size(), 1u);
+  EXPECT_EQ(net_.user_ids().size(), 0u);
+  EXPECT_THROW(net_.user(r), Error);
+  EXPECT_THROW(net_.position(999), Error);
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+}
+
+}  // namespace
+}  // namespace peace::mesh

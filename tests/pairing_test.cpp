@@ -1,0 +1,180 @@
+// Pairing correctness: bilinearity, non-degeneracy, and agreement between
+// the optimal-ate implementation and the independent Tate reference.
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "curve/ecdsa.hpp"
+#include "curve/pairing.hpp"
+
+namespace peace::curve {
+namespace {
+
+using math::U256;
+
+class PairingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { Bn254::init(); }
+  crypto::Drbg rng_ = crypto::Drbg::from_string("pairing-test");
+};
+
+TEST_F(PairingTest, NonDegenerate) {
+  const GT e = pairing(Bn254::get().g1_gen, Bn254::get().g2_gen);
+  EXPECT_FALSE(e.is_one());
+  EXPECT_FALSE(e.is_zero());
+}
+
+TEST_F(PairingTest, GtHasOrderR) {
+  const GT e = gt_generator();
+  EXPECT_TRUE(e.pow(Bn254::get().r).is_one());
+}
+
+TEST_F(PairingTest, InfinityMapsToOne) {
+  EXPECT_TRUE(pairing(G1::infinity(), Bn254::get().g2_gen).is_one());
+  EXPECT_TRUE(pairing(Bn254::get().g1_gen, G2::infinity()).is_one());
+}
+
+TEST_F(PairingTest, BilinearInFirstArgument) {
+  const Fr a = random_fr(rng_);
+  const G1 g1 = Bn254::get().g1_gen;
+  const G2 g2 = Bn254::get().g2_gen;
+  EXPECT_EQ(pairing(g1 * a, g2), pairing(g1, g2).pow(a.to_u256()));
+}
+
+TEST_F(PairingTest, BilinearInSecondArgument) {
+  const Fr b = random_fr(rng_);
+  const G1 g1 = Bn254::get().g1_gen;
+  const G2 g2 = Bn254::get().g2_gen;
+  EXPECT_EQ(pairing(g1, g2 * b), pairing(g1, g2).pow(b.to_u256()));
+}
+
+TEST_F(PairingTest, FullBilinearity) {
+  const Fr a = random_fr(rng_), b = random_fr(rng_);
+  const G1 g1 = Bn254::get().g1_gen;
+  const G2 g2 = Bn254::get().g2_gen;
+  EXPECT_EQ(pairing(g1 * a, g2 * b), gt_generator().pow((a * b).to_u256()));
+}
+
+TEST_F(PairingTest, AdditiveInFirstArgument) {
+  const G1 p1 = Bn254::get().g1_gen * random_fr(rng_);
+  const G1 p2 = Bn254::get().g1_gen * random_fr(rng_);
+  const G2 q = Bn254::get().g2_gen * random_fr(rng_);
+  EXPECT_EQ(pairing(p1 + p2, q), pairing(p1, q) * pairing(p2, q));
+}
+
+TEST_F(PairingTest, NegationInvertsPairing) {
+  const G1 p = Bn254::get().g1_gen * random_fr(rng_);
+  const G2 q = Bn254::get().g2_gen * random_fr(rng_);
+  EXPECT_EQ(pairing(-p, q), pairing(p, q).unitary_inverse());
+  EXPECT_TRUE((pairing(p, q) * pairing(-p, q)).is_one());
+}
+
+TEST_F(PairingTest, ConsistentWithTateReference) {
+  // The optimal-ate and reduced-Tate maps are both pairings on G1 x G2 but
+  // differ by a fixed r-coprime exponent (a standard relation); pointwise
+  // equality is not expected. What must hold for both, on the same inputs:
+  // bilinearity with the same scalars, values of exact order r, and
+  // non-degeneracy.
+  const Fr a = random_fr(rng_), b = random_fr(rng_);
+  const G1 g1 = Bn254::get().g1_gen;
+  const G2 g2 = Bn254::get().g2_gen;
+  const GT t = pairing_reference(g1, g2);
+  const GT t_ab = pairing_reference(g1 * a, g2 * b);
+  EXPECT_EQ(t_ab, t.pow((a * b).to_u256()));
+  EXPECT_FALSE(t.is_one());
+  EXPECT_TRUE(t.pow(Bn254::get().r).is_one());
+  // Same scalar moved between the two maps produces the same exponent
+  // action: e(aP, Q) relates to e(P, Q) identically for ate and tate.
+  const GT at = pairing(g1, g2);
+  EXPECT_EQ(pairing(g1 * a, g2), at.pow(a.to_u256()));
+  EXPECT_EQ(pairing_reference(g1 * a, g2), t.pow(a.to_u256()));
+}
+
+TEST_F(PairingTest, TateReferenceBilinear) {
+  const Fr a = random_fr(rng_);
+  const G1 g1 = Bn254::get().g1_gen;
+  const G2 g2 = Bn254::get().g2_gen;
+  EXPECT_EQ(pairing_reference(g1 * a, g2),
+            pairing_reference(g1, g2).pow(a.to_u256()));
+}
+
+TEST_F(PairingTest, MultiPairingMatchesProduct) {
+  const G1 p1 = Bn254::get().g1_gen * random_fr(rng_);
+  const G1 p2 = Bn254::get().g1_gen * random_fr(rng_);
+  const G2 q1 = Bn254::get().g2_gen * random_fr(rng_);
+  const G2 q2 = Bn254::get().g2_gen * random_fr(rng_);
+  EXPECT_EQ(multi_pairing({{p1, q1}, {p2, q2}}),
+            pairing(p1, q1) * pairing(p2, q2));
+  EXPECT_TRUE(multi_pairing({}).is_one());
+}
+
+TEST_F(PairingTest, ProductOfPairingsDetectsDlogRelation) {
+  // e(P^a, Q) * e(P^-a, Q) = 1: the identity-check pattern used by the
+  // revocation equation Eq.3.
+  const Fr a = random_fr(rng_);
+  const G1 p = Bn254::get().g1_gen;
+  const G2 q = Bn254::get().g2_gen * random_fr(rng_);
+  EXPECT_TRUE(multi_pairing({{p * a, q}, {-(p * a), q}}).is_one());
+}
+
+TEST_F(PairingTest, UntwistedPointOnCurve) {
+  // The untwist map must land on E(Fp12): y^2 = x^3 + 3.
+  math::Fp12 x, y;
+  untwist(Bn254::get().g2_gen, x, y);
+  math::Fp12 three = math::Fp12::one();
+  three = three + three + math::Fp12::one();
+  EXPECT_EQ(y * y, x * x * x + three);
+}
+
+TEST_F(PairingTest, FinalExponentiationKillsSubfield) {
+  // Elements of Fp6 (c1 = 0) must map to 1: the denominator-elimination
+  // property the Tate reference relies on.
+  crypto::Drbg rng = crypto::Drbg::from_string("fexp-subfield");
+  const math::Fp6 sub{{math::Fp::from_bytes_reduce(rng.bytes(32)),
+                       math::Fp::from_bytes_reduce(rng.bytes(32))},
+                      {math::Fp::from_bytes_reduce(rng.bytes(32)),
+                       math::Fp::from_bytes_reduce(rng.bytes(32))},
+                      {math::Fp::from_bytes_reduce(rng.bytes(32)),
+                       math::Fp::from_bytes_reduce(rng.bytes(32))}};
+  EXPECT_TRUE(final_exponentiation(math::Fp12(sub, math::Fp6::zero())).is_one());
+}
+
+TEST_F(PairingTest, HardPartChainMatchesGenericPath) {
+  // The optimized final exponentiation must agree exactly with the
+  // independent generic square-and-multiply on arbitrary Miller outputs.
+  for (int i = 0; i < 3; ++i) {
+    const G1 p = Bn254::get().g1_gen * random_fr(rng_);
+    const G2 q = Bn254::get().g2_gen * random_fr(rng_);
+    const math::Fp12 m = miller_loop(p, q);
+    EXPECT_EQ(final_exponentiation(m), final_exponentiation_generic(m));
+  }
+}
+
+TEST_F(PairingTest, PairingOpCounterAdvances) {
+  const std::uint64_t before = pairing_op_count();
+  pairing(Bn254::get().g1_gen, Bn254::get().g2_gen);
+  EXPECT_EQ(pairing_op_count(), before + 1);
+}
+
+class PairingProperty : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() { Bn254::init(); }
+};
+
+TEST_P(PairingProperty, BilinearityAcrossSeeds) {
+  crypto::Drbg rng = crypto::Drbg::from_string("pairing-prop", GetParam());
+  const Fr a = random_fr(rng), b = random_fr(rng);
+  const G1 p = Bn254::get().g1_gen * random_fr(rng);
+  const G2 q = Bn254::get().g2_gen * random_fr(rng);
+  const GT base = pairing(p, q);
+  // e(aP, bQ) = e(P, Q)^(ab), e(aP, Q) * e(P, Q)^b = e(P, Q)^(a+b).
+  EXPECT_EQ(pairing(p * a, q * b), base.pow((a * b).to_u256()));
+  EXPECT_EQ(pairing(p * a, q) * base.pow(b.to_u256()),
+            base.pow((a + b).to_u256()));
+  // Swap argument sides: e(aP, Q) == e(P, aQ).
+  EXPECT_EQ(pairing(p * a, q), pairing(p, q * a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairingProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace peace::curve

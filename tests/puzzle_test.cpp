@@ -1,0 +1,84 @@
+#include "peace/puzzle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peace::proto {
+namespace {
+
+TEST(Puzzle, SolveAndVerify) {
+  const auto challenge = make_puzzle(to_bytes("nonce-1"), 8);
+  const auto solution = solve_puzzle(challenge, as_bytes("client-dh-share"));
+  EXPECT_TRUE(verify_puzzle(challenge, solution, as_bytes("client-dh-share")));
+}
+
+TEST(Puzzle, ZeroDifficultyTrivial) {
+  const auto challenge = make_puzzle(to_bytes("n"), 0);
+  const auto solution = solve_puzzle(challenge, as_bytes("c"));
+  EXPECT_EQ(solution.solution, 0u);
+  EXPECT_TRUE(verify_puzzle(challenge, solution, as_bytes("c")));
+}
+
+TEST(Puzzle, SolutionBoundToClient) {
+  const auto challenge = make_puzzle(to_bytes("nonce"), 8);
+  const auto solution = solve_puzzle(challenge, as_bytes("client-a"));
+  EXPECT_FALSE(verify_puzzle(challenge, solution, as_bytes("client-b")));
+}
+
+TEST(Puzzle, SolutionBoundToNonce) {
+  const auto c1 = make_puzzle(to_bytes("nonce-1"), 8);
+  const auto c2 = make_puzzle(to_bytes("nonce-2"), 8);
+  const auto s1 = solve_puzzle(c1, as_bytes("c"));
+  EXPECT_FALSE(verify_puzzle(c2, s1, as_bytes("c")));
+}
+
+TEST(Puzzle, WrongSolutionRejected) {
+  const auto challenge = make_puzzle(to_bytes("n"), 12);
+  auto solution = solve_puzzle(challenge, as_bytes("c"));
+  solution.solution += 1;
+  // Overwhelmingly unlikely to also be a solution.
+  EXPECT_FALSE(verify_puzzle(challenge, solution, as_bytes("c")));
+}
+
+TEST(Puzzle, DifficultyCapEnforced) {
+  EXPECT_THROW(make_puzzle(to_bytes("n"), 41), Error);
+  EXPECT_NO_THROW(make_puzzle(to_bytes("n"), 20));
+}
+
+TEST(Puzzle, ExpectedWorkDoubles) {
+  EXPECT_DOUBLE_EQ(puzzle_expected_work(0), 1.0);
+  EXPECT_DOUBLE_EQ(puzzle_expected_work(10), 1024.0);
+  EXPECT_DOUBLE_EQ(puzzle_expected_work(11) / puzzle_expected_work(10), 2.0);
+}
+
+TEST(Puzzle, SerializationRoundTrip) {
+  const auto challenge = make_puzzle(to_bytes("nonce-xyz"), 14);
+  EXPECT_EQ(PuzzleChallenge::from_bytes(challenge.to_bytes()), challenge);
+  const PuzzleSolution sol{to_bytes("nonce-xyz"), 123456789};
+  EXPECT_EQ(PuzzleSolution::from_bytes(sol.to_bytes()), sol);
+}
+
+class PuzzleWork : public ::testing::TestWithParam<int> {};
+
+TEST_P(PuzzleWork, HigherDifficultyMoreIterations) {
+  // The solver's found index is a proxy for work; across a few nonces the
+  // average index should grow with difficulty (geometric with mean 2^d).
+  const int d = GetParam();
+  double total = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto challenge =
+        make_puzzle(to_bytes("nonce-" + std::to_string(i)), static_cast<std::uint8_t>(d));
+    total += static_cast<double>(
+        solve_puzzle(challenge, as_bytes("client")).solution);
+  }
+  const double mean = total / 8;
+  // Loose sanity bounds: mean ~ 2^d.
+  EXPECT_LT(mean, 40.0 * (1 << d));
+  if (d >= 6) {
+    EXPECT_GT(mean, (1 << d) / 40.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Difficulties, PuzzleWork, ::testing::Values(0, 4, 8, 10));
+
+}  // namespace
+}  // namespace peace::proto

@@ -1,0 +1,154 @@
+// The sophisticated-privacy model (paper Sec. III.C): a user's identity is
+// multi-faceted; they interact with the WMN in different roles and a
+// dispute is attributed only to the role's group. These tests exercise a
+// user holding several credentials and choosing a role per session.
+#include <gtest/gtest.h>
+
+#include "peace/router.hpp"
+#include "peace/user.hpp"
+
+namespace peace::proto {
+namespace {
+
+constexpr Timestamp kFarFuture = 1000ull * 86400 * 365;
+
+class RolesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { curve::Bn254::init(); }
+
+  RolesTest()
+      : no_(crypto::Drbg::from_string("roles-no")),
+        carol_("carol", no_.params(), crypto::Drbg::from_string("roles-c")) {
+    employer_ =
+        std::make_unique<GroupManager>(no_.register_group("employer", 4, ttp_));
+    university_ = std::make_unique<GroupManager>(
+        no_.register_group("university", 4, ttp_));
+    golf_ = std::make_unique<GroupManager>(no_.register_group("golf", 4, ttp_));
+
+    auto provision = no_.provision_router(1, kFarFuture);
+    router_ = std::make_unique<MeshRouter>(
+        1, provision.keypair, provision.certificate, no_.params(),
+        crypto::Drbg::from_string("roles-r"));
+    router_->install_revocation_lists(no_.current_crl(), no_.current_url());
+
+    carol_.complete_enrollment(employer_->enroll("carol", ttp_));
+    carol_.complete_enrollment(university_->enroll("carol", ttp_));
+    carol_.complete_enrollment(golf_->enroll("carol", ttp_));
+  }
+
+  std::optional<AccessRequest> connect_via(GroupId role, Timestamp now) {
+    const auto beacon = router_->make_beacon(now);
+    auto m2 = carol_.process_beacon(beacon, now, role);
+    if (m2.has_value()) {
+      EXPECT_TRUE(router_->handle_access_request(*m2, now + 1).has_value());
+    }
+    return m2;
+  }
+
+  NetworkOperator no_;
+  TrustedThirdParty ttp_;
+  std::unique_ptr<GroupManager> employer_, university_, golf_;
+  std::unique_ptr<MeshRouter> router_;
+  User carol_;
+};
+
+TEST_F(RolesTest, ThreeRolesEnrolled) {
+  EXPECT_EQ(carol_.enrolled_groups().size(), 3u);
+  for (const GroupManager* gm :
+       {employer_.get(), university_.get(), golf_.get()}) {
+    EXPECT_TRUE(carol_.credential(gm->id()).is_valid(no_.params().gpk));
+  }
+}
+
+TEST_F(RolesTest, EachRoleConnectsAndAuditsToItsOwnGroup) {
+  Timestamp now = 1000;
+  for (const GroupManager* gm :
+       {employer_.get(), university_.get(), golf_.get()}) {
+    auto m2 = connect_via(gm->id(), now);
+    ASSERT_TRUE(m2.has_value());
+    const auto audit = no_.audit(*m2);
+    ASSERT_TRUE(audit.has_value());
+    EXPECT_EQ(audit->group_id, gm->id());
+    now += 1000;
+  }
+}
+
+TEST_F(RolesTest, RolesAreMutuallyUnlinkableByAudit) {
+  // Three sessions under three roles pin three *different* credentials —
+  // NO cannot tell they belong to the same person.
+  auto e = connect_via(employer_->id(), 1000);
+  auto u = connect_via(university_->id(), 2000);
+  auto g = connect_via(golf_->id(), 3000);
+  const auto ae = no_.audit(*e);
+  const auto au = no_.audit(*u);
+  const auto ag = no_.audit(*g);
+  EXPECT_NE(ae->token.a, au->token.a);
+  EXPECT_NE(au->token.a, ag->token.a);
+  EXPECT_NE(ae->token.a, ag->token.a);
+}
+
+TEST_F(RolesTest, RevokingOneRoleLeavesOthersUsable) {
+  // The golf club kicks carol out; her employee and student roles work on.
+  auto g = connect_via(golf_->id(), 1000);
+  const auto audit = no_.audit(*g);
+  no_.revoke_user_key(audit->index, 1500);
+  router_->install_revocation_lists(no_.current_crl(), no_.current_url());
+
+  // Golf role now rejected.
+  const auto beacon = router_->make_beacon(2000);
+  auto m2 = carol_.process_beacon(beacon, 2000, golf_->id());
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_FALSE(router_->handle_access_request(*m2, 2001).has_value());
+
+  // Employer role unaffected.
+  EXPECT_TRUE(connect_via(employer_->id(), 3000).has_value());
+}
+
+TEST_F(RolesTest, LawTraceResolvesThroughTheRoleGroupOnly) {
+  auto u = connect_via(university_->id(), 1000);
+  // Only the university GM can complete the trace for this session.
+  EXPECT_FALSE(
+      LawAuthority::trace(no_, {employer_.get(), golf_.get()}, *u).has_value());
+  const auto traced = LawAuthority::trace(no_, {university_.get()}, *u);
+  ASSERT_TRUE(traced.has_value());
+  EXPECT_EQ(traced->uid, "carol");
+  EXPECT_EQ(traced->group_id, university_->id());
+}
+
+TEST_F(RolesTest, UnknownRoleThrows) {
+  const auto beacon = router_->make_beacon(1000);
+  EXPECT_THROW(carol_.process_beacon(beacon, 1000, /*via_group=*/999), Error);
+  EXPECT_THROW(carol_.credential(999), Error);
+}
+
+TEST_F(RolesTest, DefaultRoleIsFirstEnrolled) {
+  const auto beacon = router_->make_beacon(1000);
+  auto m2 = carol_.process_beacon(beacon, 1000, /*via_group=*/0);
+  ASSERT_TRUE(m2.has_value());
+  const auto audit = no_.audit(*m2);
+  ASSERT_TRUE(audit.has_value());
+  EXPECT_EQ(audit->group_id, employer_->id());  // lowest group id
+}
+
+TEST_F(RolesTest, PeerHandshakeCanUseDifferentRolesPerSide) {
+  User dave("dave", no_.params(), crypto::Drbg::from_string("roles-d"));
+  dave.complete_enrollment(golf_->enroll("dave", ttp_));
+  const auto g1 = curve::Bn254::get().g1_gen;
+  const PeerHello hello = carol_.make_peer_hello(g1, 1000, university_->id());
+  auto reply = dave.process_peer_hello(hello, 1010, golf_->id());
+  ASSERT_TRUE(reply.has_value());
+  auto established = carol_.process_peer_reply(*reply, 1020);
+  ASSERT_TRUE(established.has_value());
+  EXPECT_TRUE(dave.process_peer_confirm(established->confirm).has_value());
+}
+
+TEST_F(RolesTest, UserWithNoCredentialCannotParticipate) {
+  User nobody("nobody", no_.params(), crypto::Drbg::from_string("roles-n"));
+  const auto beacon = router_->make_beacon(1000);
+  EXPECT_THROW(nobody.process_beacon(beacon, 1000), Error);
+  EXPECT_THROW(nobody.make_peer_hello(curve::Bn254::get().g1_gen, 1000),
+               Error);
+}
+
+}  // namespace
+}  // namespace peace::proto

@@ -1,0 +1,99 @@
+#include "common/serde.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peace {
+namespace {
+
+TEST(Serde, RoundTripAllTypes) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.bytes(to_bytes("hello"));
+  w.str("world");
+  w.raw(to_bytes("xyz"));
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.bytes(), to_bytes("hello"));
+  EXPECT_EQ(r.str(), "world");
+  EXPECT_EQ(r.raw(3), to_bytes("xyz"));
+  EXPECT_TRUE(r.empty());
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(Serde, TruncationThrows) {
+  Writer w;
+  w.u32(42);
+  Reader r(w.data());
+  EXPECT_EQ(r.u16(), 0u);
+  EXPECT_THROW(r.u32(), Error);
+}
+
+TEST(Serde, LengthPrefixValidated) {
+  // A length prefix larger than the remaining buffer must throw, not
+  // allocate or read out of bounds.
+  Bytes evil = {0xff, 0xff, 0xff, 0xff, 0x01};
+  Reader r(evil);
+  EXPECT_THROW(r.bytes(), Error);
+}
+
+TEST(Serde, TrailingBytesDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.data());
+  r.u8();
+  EXPECT_THROW(r.expect_end(), Error);
+}
+
+TEST(Serde, EmptyBytes) {
+  Writer w;
+  w.bytes({});
+  Reader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Serde, BigEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.data(), (Bytes{1, 2, 3, 4}));
+}
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes b = {0x00, 0x7f, 0x80, 0xff};
+  EXPECT_EQ(to_hex(b), "007f80ff");
+  EXPECT_EQ(from_hex("007f80ff"), b);
+  EXPECT_EQ(from_hex("007F80FF"), b);
+  EXPECT_THROW(from_hex("abc"), Error);
+  EXPECT_THROW(from_hex("zz"), Error);
+}
+
+TEST(Bytes, CtEqual) {
+  EXPECT_TRUE(ct_equal(to_bytes("same"), to_bytes("same")));
+  EXPECT_FALSE(ct_equal(to_bytes("same"), to_bytes("sane")));
+  EXPECT_FALSE(ct_equal(to_bytes("short"), to_bytes("longer")));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Bytes, XorBytes) {
+  const Bytes a = {0xff, 0x0f, 0x00};
+  const Bytes b = {0x0f, 0x0f};
+  EXPECT_EQ(xor_bytes(a, b), (Bytes{0xf0, 0x00, 0x00}));
+  // Involution when lengths match the first operand.
+  EXPECT_EQ(xor_bytes(xor_bytes(a, b), b), a);
+}
+
+TEST(Bytes, Concat) {
+  EXPECT_EQ(concat(to_bytes("ab"), to_bytes("cd"), to_bytes("e")),
+            to_bytes("abcde"));
+}
+
+}  // namespace
+}  // namespace peace

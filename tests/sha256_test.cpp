@@ -1,0 +1,66 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peace::crypto {
+namespace {
+
+std::string hash_hex(std::string_view msg) {
+  return to_hex(Sha256::hash(as_bytes(msg)));
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hash_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hash_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  auto d = h.finalize();
+  EXPECT_EQ(to_hex({d.data(), d.size()}),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "block boundaries at awkward offsets. ";
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.update(as_bytes(std::string_view(msg).substr(0, split)));
+    h.update(as_bytes(std::string_view(msg).substr(split)));
+    auto d = h.finalize();
+    EXPECT_EQ(Bytes(d.begin(), d.end()), Sha256::hash(as_bytes(msg)));
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  // 55, 56, 63, 64, 65 bytes cross the padding edge cases.
+  for (std::size_t n : {55u, 56u, 63u, 64u, 65u, 119u, 120u}) {
+    const Bytes msg(n, 0x5a);
+    Sha256 h;
+    h.update(msg);
+    auto d = h.finalize();
+    EXPECT_EQ(Bytes(d.begin(), d.end()), Sha256::hash(msg)) << n;
+  }
+}
+
+TEST(Sha256, ConcatHelper) {
+  EXPECT_EQ(sha256_concat(as_bytes("ab"), as_bytes("c")),
+            Sha256::hash(as_bytes("abc")));
+}
+
+}  // namespace
+}  // namespace peace::crypto

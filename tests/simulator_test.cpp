@@ -1,0 +1,75 @@
+#include "mesh/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peace::mesh {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 100u);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, SameTimeFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sim.schedule(10, [&order, i] { order.push_back(i); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(20, [&] { ++fired; });
+  sim.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(25);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) sim.schedule_in(5, chain);
+  };
+  sim.schedule(0, chain);
+  sim.run_all();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), 45u);
+}
+
+TEST(Simulator, PastSchedulingRejected) {
+  Simulator sim;
+  sim.schedule(10, [] {});
+  sim.run_until(50);
+  EXPECT_THROW(sim.schedule(20, [] {}), Error);
+}
+
+TEST(Simulator, RunawayGuard) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.schedule_in(1, forever); };
+  sim.schedule(0, forever);
+  EXPECT_THROW(sim.run_all(/*max_events=*/100), Error);
+}
+
+TEST(Simulator, ClockVisibleInsideEvents) {
+  Simulator sim;
+  SimTime seen = 0;
+  sim.schedule(42, [&] { seen = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(seen, 42u);
+}
+
+}  // namespace
+}  // namespace peace::mesh
