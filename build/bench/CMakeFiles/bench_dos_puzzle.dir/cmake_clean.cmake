@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dos_puzzle.dir/bench_dos_puzzle.cpp.o"
+  "CMakeFiles/bench_dos_puzzle.dir/bench_dos_puzzle.cpp.o.d"
+  "bench_dos_puzzle"
+  "bench_dos_puzzle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dos_puzzle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

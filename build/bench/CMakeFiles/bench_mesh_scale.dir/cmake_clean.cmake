@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mesh_scale.dir/bench_mesh_scale.cpp.o"
+  "CMakeFiles/bench_mesh_scale.dir/bench_mesh_scale.cpp.o.d"
+  "bench_mesh_scale"
+  "bench_mesh_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mesh_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_session_hybrid.dir/bench_session_hybrid.cpp.o"
+  "CMakeFiles/bench_session_hybrid.dir/bench_session_hybrid.cpp.o.d"
+  "bench_session_hybrid"
+  "bench_session_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_session_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sig_size.dir/bench_sig_size.cpp.o"
+  "CMakeFiles/bench_sig_size.dir/bench_sig_size.cpp.o.d"
+  "bench_sig_size"
+  "bench_sig_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sig_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

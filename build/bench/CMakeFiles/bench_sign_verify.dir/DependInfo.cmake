@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sign_verify.cpp" "bench/CMakeFiles/bench_sign_verify.dir/bench_sign_verify.cpp.o" "gcc" "bench/CMakeFiles/bench_sign_verify.dir/bench_sign_verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/peace/CMakeFiles/peace_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/groupsig/CMakeFiles/peace_groupsig.dir/DependInfo.cmake"
+  "/root/repo/build/src/curve/CMakeFiles/peace_curve.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/peace_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/peace_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/peace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

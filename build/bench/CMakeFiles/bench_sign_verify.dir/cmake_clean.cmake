@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sign_verify.dir/bench_sign_verify.cpp.o"
+  "CMakeFiles/bench_sign_verify.dir/bench_sign_verify.cpp.o.d"
+  "bench_sign_verify"
+  "bench_sign_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sign_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

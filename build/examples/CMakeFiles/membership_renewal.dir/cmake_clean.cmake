@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membership_renewal.dir/membership_renewal.cpp.o"
+  "CMakeFiles/membership_renewal.dir/membership_renewal.cpp.o.d"
+  "membership_renewal"
+  "membership_renewal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membership_renewal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peace_baseline.dir/blind_sig.cpp.o"
+  "CMakeFiles/peace_baseline.dir/blind_sig.cpp.o.d"
+  "CMakeFiles/peace_baseline.dir/plain_auth.cpp.o"
+  "CMakeFiles/peace_baseline.dir/plain_auth.cpp.o.d"
+  "CMakeFiles/peace_baseline.dir/ring_sig.cpp.o"
+  "CMakeFiles/peace_baseline.dir/ring_sig.cpp.o.d"
+  "CMakeFiles/peace_baseline.dir/rsa.cpp.o"
+  "CMakeFiles/peace_baseline.dir/rsa.cpp.o.d"
+  "libpeace_baseline.a"
+  "libpeace_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peace_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peace_common.dir/bytes.cpp.o"
+  "CMakeFiles/peace_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/peace_common.dir/serde.cpp.o"
+  "CMakeFiles/peace_common.dir/serde.cpp.o.d"
+  "libpeace_common.a"
+  "libpeace_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peace_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

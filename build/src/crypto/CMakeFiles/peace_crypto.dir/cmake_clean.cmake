@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peace_crypto.dir/aead.cpp.o"
+  "CMakeFiles/peace_crypto.dir/aead.cpp.o.d"
+  "CMakeFiles/peace_crypto.dir/aes.cpp.o"
+  "CMakeFiles/peace_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/peace_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/peace_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/peace_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/peace_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/peace_crypto.dir/gcm.cpp.o"
+  "CMakeFiles/peace_crypto.dir/gcm.cpp.o.d"
+  "CMakeFiles/peace_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/peace_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/peace_crypto.dir/poly1305.cpp.o"
+  "CMakeFiles/peace_crypto.dir/poly1305.cpp.o.d"
+  "CMakeFiles/peace_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/peace_crypto.dir/sha256.cpp.o.d"
+  "libpeace_crypto.a"
+  "libpeace_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peace_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

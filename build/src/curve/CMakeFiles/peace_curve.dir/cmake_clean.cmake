@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peace_curve.dir/bn254.cpp.o"
+  "CMakeFiles/peace_curve.dir/bn254.cpp.o.d"
+  "CMakeFiles/peace_curve.dir/ecdsa.cpp.o"
+  "CMakeFiles/peace_curve.dir/ecdsa.cpp.o.d"
+  "CMakeFiles/peace_curve.dir/hash_to_curve.cpp.o"
+  "CMakeFiles/peace_curve.dir/hash_to_curve.cpp.o.d"
+  "CMakeFiles/peace_curve.dir/pairing.cpp.o"
+  "CMakeFiles/peace_curve.dir/pairing.cpp.o.d"
+  "libpeace_curve.a"
+  "libpeace_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peace_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

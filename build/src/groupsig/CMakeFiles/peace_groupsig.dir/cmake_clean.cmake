@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peace_groupsig.dir/groupsig.cpp.o"
+  "CMakeFiles/peace_groupsig.dir/groupsig.cpp.o.d"
+  "libpeace_groupsig.a"
+  "libpeace_groupsig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peace_groupsig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for peace_groupsig.
+# This may be replaced when dependencies are built.

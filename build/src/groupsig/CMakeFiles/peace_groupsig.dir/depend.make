@@ -1,0 +1,2 @@
+# Empty dependencies file for peace_groupsig.
+# This may be replaced when dependencies are built.

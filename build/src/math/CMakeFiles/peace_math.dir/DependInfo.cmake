@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/bigint.cpp" "src/math/CMakeFiles/peace_math.dir/bigint.cpp.o" "gcc" "src/math/CMakeFiles/peace_math.dir/bigint.cpp.o.d"
+  "/root/repo/src/math/fp.cpp" "src/math/CMakeFiles/peace_math.dir/fp.cpp.o" "gcc" "src/math/CMakeFiles/peace_math.dir/fp.cpp.o.d"
+  "/root/repo/src/math/fp12.cpp" "src/math/CMakeFiles/peace_math.dir/fp12.cpp.o" "gcc" "src/math/CMakeFiles/peace_math.dir/fp12.cpp.o.d"
+  "/root/repo/src/math/fp2.cpp" "src/math/CMakeFiles/peace_math.dir/fp2.cpp.o" "gcc" "src/math/CMakeFiles/peace_math.dir/fp2.cpp.o.d"
+  "/root/repo/src/math/u256.cpp" "src/math/CMakeFiles/peace_math.dir/u256.cpp.o" "gcc" "src/math/CMakeFiles/peace_math.dir/u256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/peace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

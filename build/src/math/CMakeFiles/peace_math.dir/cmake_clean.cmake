@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peace_math.dir/bigint.cpp.o"
+  "CMakeFiles/peace_math.dir/bigint.cpp.o.d"
+  "CMakeFiles/peace_math.dir/fp.cpp.o"
+  "CMakeFiles/peace_math.dir/fp.cpp.o.d"
+  "CMakeFiles/peace_math.dir/fp12.cpp.o"
+  "CMakeFiles/peace_math.dir/fp12.cpp.o.d"
+  "CMakeFiles/peace_math.dir/fp2.cpp.o"
+  "CMakeFiles/peace_math.dir/fp2.cpp.o.d"
+  "CMakeFiles/peace_math.dir/u256.cpp.o"
+  "CMakeFiles/peace_math.dir/u256.cpp.o.d"
+  "libpeace_math.a"
+  "libpeace_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peace_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpeace_math.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peace_mesh.dir/adversary.cpp.o"
+  "CMakeFiles/peace_mesh.dir/adversary.cpp.o.d"
+  "CMakeFiles/peace_mesh.dir/network.cpp.o"
+  "CMakeFiles/peace_mesh.dir/network.cpp.o.d"
+  "CMakeFiles/peace_mesh.dir/simulator.cpp.o"
+  "CMakeFiles/peace_mesh.dir/simulator.cpp.o.d"
+  "libpeace_mesh.a"
+  "libpeace_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peace_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peace_proto.dir/entities.cpp.o"
+  "CMakeFiles/peace_proto.dir/entities.cpp.o.d"
+  "CMakeFiles/peace_proto.dir/messages.cpp.o"
+  "CMakeFiles/peace_proto.dir/messages.cpp.o.d"
+  "CMakeFiles/peace_proto.dir/puzzle.cpp.o"
+  "CMakeFiles/peace_proto.dir/puzzle.cpp.o.d"
+  "CMakeFiles/peace_proto.dir/router.cpp.o"
+  "CMakeFiles/peace_proto.dir/router.cpp.o.d"
+  "CMakeFiles/peace_proto.dir/session.cpp.o"
+  "CMakeFiles/peace_proto.dir/session.cpp.o.d"
+  "CMakeFiles/peace_proto.dir/user.cpp.o"
+  "CMakeFiles/peace_proto.dir/user.cpp.o.d"
+  "libpeace_proto.a"
+  "libpeace_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peace_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for peace_proto.
+# This may be replaced when dependencies are built.

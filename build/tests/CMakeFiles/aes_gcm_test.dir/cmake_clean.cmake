@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aes_gcm_test.dir/aes_gcm_test.cpp.o"
+  "CMakeFiles/aes_gcm_test.dir/aes_gcm_test.cpp.o.d"
+  "aes_gcm_test"
+  "aes_gcm_test.pdb"
+  "aes_gcm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aes_gcm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

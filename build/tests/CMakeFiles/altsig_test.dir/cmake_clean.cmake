@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altsig_test.dir/altsig_test.cpp.o"
+  "CMakeFiles/altsig_test.dir/altsig_test.cpp.o.d"
+  "altsig_test"
+  "altsig_test.pdb"
+  "altsig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altsig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupsig_test.dir/groupsig_test.cpp.o"
+  "CMakeFiles/groupsig_test.dir/groupsig_test.cpp.o.d"
+  "groupsig_test"
+  "groupsig_test.pdb"
+  "groupsig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupsig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_to_curve_test.dir/hash_to_curve_test.cpp.o"
+  "CMakeFiles/hash_to_curve_test.dir/hash_to_curve_test.cpp.o.d"
+  "hash_to_curve_test"
+  "hash_to_curve_test.pdb"
+  "hash_to_curve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_to_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

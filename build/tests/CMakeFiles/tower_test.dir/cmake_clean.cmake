@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tower_test.dir/tower_test.cpp.o"
+  "CMakeFiles/tower_test.dir/tower_test.cpp.o.d"
+  "tower_test"
+  "tower_test.pdb"
+  "tower_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tower_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

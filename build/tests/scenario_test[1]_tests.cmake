@@ -1,0 +1,3 @@
+add_test([=[ScenarioTest.FullOperationalCycle]=]  /root/repo/build/tests/scenario_test [==[--gtest_filter=ScenarioTest.FullOperationalCycle]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[ScenarioTest.FullOperationalCycle]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 600)
+set(  scenario_test_TESTS ScenarioTest.FullOperationalCycle)
