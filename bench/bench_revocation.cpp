@@ -81,6 +81,70 @@ BENCHMARK(BM_FastEpochRevocation)
     ->Arg(128)
     ->Unit(benchmark::kMillisecond);
 
+void BM_FullVerifyWithUrlPrepared(benchmark::State& state) {
+  // Full verify (proof + URL scan) against a PreparedGroupPublicKey —
+  // compare against BM_GroupVerifyWithUrl in bench_sign_verify for the
+  // prepared-vs-unprepared delta at each list size.
+  World& w = World::instance();
+  crypto::Drbg rng = crypto::Drbg::from_string("e4p", state.range(0));
+  const auto& key = w.user->credential(w.gm.id());
+  const auto sig = groupsig::sign(w.no.params().gpk, key, as_bytes("m"), rng);
+  const auto issuer = groupsig::Issuer::create(rng);
+  const auto url = make_url(issuer, rng, static_cast<int>(state.range(0)));
+  const groupsig::PreparedGroupPublicKey pgpk(w.no.params().gpk);
+  groupsig::OpCounters ops;
+  for (auto _ : state) {
+    ops.reset();
+    bool ok = groupsig::verify(pgpk, as_bytes("m"), sig, url, &ops);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["url_size"] = static_cast<double>(state.range(0));
+  state.counters["pairings"] = static_cast<double>(ops.pairings);
+}
+BENCHMARK(BM_FullVerifyWithUrlPrepared)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PooledUrlScan(benchmark::State& state) {
+  // The linear URL scan fanned out over a VerifyPool: one token check per
+  // job, 16-entry list, at 1/2/4/8 threads. Hit/miss results are asserted
+  // identical to the sequential scan.
+  World& w = World::instance();
+  crypto::Drbg rng = crypto::Drbg::from_string("e4pool");
+  const auto& key = w.user->credential(w.gm.id());
+  const auto sig = groupsig::sign(w.no.params().gpk, key, as_bytes("m"), rng);
+  const auto issuer = groupsig::Issuer::create(rng);
+  const auto url = make_url(issuer, rng, 16);
+  std::vector<char> expected(url.size()), got(url.size());
+  for (std::size_t i = 0; i < url.size(); ++i)
+    expected[i] =
+        groupsig::matches_token(w.no.params().gpk, as_bytes("m"), sig, url[i]);
+  proto::VerifyPool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    pool.run(url.size(), [&](std::size_t i) {
+      got[i] = groupsig::matches_token(w.no.params().gpk, as_bytes("m"), sig,
+                                       url[i]);
+    });
+    if (got != expected)
+      state.SkipWithError("pooled URL scan diverged from sequential");
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(url.size()));
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_PooledUrlScan)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_EpochIndexRebuild(benchmark::State& state) {
   // The amortized cost the fast variant pays once per epoch: one pairing
   // per URL token.

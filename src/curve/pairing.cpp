@@ -20,14 +20,15 @@ struct LineCoeffs {
   Fp2 a, b, c;
 };
 
-/// Line through T (doubling) or through T and Q (addition) on the twist,
-/// evaluated at P = (xp, yp) in G1. With the D-type untwist
-/// (x, y) -> (w^2 x, w^3 y), a line with twist-coordinate slope lambda
-/// through twist point (xt, yt) evaluates at P as
-///   yp - lambda*xp*w + (lambda*xt - yt)*w^3.
-LineCoeffs eval_line(const Fp2& lambda, const Fp2& xt, const Fp2& yt,
-                     const Fp& xp, const Fp& yp) {
-  return {Fp2(yp, Fp::zero()), -(lambda * xp), lambda * xt - yt};
+/// The P-independent half of a pairing line: twist slope lambda and the
+/// constant lambda*xt - yt. With the D-type untwist (x, y) -> (w^2 x, w^3 y)
+/// the line evaluates at P = (xp, yp) as
+///   yp - lambda*xp*w + (lambda*xt - yt)*w^3,
+/// so evaluation needs only two Fp multiplications per line.
+using PreparedLine = G2Prepared::Line;
+
+LineCoeffs eval_line(const PreparedLine& l, const Fp& xp, const Fp& yp) {
+  return {Fp2(yp, Fp::zero()), -(l.lambda * xp), l.c};
 }
 
 struct AffineG2 {
@@ -41,10 +42,10 @@ AffineG2 to_affine2(const G2& q) {
 }
 
 /// Doubling step: returns the line and replaces t with 2t (affine).
-LineCoeffs double_step(AffineG2& t, const Fp& xp, const Fp& yp) {
+PreparedLine double_step(AffineG2& t) {
   const Fp2 three_x2 = t.x.square() * Fp::from_u64(3);
   const Fp2 lambda = three_x2 * t.y.dbl().inverse();
-  const LineCoeffs l = eval_line(lambda, t.x, t.y, xp, yp);
+  const PreparedLine l{lambda, lambda * t.x - t.y};
   const Fp2 x3 = lambda.square() - t.x.dbl();
   const Fp2 y3 = lambda * (t.x - x3) - t.y;
   t = {x3, y3};
@@ -52,10 +53,9 @@ LineCoeffs double_step(AffineG2& t, const Fp& xp, const Fp& yp) {
 }
 
 /// Addition step: returns the line through t and q and replaces t with t+q.
-LineCoeffs add_step(AffineG2& t, const AffineG2& q, const Fp& xp,
-                    const Fp& yp) {
+PreparedLine add_step(AffineG2& t, const AffineG2& q) {
   const Fp2 lambda = (q.y - t.y) * (q.x - t.x).inverse();
-  const LineCoeffs l = eval_line(lambda, t.x, t.y, xp, yp);
+  const PreparedLine l{lambda, lambda * t.x - t.y};
   const Fp2 x3 = lambda.square() - t.x - q.x;
   const Fp2 y3 = lambda * (t.x - x3) - t.y;
   t = {x3, y3};
@@ -78,6 +78,51 @@ AffineG2 frobenius2_twist(const AffineG2& q) {
   return {q.x * eta2, q.y * eta3};
 }
 
+/// Runs the shared ate step schedule (doublings, conditional additions, the
+/// two Frobenius correction lines), handing every produced line to `sink`.
+/// Both the direct Miller loop and G2Prepared consume exactly this sequence,
+/// so the two paths cannot drift apart.
+template <class Sink>
+void ate_line_schedule(const AffineG2& qa, Sink&& sink) {
+  const auto& bn = Bn254::get();
+  AffineG2 t = qa;
+  const unsigned nbits = bn.ate_loop.bit_length();
+  for (int i = static_cast<int>(nbits) - 2; i >= 0; --i) {
+    sink(double_step(t), /*doubling=*/true);
+    if (bn.ate_loop.bit(static_cast<unsigned>(i)))
+      sink(add_step(t, qa), /*doubling=*/false);
+  }
+  const AffineG2 q1 = frobenius_twist(qa);
+  AffineG2 q2 = frobenius2_twist(qa);
+  q2.y = -q2.y;
+  sink(add_step(t, q1), false);
+  sink(add_step(t, q2), false);
+}
+
+/// Folds an already-produced line sequence into the Miller accumulator.
+/// `doubling` squares the accumulator before absorbing the line — exactly
+/// the shape of the direct loop.
+void absorb_line(Fp12& f, const LineCoeffs& l, bool doubling) {
+  if (doubling) f = f.square();
+  f = f.mul_by_line(l.a, l.b, l.c);
+}
+
+/// Replays the step pattern of ate_line_schedule without any point
+/// arithmetic: one doubling per loop bit, one addition per set bit, and the
+/// two trailing Frobenius-correction additions. Consumers index into a
+/// G2Prepared line table in this exact order.
+template <class Step>
+void ate_consume_schedule(Step&& step) {
+  const auto& bn = Bn254::get();
+  const unsigned nbits = bn.ate_loop.bit_length();
+  for (int i = static_cast<int>(nbits) - 2; i >= 0; --i) {
+    step(/*doubling=*/true);
+    if (bn.ate_loop.bit(static_cast<unsigned>(i))) step(/*doubling=*/false);
+  }
+  step(false);
+  step(false);
+}
+
 Fp12 pow_bigint(const Fp12& base, const math::BigInt& exp) {
   Fp12 acc = Fp12::one();
   for (std::size_t i = exp.bit_length(); i-- > 0;) {
@@ -87,14 +132,19 @@ Fp12 pow_bigint(const Fp12& base, const math::BigInt& exp) {
   return acc;
 }
 
-/// f^u for the (64-bit) BN parameter u. Assumes f is unitary, so only
-/// squarings and multiplications are needed.
+/// f^u for the (64-bit) BN parameter u. Assumes f is unitary (guaranteed
+/// after the easy part), so the Granger-Scott cyclotomic squaring applies —
+/// the dominant cost of the hard part drops to a third of generic squaring.
 Fp12 exp_by_u(const Fp12& f) {
   const std::uint64_t u = Bn254::get().u;
   Fp12 acc = Fp12::one();
+  bool started = false;
   for (int i = 63; i >= 0; --i) {
-    acc = acc.square();
-    if ((u >> i) & 1) acc *= f;
+    if (started) acc = acc.cyclotomic_square();
+    if ((u >> i) & 1) {
+      acc *= f;
+      started = true;
+    }
   }
   return acc;
 }
@@ -128,18 +178,20 @@ Fp12 hard_part_chain(const Fp12& f) {
   const Fp12 y6 = (fz3 * frobenius12(fz3)).unitary_inverse();
 
   // Vectorial addition chain for y0 y1^2 y2^6 y3^12 y4^18 y5^30 y6^36.
-  Fp12 t0 = y6.square();
+  // Every intermediate is a product of unitary elements, so the cyclotomic
+  // squaring applies throughout.
+  Fp12 t0 = y6.cyclotomic_square();
   t0 *= y4;
   t0 *= y5;
   Fp12 t1 = y3 * y5;
   t1 *= t0;
   t0 *= y2;
-  t1 = t1.square();
+  t1 = t1.cyclotomic_square();
   t1 *= t0;
-  t1 = t1.square();
+  t1 = t1.cyclotomic_square();
   t0 = t1 * y1;
   t1 *= y0;
-  t0 = t0.square();
+  t0 = t0.cyclotomic_square();
   return t0 * t1;
 }
 
@@ -181,32 +233,38 @@ void untwist(const G2& q, Fp12& x_out, Fp12& y_out) {
 
 Fp12 miller_loop(const G1& p, const G2& q) {
   if (p.is_infinity() || q.is_infinity()) return Fp12::one();
-  const auto& bn = Bn254::get();
 
   Fp xp, yp;
   p.to_affine(xp, yp);
-  const AffineG2 qa = to_affine2(q);
 
-  AffineG2 t = qa;
   Fp12 f = Fp12::one();
-  const unsigned nbits = bn.ate_loop.bit_length();
-  for (int i = static_cast<int>(nbits) - 2; i >= 0; --i) {
-    const LineCoeffs dl = double_step(t, xp, yp);
-    f = f.square().mul_by_line(dl.a, dl.b, dl.c);
-    if (bn.ate_loop.bit(static_cast<unsigned>(i))) {
-      const LineCoeffs al = add_step(t, qa, xp, yp);
-      f = f.mul_by_line(al.a, al.b, al.c);
-    }
-  }
+  ate_line_schedule(to_affine2(q), [&](const PreparedLine& l, bool doubling) {
+    absorb_line(f, eval_line(l, xp, yp), doubling);
+  });
+  return f;
+}
 
-  // Frobenius correction lines: + pi(Q), - pi^2(Q).
-  const AffineG2 q1 = frobenius_twist(qa);
-  AffineG2 q2 = frobenius2_twist(qa);
-  q2.y = -q2.y;
-  const LineCoeffs l1 = add_step(t, q1, xp, yp);
-  f = f.mul_by_line(l1.a, l1.b, l1.c);
-  const LineCoeffs l2 = add_step(t, q2, xp, yp);
-  f = f.mul_by_line(l2.a, l2.b, l2.c);
+G2Prepared::G2Prepared(const G2& q) {
+  if (q.is_infinity()) return;
+  // 64-bit u: the ate loop has ~65 doublings plus the additions its set bits
+  // trigger, plus the two correction lines.
+  lines_.reserve(2 * 64 + 8);
+  ate_line_schedule(to_affine2(q),
+                    [&](const PreparedLine& l, bool) { lines_.push_back(l); });
+}
+
+Fp12 miller_loop(const G1& p, const G2Prepared& prepared) {
+  if (p.is_infinity() || prepared.is_infinity()) return Fp12::one();
+
+  Fp xp, yp;
+  p.to_affine(xp, yp);
+
+  Fp12 f = Fp12::one();
+  std::size_t next = 0;
+  const auto& lines = prepared.lines();
+  ate_consume_schedule([&](bool doubling) {
+    absorb_line(f, eval_line(lines[next++], xp, yp), doubling);
+  });
   return f;
 }
 
@@ -233,12 +291,51 @@ GT pairing(const G1& p, const G2& q) {
   return final_exponentiation(miller_loop(p, q));
 }
 
+GT pairing(const G1& p, const G2Prepared& prepared) {
+  g_pairing_count.fetch_add(1, std::memory_order_relaxed);
+  return final_exponentiation(miller_loop(p, prepared));
+}
+
 GT multi_pairing(const std::vector<std::pair<G1, G2>>& pairs) {
   Fp12 f = Fp12::one();
   for (const auto& [p, q] : pairs) {
     g_pairing_count.fetch_add(1, std::memory_order_relaxed);
     f *= miller_loop(p, q);
   }
+  return final_exponentiation(f);
+}
+
+GT multi_pairing(std::span<const std::pair<G1, const G2Prepared*>> pairs) {
+  // Fused Miller loops: every prepared table follows the same Q-independent
+  // step schedule, so one accumulator squares once per doubling bit and
+  // absorbs each pair's line. Exactly equal to the product of individual
+  // loops — (f_a f_b)^2 = f_a^2 f_b^2 holds per step by induction — while
+  // paying the ~|ate_loop| Fp12 squarings once instead of once per pair.
+  struct Active {
+    Fp xp, yp;
+    const std::vector<PreparedLine>* lines;
+  };
+  std::vector<Active> active;
+  active.reserve(pairs.size());
+  for (const auto& [p, q] : pairs) {
+    g_pairing_count.fetch_add(1, std::memory_order_relaxed);
+    if (p.is_infinity() || q->is_infinity()) continue;
+    Active a;
+    p.to_affine(a.xp, a.yp);
+    a.lines = &q->lines();
+    active.push_back(a);
+  }
+  Fp12 f = Fp12::one();
+  if (active.empty()) return final_exponentiation(f);
+  std::size_t next = 0;
+  ate_consume_schedule([&](bool doubling) {
+    if (doubling) f = f.square();
+    for (const Active& a : active) {
+      const LineCoeffs l = eval_line((*a.lines)[next], a.xp, a.yp);
+      f = f.mul_by_line(l.a, l.b, l.c);
+    }
+    ++next;
+  });
   return final_exponentiation(f);
 }
 

@@ -12,6 +12,7 @@
 // Both are non-degenerate and bilinear on the full G1 x G2.
 #pragma once
 
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -25,6 +26,48 @@ GT pairing(const G1& p, const G2& q);
 
 /// Miller loop only (no final exponentiation); for product-of-pairings.
 Fp12 miller_loop(const G1& p, const G2& q);
+
+/// A G2 point with its ate Miller-loop line coefficients precomputed.
+///
+/// The twist-point arithmetic of the Miller loop (one Fp2 inversion plus a
+/// handful of Fp2 multiplications per doubling/addition step) depends only
+/// on Q, never on P. For fixed verification arguments — the BN generator
+/// g2, the group public key w, and the per-epoch base v_hat — preparing Q
+/// once amortises that work across every subsequent pairing: evaluation at
+/// a fresh P costs two Fp multiplications per stored line instead of a full
+/// curve step. This is the router-side hot-path lever of Sec. V.C.
+class G2Prepared {
+ public:
+  /// One stored line: the twist slope and the P-independent constant
+  /// lambda*xt - yt. Evaluated at P = (xp, yp) as
+  ///   yp - (lambda*xp) w + (lambda*xt - yt) w^3.
+  struct Line {
+    Fp2 lambda;
+    Fp2 c;
+  };
+
+  /// Prepares nothing (acts as the point at infinity).
+  G2Prepared() = default;
+  explicit G2Prepared(const G2& q);
+
+  bool is_infinity() const { return lines_.empty(); }
+  const std::vector<Line>& lines() const { return lines_; }
+
+ private:
+  std::vector<Line> lines_;
+};
+
+/// Miller loop against precomputed line coefficients. Bit-identical to
+/// miller_loop(p, q) for q the point `prepared` was built from.
+Fp12 miller_loop(const G1& p, const G2Prepared& prepared);
+
+/// e(P, Q) with Q prepared; final exponentiation still paid per call.
+GT pairing(const G1& p, const G2Prepared& prepared);
+
+/// prod_i e(p_i, *q_i) over prepared second arguments with a single shared
+/// final exponentiation. Pointers let callers reuse long-lived prepared
+/// points without copying their coefficient tables.
+GT multi_pairing(std::span<const std::pair<G1, const G2Prepared*>> pairs);
 
 /// f^((p^12 - 1) / r), via the BN hard-part addition chain (its exponent
 /// decomposition is verified numerically at first use; on mismatch this

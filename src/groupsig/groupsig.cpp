@@ -67,7 +67,10 @@ Fr challenge(const GroupPublicKey& gpk, BytesView message,
 Bytes GroupPublicKey::to_bytes() const { return g2_to_bytes(w); }
 
 GroupPublicKey GroupPublicKey::from_bytes(BytesView data) {
-  return {g2_from_bytes(data)};
+  GroupPublicKey gpk{g2_from_bytes(data)};
+  // w = g2^gamma with gamma != 0; the identity is never a valid key.
+  if (gpk.w.is_infinity()) throw Error("groupsig: identity group key");
+  return gpk;
 }
 
 bool MemberKey::is_valid(const GroupPublicKey& gpk) const {
@@ -81,7 +84,11 @@ bool MemberKey::is_valid(const GroupPublicKey& gpk) const {
 Bytes RevocationToken::to_bytes() const { return g1_to_bytes(a); }
 
 RevocationToken RevocationToken::from_bytes(BytesView data) {
-  return {g1_from_bytes(data)};
+  RevocationToken token{g1_from_bytes(data)};
+  // An identity token would match e(0, v_hat) = 1 against crafted
+  // signatures; member credentials A are never the identity.
+  if (token.a.is_infinity()) throw Error("groupsig: identity token");
+  return token;
 }
 
 Bytes Signature::to_bytes() const {
@@ -112,6 +119,11 @@ Signature Signature::from_bytes(BytesView data) {
   sig.s_x = fr_from_bytes(r.raw(32));
   sig.s_delta = fr_from_bytes(r.raw(32));
   r.expect_end();
+  // T1 = u^alpha, T2 = A v^alpha, T_hat = v_hat^alpha with u, v, v_hat
+  // nonzero hashed bases: honest signers never produce the identity, and
+  // rejecting it here keeps degenerate points out of the pairing inputs.
+  if (sig.t1.is_infinity() || sig.t2.is_infinity() || sig.t_hat.is_infinity())
+    throw Error("groupsig: identity point in signature");
   return sig;
 }
 
@@ -194,18 +206,65 @@ Signature sign(const GroupPublicKey& gpk, const MemberKey& gsk,
   return sig;
 }
 
+PreparedGroupPublicKey::PreparedGroupPublicKey(const GroupPublicKey& key)
+    : gpk(key),
+      g2(curve::G2Prepared(Bn254::get().g2_gen)),
+      w(curve::G2Prepared(key.w)) {}
+
+bool verify_proof(const PreparedGroupPublicKey& pgpk, BytesView message,
+                  const Signature& sig, OpCounters* ops) {
+  const auto& bn = Bn254::get();
+  if (sig.t1.is_infinity() || sig.t2.is_infinity()) return false;
+
+  const SignatureBases bases = derive_bases(pgpk.gpk, message, sig, ops);
+
+  // Step 3.2.2: recover the helper values. Every R is a short linear
+  // combination, so the hot path computes them with interleaved windowed
+  // multi-exponentiation (shared doubling chains) — the same group
+  // elements, hence byte-identical transcripts, at roughly the cost of one
+  // exponentiation per combination.
+  using curve::multi_scalar_mul;
+  const curve::U256 neg_c = (-sig.c).to_u256();
+  const G1 r1 = multi_scalar_mul<curve::G1Traits, 2>(
+      {bases.u, sig.t1}, {sig.s_alpha.to_u256(), neg_c});
+  count(ops, &OpCounters::g1_exp, 2);
+  // R2~ = e(T2,g2)^sx e(v,w)^-sa e(v,g2)^-sd (e(T2,w)/e(g1,g2))^c, folded by
+  // pairing base:  e(T2^sx v^-sd g1^-c, g2) * e(v^-sa T2^c, w). Both G2
+  // arguments are fixed, so their Miller-loop lines come precomputed.
+  const std::pair<curve::G1, const curve::G2Prepared*> r2_pairs[] = {
+      {multi_scalar_mul<curve::G1Traits, 3>(
+           {sig.t2, bases.v, bn.g1_gen},
+           {sig.s_x.to_u256(), (-sig.s_delta).to_u256(), neg_c}),
+       &pgpk.g2},
+      {multi_scalar_mul<curve::G1Traits, 2>(
+           {sig.t2, bases.v}, {sig.c.to_u256(), (-sig.s_alpha).to_u256()}),
+       &pgpk.w}};
+  const GT r2 = curve::multi_pairing(r2_pairs);
+  count(ops, &OpCounters::g1_exp, 5);
+  count(ops, &OpCounters::pairings, 2);
+  const G1 r3 = multi_scalar_mul<curve::G1Traits, 2>(
+      {sig.t1, bases.u}, {sig.s_x.to_u256(), (-sig.s_delta).to_u256()});
+  count(ops, &OpCounters::g1_exp, 2);
+  const G2 r4 = multi_scalar_mul<curve::G2Traits, 2>(
+      {bases.v_hat, sig.t_hat}, {sig.s_alpha.to_u256(), neg_c});
+  count(ops, &OpCounters::g2_exp, 2);
+
+  // Step 3.2.3: challenge must match (Eq.2).
+  return challenge(pgpk.gpk, message, sig, r1, r2, r3, r4) == sig.c;
+}
+
 bool verify_proof(const GroupPublicKey& gpk, BytesView message,
                   const Signature& sig, OpCounters* ops) {
+  // Reference path, deliberately left as straight-line exponentiations and
+  // unprepared pairings: it is the differential oracle the prepared hot
+  // path is tested bit-identical against.
   const auto& bn = Bn254::get();
   if (sig.t1.is_infinity() || sig.t2.is_infinity()) return false;
 
   const SignatureBases bases = derive_bases(gpk, message, sig, ops);
 
-  // Step 3.2.2: recover the helper values.
   const G1 r1 = bases.u * sig.s_alpha - sig.t1 * sig.c;
   count(ops, &OpCounters::g1_exp, 2);
-  // R2~ = e(T2,g2)^sx e(v,w)^-sa e(v,g2)^-sd (e(T2,w)/e(g1,g2))^c, folded by
-  // pairing base:  e(T2^sx v^-sd g1^-c, g2) * e(v^-sa T2^c, w).
   const GT r2 = curve::multi_pairing(
       {{sig.t2 * sig.s_x - bases.v * sig.s_delta - bn.g1_gen * sig.c,
         bn.g2_gen},
@@ -217,7 +276,6 @@ bool verify_proof(const GroupPublicKey& gpk, BytesView message,
   const G2 r4 = bases.v_hat * sig.s_alpha - sig.t_hat * sig.c;
   count(ops, &OpCounters::g2_exp, 2);
 
-  // Step 3.2.3: challenge must match (Eq.2).
   return challenge(gpk, message, sig, r1, r2, r3, r4) == sig.c;
 }
 
@@ -242,6 +300,18 @@ bool verify(const GroupPublicKey& gpk, BytesView message, const Signature& sig,
   return true;
 }
 
+bool verify(const PreparedGroupPublicKey& pgpk, BytesView message,
+            const Signature& sig, std::span<const RevocationToken> url,
+            OpCounters* ops) {
+  if (!verify_proof(pgpk, message, sig, ops)) return false;
+  // Eq.3 pairs against the per-message base v_hat, which is not a fixed
+  // argument — the prepared key only accelerates the proof step above.
+  for (const RevocationToken& token : url) {
+    if (matches_token(pgpk.gpk, message, sig, token, ops)) return false;
+  }
+  return true;
+}
+
 EpochRevocationIndex::EpochRevocationIndex(const GroupPublicKey& gpk,
                                            Epoch epoch,
                                            std::span<const RevocationToken> url)
@@ -252,19 +322,26 @@ EpochRevocationIndex::EpochRevocationIndex(const GroupPublicKey& gpk,
   const SignatureBases bases = derive_bases(gpk, {}, partial, nullptr);
   v_ = bases.v;
   v_hat_ = bases.v_hat;
+  v_hat_prep_ = curve::G2Prepared(v_hat_);
   for (const RevocationToken& token : url) {
-    tags_.insert(to_hex(curve::pairing(token.a, v_hat_).to_bytes()));
+    tags_.insert(to_hex(curve::pairing(token.a, v_hat_prep_).to_bytes()));
   }
 }
 
 bool EpochRevocationIndex::is_revoked(const Signature& sig,
                                       OpCounters* ops) const {
-  if (sig.epoch != epoch_) throw Error("groupsig: epoch mismatch");
   // K = e(T2, v_hat) / e(v, T_hat) = e(A, v_hat): constant per member per
   // epoch — the linkability the paper trades for O(1) revocation checking.
+  // v_hat is fixed per epoch (prepared at rebuild) and the quotient folds
+  // into one product of Miller loops with a single final exponentiation;
+  // that is legal because the final exponentiation x -> x^((p^12-1)/r) is a
+  // homomorphism, so FE(m1) * FE(m2)^-1 == FE(m1 * ML(-v, T_hat)).
+  if (sig.epoch != epoch_) throw Error("groupsig: epoch mismatch");
   count(ops, &OpCounters::pairings, 2);
-  const GT k = curve::pairing(sig.t2, v_hat_) *
-               curve::pairing(v_, sig.t_hat).unitary_inverse();
+  const curve::G2Prepared t_hat_prep(sig.t_hat);
+  const std::pair<curve::G1, const curve::G2Prepared*> pairs[] = {
+      {sig.t2, &v_hat_prep_}, {-v_, &t_hat_prep}};
+  const GT k = curve::multi_pairing(pairs);
   return tags_.contains(to_hex(k.to_bytes()));
 }
 

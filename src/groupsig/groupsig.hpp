@@ -49,6 +49,15 @@ struct OpCounters {
 
   std::uint64_t total_exp() const { return g1_exp + g2_exp + gt_exp; }
   void reset() { *this = OpCounters{}; }
+  /// Accumulates another counter set (used to fold per-worker counters from
+  /// parallel verification back into one aggregate).
+  void merge(const OpCounters& o) {
+    g1_exp += o.g1_exp;
+    g2_exp += o.g2_exp;
+    gt_exp += o.gt_exp;
+    pairings += o.pairings;
+    hash_to_group += o.hash_to_group;
+  }
 };
 
 struct GroupPublicKey {
@@ -57,6 +66,23 @@ struct GroupPublicKey {
   Bytes to_bytes() const;
   static GroupPublicKey from_bytes(BytesView data);
   bool operator==(const GroupPublicKey& o) const { return w == o.w; }
+};
+
+/// A group public key with the fixed G2 pairing arguments of the verifier's
+/// hot path (the BN generator g2 and w = g2^gamma) prepared once. Routers
+/// build this at key load / parameter install and reuse it for every
+/// verification; each verification then pays only line evaluations and the
+/// shared final exponentiation instead of full twist-point Miller loops.
+struct PreparedGroupPublicKey {
+  GroupPublicKey gpk;
+  curve::G2Prepared g2;  // prepared BN generator
+  curve::G2Prepared w;   // prepared gpk.w
+
+  PreparedGroupPublicKey() = default;
+  explicit PreparedGroupPublicKey(const GroupPublicKey& key);
+  bool operator==(const PreparedGroupPublicKey& o) const {
+    return gpk == o.gpk;
+  }
 };
 
 /// gsk[i, j]: what a network user holds after setup.
@@ -139,6 +165,12 @@ Signature sign(const GroupPublicKey& gpk, const MemberKey& gsk,
 bool verify_proof(const GroupPublicKey& gpk, BytesView message,
                   const Signature& sig, OpCounters* ops = nullptr);
 
+/// Hot-path variant: identical accept/reject behaviour, but the two R2~
+/// pairings reuse the prepared g2 / w Miller-loop lines. Thread-safe for
+/// concurrent calls on one shared PreparedGroupPublicKey.
+bool verify_proof(const PreparedGroupPublicKey& pgpk, BytesView message,
+                  const Signature& sig, OpCounters* ops = nullptr);
+
 /// Eq.3: does `token` correspond to the signer of `sig`? The message (or
 /// the epoch stored in the signature) is needed to re-derive the hashed
 /// bases — exactly as the paper's audit retrieves message (M.2) from the
@@ -151,6 +183,12 @@ bool matches_token(const GroupPublicKey& gpk, BytesView message,
 /// the revocation list.
 bool verify(const GroupPublicKey& gpk, BytesView message, const Signature& sig,
             std::span<const RevocationToken> url, OpCounters* ops = nullptr);
+
+/// Full verification against a prepared key. Bit-identical results to the
+/// unprepared overload.
+bool verify(const PreparedGroupPublicKey& pgpk, BytesView message,
+            const Signature& sig, std::span<const RevocationToken> url,
+            OpCounters* ops = nullptr);
 
 /// The constant-time revocation index for epoch-based signatures (the
 /// "far more efficient revocation check" of Sec. V.C). Rebuild once per
@@ -170,6 +208,7 @@ class EpochRevocationIndex {
   Epoch epoch_;
   G1 v_;
   G2 v_hat_;
+  curve::G2Prepared v_hat_prep_;  // v_hat is fixed for the whole epoch
   std::unordered_set<std::string> tags_;  // hex of e(A_i, v_hat_epoch)
 };
 

@@ -15,8 +15,12 @@ double distance(const Vec2& a, const Vec2& b) {
   return std::sqrt(dx * dx + dy * dy);
 }
 
-MeshNetwork::MeshNetwork(Simulator& sim, crypto::Drbg rng, RadioConfig radio)
-    : sim_(sim), rng_(std::move(rng)), radio_(radio) {}
+MeshNetwork::MeshNetwork(Simulator& sim, crypto::Drbg rng, RadioConfig radio,
+                         proto::ProtocolConfig proto_config)
+    : sim_(sim),
+      rng_(std::move(rng)),
+      radio_(radio),
+      proto_config_(proto_config) {}
 
 NodeId MeshNetwork::add_router(Vec2 pos, proto::NetworkOperator& no,
                                proto::Timestamp cert_expires_at) {
@@ -26,7 +30,7 @@ NodeId MeshNetwork::add_router(Vec2 pos, proto::NetworkOperator& no,
   node.pos = pos;
   node.router = std::make_unique<proto::MeshRouter>(
       id, provision.keypair, provision.certificate, no.params(),
-      rng_.fork("router-" + std::to_string(id)));
+      rng_.fork("router-" + std::to_string(id)), proto_config_);
   node.router->install_revocation_lists(no.current_crl(), no.current_url());
   routers_.emplace(id, std::move(node));
   return id;
@@ -140,22 +144,42 @@ void MeshNetwork::user_hears_beacon(NodeId user_node, NodeId router_node,
   }
   const Bytes m2_wire = m2->to_bytes();
   sim_.schedule_in(radio_.latency_ms, [this, user_node, router_node, m2_wire] {
-    auto outcome = router(router_node)
-                       .handle_access_request(
-                           proto::AccessRequest::from_bytes(m2_wire),
-                           sim_.now());
+    // Arrivals enqueue; the first one in a tick schedules a same-time drain
+    // (FIFO among same-time events puts it after every arrival of the
+    // tick), so all M.2s landing together verify as one batch.
+    std::vector<PendingAuth>& pending = pending_auth_[router_node];
+    pending.push_back(
+        PendingAuth{user_node, proto::AccessRequest::from_bytes(m2_wire)});
+    if (pending.size() == 1)
+      sim_.schedule_in(0, [this, router_node] { drain_auth_batch(router_node); });
+  });
+}
+
+void MeshNetwork::drain_auth_batch(NodeId router_node) {
+  std::vector<PendingAuth> batch = std::move(pending_auth_[router_node]);
+  pending_auth_.erase(router_node);
+  if (batch.empty()) return;
+
+  std::vector<proto::AccessRequest> requests;
+  requests.reserve(batch.size());
+  for (const PendingAuth& p : batch) requests.push_back(p.m2);
+  auto outcomes =
+      router(router_node).handle_access_requests(requests, sim_.now());
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const NodeId user_node = batch[i].user_node;
     UserNode& unode2 = users_.at(user_node);
-    if (!outcome.has_value()) {
+    if (!outcomes[i].has_value()) {
       unode2.handshake_in_flight = false;
-      return;
+      continue;
     }
-    observe("m3", outcome->confirm.to_bytes());
+    observe("m3", outcomes[i]->confirm.to_bytes());
     if (!radio_delivers()) {
       ++stats_.frames_lost;
       unode2.handshake_in_flight = false;
-      return;
+      continue;
     }
-    const Bytes m3_wire = outcome->confirm.to_bytes();
+    const Bytes m3_wire = outcomes[i]->confirm.to_bytes();
     sim_.schedule_in(radio_.latency_ms, [this, user_node, router_node,
                                          m3_wire] {
       UserNode& unode3 = users_.at(user_node);
@@ -168,7 +192,7 @@ void MeshNetwork::user_hears_beacon(NodeId user_node, NodeId router_node,
       unode3.serving = router(router_node).id();
       unode3.serving_node = router_node;
     });
-  });
+  }
 }
 
 void MeshNetwork::establish_peer_links() {

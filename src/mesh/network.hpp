@@ -59,7 +59,10 @@ struct NetworkStats {
 
 class MeshNetwork {
  public:
-  MeshNetwork(Simulator& sim, crypto::Drbg rng, RadioConfig radio = {});
+  /// `proto_config` is handed to every router this network creates — in
+  /// particular verify_threads, which sizes each router's VerifyPool.
+  MeshNetwork(Simulator& sim, crypto::Drbg rng, RadioConfig radio = {},
+              proto::ProtocolConfig proto_config = {});
 
   // --- construction -----------------------------------------------------
   NodeId add_router(Vec2 pos, proto::NetworkOperator& no,
@@ -142,11 +145,21 @@ class MeshNetwork {
     bool handshake_in_flight = false;
   };
 
+  /// An M.2 that reached its router and awaits the end-of-tick batch drain.
+  struct PendingAuth {
+    NodeId user_node;
+    proto::AccessRequest m2;
+  };
+
   bool radio_delivers();
   void observe(const char* kind, BytesView payload);
   void deliver_beacon(NodeId router_node, const proto::BeaconMessage& beacon);
   void user_hears_beacon(NodeId user_node, NodeId router_node,
                          const proto::BeaconMessage& beacon);
+  /// Runs every access request that arrived at `router_node` this sim tick
+  /// through the router's batch verification path, then continues each
+  /// handshake (M.3 delivery) exactly as the per-request path used to.
+  void drain_auth_batch(NodeId router_node);
   void run_peer_handshake(NodeId a, NodeId b);
   /// Next hop for greedy geographic relay, or nullopt when stuck.
   std::optional<NodeId> next_relay_hop(NodeId from, const Vec2& target);
@@ -160,6 +173,8 @@ class MeshNetwork {
   Simulator& sim_;
   crypto::Drbg rng_;
   RadioConfig radio_;
+  proto::ProtocolConfig proto_config_;
+  std::map<NodeId, std::vector<PendingAuth>> pending_auth_;
   std::map<NodeId, RouterNode> routers_;
   std::map<NodeId, UserNode> users_;
   std::map<NodeId, Vec2> access_points_;

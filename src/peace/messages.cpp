@@ -11,7 +11,16 @@ using curve::kG1CompressedSize;
 namespace {
 
 void put_g1(Writer& w, const G1& p) { w.raw(g1_to_bytes(p)); }
-G1 get_g1(Reader& r) { return g1_from_bytes(r.raw(kG1CompressedSize)); }
+G1 get_g1(Reader& r) {
+  // g1_from_bytes enforces x < p and on-curve (cofactor 1 makes that a
+  // subgroup check too), but it accepts the identity encoding. No protocol
+  // field is ever legitimately the identity — certificate keys and DH
+  // shares are secret multiples of the generator — and letting it through
+  // would, e.g., force a session key derived from the identity share.
+  const G1 p = g1_from_bytes(r.raw(kG1CompressedSize));
+  if (p.is_infinity()) throw Error("serde: identity point in message");
+  return p;
+}
 
 void put_ecdsa(Writer& w, const EcdsaSignature& s) { w.raw(s.to_bytes()); }
 EcdsaSignature get_ecdsa(Reader& r) {

@@ -34,6 +34,10 @@ struct ProtocolConfig {
   Timestamp replay_window_ms = 5000;
   /// How many recent beacon periods a router honours access requests for.
   std::size_t beacon_history = 8;
+  /// Worker threads for the router's batch verification path
+  /// (MeshRouter::handle_access_requests). 0 or 1 verifies inline on the
+  /// calling thread; results are bit-identical either way.
+  unsigned verify_threads = 0;
 };
 
 using RouterId = std::uint32_t;

@@ -9,6 +9,69 @@ using curve::Bn254;
 using curve::g1_to_bytes;
 using curve::random_fr;
 
+VerifyPool::VerifyPool(unsigned threads) {
+  if (threads <= 1) return;
+  workers_.reserve(threads - 1);
+  for (unsigned i = 0; i + 1 < threads; ++i)
+    workers_.emplace_back([this](std::stop_token st) { worker_loop(st); });
+}
+
+std::size_t VerifyPool::drain(const std::function<void(std::size_t)>* body,
+                              std::size_t count) {
+  std::size_t done = 0;
+  for (;;) {
+    const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return done;
+    (*body)(i);
+    ++done;
+  }
+}
+
+void VerifyPool::worker_loop(std::stop_token st) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, st, [&] { return generation_ != seen; });
+      if (st.stop_requested()) return;
+      seen = generation_;
+      body = body_;
+      count = count_;
+    }
+    const std::size_t done = drain(body, count);
+    std::lock_guard lock(mutex_);
+    completed_ += done;
+    if (completed_ == count_) cv_done_.notify_all();
+  }
+}
+
+void VerifyPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    body_ = &body;
+    count_ = count;
+    completed_ = 0;
+    next_index_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  const std::size_t done = drain(&body, count);
+  std::unique_lock lock(mutex_);
+  completed_ += done;
+  if (completed_ == count_) cv_done_.notify_all();
+  cv_done_.wait(lock, [&] { return completed_ == count_; });
+  // body_ intentionally stays set: a worker that missed this batch only
+  // wakes on the next generation bump, by which time it is valid again.
+}
+
 MeshRouter::MeshRouter(RouterId id, curve::EcdsaKeyPair keypair,
                        RouterCertificate certificate, SystemParams params,
                        crypto::Drbg rng, ProtocolConfig config)
@@ -16,8 +79,12 @@ MeshRouter::MeshRouter(RouterId id, curve::EcdsaKeyPair keypair,
       keypair_(std::move(keypair)),
       certificate_(std::move(certificate)),
       params_(std::move(params)),
+      pgpk_(params_.gpk),
       rng_(std::move(rng)),
-      config_(config) {}
+      config_(config) {
+  if (config_.verify_threads > 1)
+    pool_ = std::make_unique<VerifyPool>(config_.verify_threads);
+}
 
 void MeshRouter::install_revocation_lists(const SignedRevocationList& crl,
                                           const SignedRevocationList& url) {
@@ -71,67 +138,151 @@ BeaconMessage MeshRouter::make_beacon(Timestamp now) {
 
 std::optional<MeshRouter::AccessOutcome> MeshRouter::handle_access_request(
     const AccessRequest& m2, Timestamp now) {
-  ++stats_.requests_received;
+  return std::move(handle_access_requests({&m2, 1}, now).front());
+}
 
-  // Step 3.1: the request must target one of our recent beacons...
-  const Bytes g_rr_bytes = g1_to_bytes(m2.g_rr);
-  const BeaconState* beacon = nullptr;
-  for (const BeaconState& b : recent_beacons_) {
-    if (b.g_rr_bytes == g_rr_bytes) {
-      beacon = &b;
-      break;
+/// One request that survived the precheck pass, awaiting verification.
+struct MeshRouter::PendingVerify {
+  std::size_t index;            // position in the input batch / results
+  const AccessRequest* m2;
+  const BeaconState* beacon;
+  Bytes sid;
+  std::string sid_hex;
+  /// Same sid as an earlier in-batch entry: verification is deferred to the
+  /// apply pass (sequentially) so that, exactly as in sequential
+  /// processing, it is skipped when the earlier entry was accepted and
+  /// performed when it was not.
+  bool deferred = false;
+  bool sig_ok = false;
+  bool revoked = false;
+  groupsig::OpCounters ops;
+};
+
+std::vector<std::optional<MeshRouter::AccessOutcome>>
+MeshRouter::handle_access_requests(std::span<const AccessRequest> batch,
+                                   Timestamp now) {
+  std::vector<std::optional<AccessOutcome>> results(batch.size());
+
+  // Pass 1 (sequential, input order): the cheap gates — beacon lookup,
+  // freshness, replay cache, puzzle — exactly as the sequential pipeline
+  // runs them, so rejection counters are bumped in the same order.
+  std::vector<PendingVerify> pending;
+  pending.reserve(batch.size());
+  std::unordered_set<std::string> sids_in_batch;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const AccessRequest& m2 = batch[i];
+    ++stats_.requests_received;
+
+    // Step 3.1: the request must target one of our recent beacons...
+    const Bytes g_rr_bytes = g1_to_bytes(m2.g_rr);
+    const BeaconState* beacon = nullptr;
+    for (const BeaconState& b : recent_beacons_) {
+      if (b.g_rr_bytes == g_rr_bytes) {
+        beacon = &b;
+        break;
+      }
     }
-  }
-  if (beacon == nullptr) {
-    ++stats_.rejected_unknown_beacon;
-    return std::nullopt;
-  }
-  // ...and carry a fresh timestamp.
-  const Timestamp age = now >= m2.ts2 ? now - m2.ts2 : m2.ts2 - now;
-  if (age > config_.replay_window_ms) {
-    ++stats_.rejected_stale;
-    return std::nullopt;
-  }
-  // Replay cache on the session identifier.
-  const Bytes sid = session_id_from(m2.g_rr, m2.g_rj);
-  const std::string sid_hex = to_hex(sid);
-  if (seen_requests_.contains(sid_hex)) {
-    ++stats_.rejected_replay;
-    return std::nullopt;
-  }
-
-  // DoS defence: the cheap puzzle check gates the expensive pairing work.
-  if (puzzle_difficulty_ > 0) {
-    if (!m2.puzzle_solution.has_value() ||
-        !verify_puzzle(
-            PuzzleChallenge{m2.puzzle_solution->server_nonce,
-                            puzzle_difficulty_},
-            *m2.puzzle_solution, g1_to_bytes(m2.g_rj)) ||
-        !ct_equal(m2.puzzle_solution->server_nonce, puzzle_nonce_)) {
-      ++stats_.rejected_puzzle;
-      return std::nullopt;
+    if (beacon == nullptr) {
+      ++stats_.rejected_unknown_beacon;
+      continue;
     }
+    // ...and carry a fresh timestamp.
+    const Timestamp age = now >= m2.ts2 ? now - m2.ts2 : m2.ts2 - now;
+    if (age > config_.replay_window_ms) {
+      ++stats_.rejected_stale;
+      continue;
+    }
+    // Replay cache on the session identifier.
+    Bytes sid = session_id_from(m2.g_rr, m2.g_rj);
+    std::string sid_hex = to_hex(sid);
+    if (seen_requests_.contains(sid_hex)) {
+      ++stats_.rejected_replay;
+      continue;
+    }
+
+    // DoS defence: the cheap puzzle check gates the expensive pairing work.
+    if (puzzle_difficulty_ > 0) {
+      if (!m2.puzzle_solution.has_value() ||
+          !verify_puzzle(
+              PuzzleChallenge{m2.puzzle_solution->server_nonce,
+                              puzzle_difficulty_},
+              *m2.puzzle_solution, g1_to_bytes(m2.g_rj)) ||
+          !ct_equal(m2.puzzle_solution->server_nonce, puzzle_nonce_)) {
+        ++stats_.rejected_puzzle;
+        continue;
+      }
+    }
+
+    PendingVerify pv;
+    pv.index = i;
+    pv.m2 = &m2;
+    pv.beacon = beacon;
+    pv.deferred = !sids_in_batch.insert(sid_hex).second;
+    pv.sid = std::move(sid);
+    pv.sid_hex = std::move(sid_hex);
+    pending.push_back(std::move(pv));
   }
 
-  // Step 3.2: group-signature verification (expensive; instrumented).
-  ++stats_.signature_verifications;
-  if (!groupsig::verify_proof(params_.gpk, m2.signed_payload(),
-                              m2.signature)) {
-    ++stats_.rejected_bad_signature;
-    return std::nullopt;
+  // Pass 2 (parallel): steps 3.2 + 3.3 — the pairing-heavy work — fanned
+  // out over the pool. Jobs touch only their own PendingVerify entry and
+  // shared const state (pgpk_, url_tokens_), so no synchronization beyond
+  // the pool's own is needed.
+  std::vector<PendingVerify*> jobs;
+  jobs.reserve(pending.size());
+  for (PendingVerify& pv : pending)
+    if (!pv.deferred) jobs.push_back(&pv);
+  const auto verify_one = [this](PendingVerify& pv) {
+    pv.sig_ok = groupsig::verify_proof(pgpk_, pv.m2->signed_payload(),
+                                       pv.m2->signature, &pv.ops);
+    if (!pv.sig_ok) return;
+    for (const RevocationToken& token : url_tokens_) {
+      if (groupsig::matches_token(params_.gpk, pv.m2->signed_payload(),
+                                  pv.m2->signature, token, &pv.ops)) {
+        pv.revoked = true;
+        return;
+      }
+    }
+  };
+  if (pool_ != nullptr && jobs.size() > 1) {
+    stats_.verify_batches += 1;
+    stats_.batched_requests += jobs.size();
+    pool_->run(jobs.size(), [&](std::size_t i) { verify_one(*jobs[i]); });
+  } else {
+    for (PendingVerify* pv : jobs) verify_one(*pv);
   }
-  // Step 3.3: Eq.3 against every URL token.
-  for (const RevocationToken& token : url_tokens_) {
-    if (groupsig::matches_token(params_.gpk, m2.signed_payload(), m2.signature,
-                                token)) {
+
+  // Pass 3 (sequential, input order): apply verdicts, re-checking the
+  // replay cache against acceptances made earlier in this very batch. The
+  // per-worker OpCounters merge in input order, keeping the aggregate
+  // deterministic regardless of which worker verified what.
+  for (PendingVerify& pv : pending) {
+    if (seen_requests_.contains(pv.sid_hex)) {
+      ++stats_.rejected_replay;
+      continue;
+    }
+    if (pv.deferred) verify_one(pv);  // earlier same-sid entry was rejected
+    ++stats_.signature_verifications;
+    verify_ops_.merge(pv.ops);
+    if (!pv.sig_ok) {
+      ++stats_.rejected_bad_signature;
+      continue;
+    }
+    if (pv.revoked) {
       ++stats_.rejected_revoked;
-      return std::nullopt;
+      continue;
     }
+    results[pv.index] = accept_request(*pv.m2, *pv.beacon, pv.sid, pv.sid_hex);
   }
+  return results;
+}
 
+MeshRouter::AccessOutcome MeshRouter::accept_request(const AccessRequest& m2,
+                                                     const BeaconState& beacon,
+                                                     const Bytes& sid,
+                                                     const std::string& sid_hex) {
   // Step 3.4: K = (g^rj)^rR, session established, M.3 returned.
   seen_requests_.insert(sid_hex);
-  const G1 shared = m2.g_rj * beacon->r_r;
+  const G1 shared = m2.g_rj * beacon.r_r;
   sessions_.emplace(sid_hex,
                     Session::establish(shared, sid, Session::Role::kResponder));
 

@@ -4,7 +4,13 @@
 // together over a lossy radio model.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -12,6 +18,46 @@
 #include "peace/session.hpp"
 
 namespace peace::proto {
+
+/// A fixed pool of std::jthread workers that executes indexed batch jobs.
+/// Index distribution is a single atomic fetch_add over [0, count) — no
+/// per-job queue nodes or locks on the hot path; the mutex/condvar pair is
+/// only used to park idle workers between batches and to signal completion.
+/// The calling thread participates in the batch, so a pool built with
+/// `threads` runs at most `threads` jobs concurrently.
+class VerifyPool {
+ public:
+  /// `threads` <= 1 spawns no workers: run() then executes inline.
+  explicit VerifyPool(unsigned threads);
+  VerifyPool(const VerifyPool&) = delete;
+  VerifyPool& operator=(const VerifyPool&) = delete;
+
+  unsigned threads() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Invokes body(i) for every i in [0, count), distributing indices over
+  /// the workers plus the calling thread; returns once all completed.
+  /// `body` must tolerate concurrent invocation (distinct indices).
+  void run(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop(std::stop_token st);
+  /// Claims and runs indices until the batch is exhausted; returns how many
+  /// this thread completed.
+  std::size_t drain(const std::function<void(std::size_t)>* body,
+                    std::size_t count);
+
+  std::mutex mutex_;
+  std::condition_variable_any cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;  // bumps once per batch; wakes workers
+  std::size_t count_ = 0;
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::atomic<std::size_t> next_index_{0};
+  std::size_t completed_ = 0;  // guarded by mutex_
+  std::vector<std::jthread> workers_;
+};
 
 /// Counters for the security analysis experiments (A1/A2/E8): why requests
 /// were rejected and how much expensive work the router actually performed.
@@ -26,6 +72,8 @@ struct RouterStats {
   std::uint64_t rejected_bad_signature = 0;
   std::uint64_t rejected_revoked = 0;
   std::uint64_t signature_verifications = 0;  // expensive pairing work
+  std::uint64_t verify_batches = 0;           // multi-request batches run
+  std::uint64_t batched_requests = 0;         // requests entering a batch
 };
 
 class MeshRouter {
@@ -45,8 +93,12 @@ class MeshRouter {
 
   /// Installs new system parameters after NO rotates the group master key
   /// (membership renewal). Pushed over the operator's secure channel;
-  /// established sessions keep draining on their symmetric keys.
-  void install_params(const SystemParams& params) { params_ = params; }
+  /// established sessions keep draining on their symmetric keys. The fixed
+  /// pairing arguments (g2, w) are re-prepared here, once per rotation.
+  void install_params(const SystemParams& params) {
+    params_ = params;
+    pgpk_ = groupsig::PreparedGroupPublicKey(params_.gpk);
+  }
 
   /// Enables the client-puzzle defence (Sec. V.A) at the given difficulty.
   void set_under_attack(bool attacked, std::uint8_t difficulty_bits = 16);
@@ -63,13 +115,26 @@ class MeshRouter {
 
   /// Paper step 3: full validation pipeline for M.2. Returns nullopt and
   /// bumps the matching rejection counter on failure; on success a session
-  /// is established and M.3 returned.
+  /// is established and M.3 returned. Equivalent to a batch of one.
   std::optional<AccessOutcome> handle_access_request(const AccessRequest& m2,
                                                      Timestamp now);
+
+  /// Batch form: processes `batch` with results, sessions, stats, and
+  /// rejection counters identical to calling handle_access_request on each
+  /// element in order. The expensive signature verifications run on the
+  /// VerifyPool (config.verify_threads) between a sequential precheck pass
+  /// and a sequential in-order apply pass, so per-session ordering and the
+  /// replay cache behave exactly as in the sequential path.
+  std::vector<std::optional<AccessOutcome>> handle_access_requests(
+      std::span<const AccessRequest> batch, Timestamp now);
 
   /// Established session lookup (by the (g^rR, g^rj) identifier).
   Session* session(BytesView session_id);
   std::size_t session_count() const { return sessions_.size(); }
+
+  /// Aggregate groupsig operation counters for all verifications this
+  /// router performed (per-worker counters are merged in deterministically).
+  const groupsig::OpCounters& verify_ops() const { return verify_ops_; }
 
  private:
   struct BeaconState {
@@ -79,12 +144,21 @@ class MeshRouter {
     Timestamp ts = 0;
   };
 
+  /// One batch entry between the precheck, verify, and apply passes.
+  struct PendingVerify;
+  AccessOutcome accept_request(const AccessRequest& m2,
+                               const BeaconState& beacon, const Bytes& sid,
+                               const std::string& sid_hex);
+
   RouterId id_;
   curve::EcdsaKeyPair keypair_;
   RouterCertificate certificate_;
   SystemParams params_;
+  groupsig::PreparedGroupPublicKey pgpk_;  // fixed G2 args prepared once
   crypto::Drbg rng_;
   ProtocolConfig config_;
+  std::unique_ptr<VerifyPool> pool_;  // null => verify inline
+  groupsig::OpCounters verify_ops_;
 
   SignedRevocationList crl_;
   SignedRevocationList url_;

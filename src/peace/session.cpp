@@ -52,6 +52,11 @@ Session Session::establish(const G1& shared_dh, BytesView session_id,
 }
 
 DataFrame Session::seal(BytesView payload) {
+  // The AEAD nonce is a function of the sequence number alone; wrapping the
+  // counter would repeat a nonce under the same key, which breaks both
+  // suites catastrophically. Refuse rather than wrap.
+  if (send_seq_ == kSeqExhausted)
+    throw Error("session: send sequence space exhausted");
   DataFrame frame;
   frame.session_id = id_;
   frame.seq = send_seq_++;

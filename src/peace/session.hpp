@@ -31,8 +31,21 @@ class Session {
   const Bytes& id() const { return id_; }
   std::uint64_t frames_sent() const { return send_seq_; }
 
+  /// The sentinel send_seq_ value at which the sequence space is spent.
+  /// Sealing at this point would wrap the counter and reuse an AEAD nonce
+  /// under the same key, so seal() refuses instead.
+  static constexpr std::uint64_t kSeqExhausted = ~0ull;
+
+  /// Skips n send sequence numbers without sealing (a sequence number is
+  /// never reused, so skipping forward is always safe). Saturates at
+  /// kSeqExhausted rather than wrapping.
+  void advance_send_seq(std::uint64_t n) {
+    send_seq_ = n > kSeqExhausted - send_seq_ ? kSeqExhausted : send_seq_ + n;
+  }
+
   /// Encrypts and authenticates one payload; the sequence number is bound
-  /// into the AEAD so frames cannot be reordered or replayed.
+  /// into the AEAD so frames cannot be reordered or replayed. Throws once
+  /// the 2^64 - 1 sequence space is exhausted (nonce reuse otherwise).
   DataFrame seal(BytesView payload);
 
   /// Verifies, decrypts, and enforces strictly increasing sequence numbers.

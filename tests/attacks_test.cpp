@@ -60,6 +60,44 @@ TEST_F(AttacksTest, A1_RevokedUserCannotRejoin) {
   EXPECT_EQ(net_.router(r).stats().rejected_revoked, 3u);
 }
 
+TEST_F(AttacksTest, A1_MalformedPointsRejectedAtParse) {
+  // A1 variant: instead of garbage bytes, the adversary re-encodes a valid
+  // M.2 with degenerate curve points. Parsing must reject them before any
+  // pairing or DH computation sees them.
+  const NodeId r = net_.add_router({0, 0}, no_, kFarFuture);
+  auto user = make_user("target");
+  const auto beacon = net_.router(r).make_beacon(1000);
+  auto m2 = user->process_beacon(beacon, 1000);
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_NO_THROW(proto::AccessRequest::from_bytes(m2->to_bytes()));
+
+  // Identity DH share: the session key would be derived from the identity.
+  auto tampered = *m2;
+  tampered.g_rj = curve::G1::infinity();
+  EXPECT_THROW(proto::AccessRequest::from_bytes(tampered.to_bytes()), Error);
+
+  // Identity signature component: degenerate pairing input.
+  tampered = *m2;
+  tampered.signature.t1 = curve::G1::infinity();
+  EXPECT_THROW(proto::AccessRequest::from_bytes(tampered.to_bytes()), Error);
+
+  // Valid twist-curve point outside the order-r subgroup as T_hat.
+  const auto& bn = curve::Bn254::get();
+  tampered = *m2;
+  for (std::uint64_t i = 1; i < 64; ++i) {
+    const math::Fp2 x = math::Fp2::from_u64(i, 0);
+    const math::Fp2 rhs = x.square() * x + curve::G2Traits::b();
+    math::Fp2 y;
+    if (!rhs.sqrt(y)) continue;
+    const curve::G2 point(x, y);
+    if ((point * bn.r).is_infinity()) continue;
+    tampered.signature.t_hat = point;
+    break;
+  }
+  ASSERT_FALSE((tampered.signature.t_hat * bn.r).is_infinity());
+  EXPECT_THROW(proto::AccessRequest::from_bytes(tampered.to_bytes()), Error);
+}
+
 TEST_F(AttacksTest, A1_ReplayedRequestsAllRejected) {
   const NodeId r = net_.add_router({0, 0}, no_, kFarFuture);
   net_.add_user({40, 0}, make_user("victim"));

@@ -211,6 +211,69 @@ TEST_F(AuthTest, MultipleConcurrentSessions) {
   EXPECT_EQ(router_->session_count(), 6u);
 }
 
+TEST_F(AuthTest, PooledBatchMatchesSequential) {
+  // Two routers with identical keys and DRBG seeds — one verifying inline,
+  // one over a 4-thread VerifyPool — must produce byte-identical outcomes
+  // for the same batch: accepts, rejects, session ids, confirm ciphertexts,
+  // and rejection counters.
+  auto provision = no_.provision_router(5, kFarFuture);
+  ProtocolConfig pooled_cfg;
+  pooled_cfg.verify_threads = 4;
+  MeshRouter seq(5, provision.keypair, provision.certificate, no_.params(),
+                 crypto::Drbg::from_string("twin"));
+  MeshRouter pooled(5, provision.keypair, provision.certificate, no_.params(),
+                    crypto::Drbg::from_string("twin"), pooled_cfg);
+  seq.install_revocation_lists(no_.current_crl(), no_.current_url());
+  pooled.install_revocation_lists(no_.current_crl(), no_.current_url());
+
+  // Identical DRBG streams make the beacons identical, so one set of M.2s
+  // is valid against both routers.
+  const BeaconMessage beacon = seq.make_beacon(1000);
+  ASSERT_EQ(beacon.to_bytes(), pooled.make_beacon(1000).to_bytes());
+
+  std::vector<AccessRequest> batch;
+  std::vector<std::unique_ptr<User>> users;
+  for (int i = 0; i < 4; ++i) {
+    users.push_back(make_user("batch-user-" + std::to_string(i)));
+    auto m2 = users.back()->process_beacon(beacon, 1000);
+    ASSERT_TRUE(m2.has_value());
+    batch.push_back(std::move(*m2));
+  }
+  batch.push_back(batch[1]);  // duplicate in the same batch: replay
+  users.push_back(make_user("batch-forger"));
+  auto forged_m2 = users.back()->process_beacon(beacon, 1000);
+  ASSERT_TRUE(forged_m2.has_value());
+  forged_m2->signature.c = forged_m2->signature.c + curve::Fr::one();
+  batch.push_back(std::move(*forged_m2));
+
+  const auto seq_out = seq.handle_access_requests(batch, 1010);
+  const auto pool_out = pooled.handle_access_requests(batch, 1010);
+  ASSERT_EQ(seq_out.size(), batch.size());
+  ASSERT_EQ(pool_out.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_EQ(seq_out[i].has_value(), pool_out[i].has_value()) << "entry " << i;
+    if (seq_out[i].has_value()) {
+      EXPECT_EQ(seq_out[i]->session_id, pool_out[i]->session_id);
+      EXPECT_EQ(seq_out[i]->confirm.to_bytes(), pool_out[i]->confirm.to_bytes());
+    }
+  }
+  // First four accepted, duplicate and forged rejected.
+  EXPECT_TRUE(seq_out[0].has_value() && seq_out[3].has_value());
+  EXPECT_FALSE(seq_out[4].has_value());
+  EXPECT_FALSE(seq_out[5].has_value());
+
+  EXPECT_EQ(seq.stats().accepted, pooled.stats().accepted);
+  EXPECT_EQ(seq.stats().rejected_replay, pooled.stats().rejected_replay);
+  EXPECT_EQ(seq.stats().rejected_bad_signature,
+            pooled.stats().rejected_bad_signature);
+  EXPECT_EQ(seq.stats().rejected_bad_signature, 1u);
+  EXPECT_EQ(seq.stats().verify_batches, 0u);
+  EXPECT_GE(pooled.stats().verify_batches, 1u);
+  // Five jobs entered the pool; the within-batch duplicate is deferred to
+  // the sequential apply pass and never verified in parallel.
+  EXPECT_EQ(pooled.stats().batched_requests, batch.size() - 1);
+}
+
 TEST_F(AuthTest, CustomReplayWindowEnforced) {
   // A router configured with a tight 100 ms window rejects what the
   // default 5 s window would accept.

@@ -197,5 +197,30 @@ TEST_F(CurveTest, CofactorTimesCurvePointInSubgroup) {
   FAIL() << "no curve point found";
 }
 
+TEST_F(CurveTest, MultiScalarMulMatchesSeparateMuls) {
+  // The interleaved Shamir ladder must return exactly the same group
+  // element as the sum of individual windowed multiplications — the
+  // prepared verifier's transcripts depend on it.
+  for (int iter = 0; iter < 4; ++iter) {
+    const std::array<G1, 3> pts = {rand_g1(), rand_g1(), rand_g1()};
+    const std::array<U256, 3> ks = {random_fr(rng_).to_u256(),
+                                    random_fr(rng_).to_u256(),
+                                    random_fr(rng_).to_u256()};
+    const G1 expect = pts[0] * ks[0] + pts[1] * ks[1] + pts[2] * ks[2];
+    EXPECT_EQ((multi_scalar_mul<G1Traits, 3>(pts, ks)), expect);
+    EXPECT_EQ(g1_to_bytes(multi_scalar_mul<G1Traits, 3>(pts, ks)),
+              g1_to_bytes(expect));
+  }
+  // G2, short scalars, zero scalars, and identity terms.
+  const std::array<G2, 2> qs = {rand_g2(), rand_g2()};
+  const std::array<U256, 2> small = {U256(3), U256(0)};
+  EXPECT_EQ((multi_scalar_mul<G2Traits, 2>(qs, small)), qs[0] * U256(3));
+  const std::array<G1, 2> with_inf = {rand_g1(), G1::infinity()};
+  const std::array<U256, 2> ks2 = {random_fr(rng_).to_u256(),
+                                   random_fr(rng_).to_u256()};
+  EXPECT_EQ((multi_scalar_mul<G1Traits, 2>(with_inf, ks2)),
+            with_inf[0] * ks2[0]);
+}
+
 }  // namespace
 }  // namespace peace::curve

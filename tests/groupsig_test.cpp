@@ -143,6 +143,42 @@ TEST_F(GroupSigTest, RevocationScansWholeList) {
   EXPECT_FALSE(verify(issuer_.gpk(), as_bytes("m"), sig, url));
 }
 
+TEST_F(GroupSigTest, PreparedVerifyMatchesPlain) {
+  // The precomputed-pairing hot path must agree with the straight-line
+  // reference on accepts AND rejects: valid signatures, tampered ones, and
+  // wrong messages.
+  const PreparedGroupPublicKey pgpk(issuer_.gpk());
+  for (int i = 0; i < 4; ++i) {
+    const Bytes msg = to_bytes("prepared-msg-" + std::to_string(i));
+    const Signature sig = sign(issuer_.gpk(), alice_, msg, rng_);
+    EXPECT_TRUE(verify_proof(issuer_.gpk(), msg, sig));
+    EXPECT_TRUE(verify_proof(pgpk, msg, sig));
+    EXPECT_FALSE(verify_proof(issuer_.gpk(), as_bytes("other"), sig));
+    EXPECT_FALSE(verify_proof(pgpk, as_bytes("other"), sig));
+    Signature bad = sig;
+    bad.c = bad.c + Fr::one();
+    EXPECT_FALSE(verify_proof(issuer_.gpk(), msg, bad));
+    EXPECT_FALSE(verify_proof(pgpk, msg, bad));
+  }
+}
+
+TEST_F(GroupSigTest, PreparedVerifyWithUrlMatchesPlain) {
+  // Full verify (proof + URL scan), prepared vs plain, including the
+  // operation counters the paper's cost analysis is checked against.
+  const PreparedGroupPublicKey pgpk(issuer_.gpk());
+  const std::vector<RevocationToken> url = {{bob_.a}, {carol_.a}};
+  const Signature by_alice = sign(issuer_.gpk(), alice_, as_bytes("m"), rng_);
+  const Signature by_bob = sign(issuer_.gpk(), bob_, as_bytes("m"), rng_);
+  OpCounters plain_ops, prep_ops;
+  EXPECT_TRUE(verify(issuer_.gpk(), as_bytes("m"), by_alice, url, &plain_ops));
+  EXPECT_TRUE(verify(pgpk, as_bytes("m"), by_alice, url, &prep_ops));
+  EXPECT_EQ(plain_ops.pairings, prep_ops.pairings);
+  EXPECT_EQ(plain_ops.g1_exp, prep_ops.g1_exp);
+  EXPECT_EQ(plain_ops.g2_exp, prep_ops.g2_exp);
+  EXPECT_FALSE(verify(issuer_.gpk(), as_bytes("m"), by_bob, url));
+  EXPECT_FALSE(verify(pgpk, as_bytes("m"), by_bob, url));
+}
+
 TEST_F(GroupSigTest, SerializationRoundTrip) {
   const Signature sig = sign(issuer_.gpk(), alice_, as_bytes("m"), rng_);
   const Bytes b = sig.to_bytes();

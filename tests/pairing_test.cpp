@@ -104,7 +104,74 @@ TEST_F(PairingTest, MultiPairingMatchesProduct) {
   const G2 q2 = Bn254::get().g2_gen * random_fr(rng_);
   EXPECT_EQ(multi_pairing({{p1, q1}, {p2, q2}}),
             pairing(p1, q1) * pairing(p2, q2));
-  EXPECT_TRUE(multi_pairing({}).is_one());
+  EXPECT_TRUE(multi_pairing(std::vector<std::pair<G1, G2>>{}).is_one());
+}
+
+TEST_F(PairingTest, PreparedMillerLoopBitIdentical) {
+  // The prepared path must replay the exact same line sequence as the
+  // direct ate loop: identical Fp12 Miller outputs, not just equal GT.
+  for (int i = 0; i < 4; ++i) {
+    const G1 p = Bn254::get().g1_gen * random_fr(rng_);
+    const G2 q = Bn254::get().g2_gen * random_fr(rng_);
+    const G2Prepared prep(q);
+    EXPECT_EQ(miller_loop(p, prep), miller_loop(p, q));
+    EXPECT_EQ(pairing(p, prep), pairing(p, q));
+  }
+}
+
+TEST_F(PairingTest, PreparedHandlesInfinity) {
+  const G2Prepared none;
+  EXPECT_TRUE(none.is_infinity());
+  EXPECT_TRUE(pairing(Bn254::get().g1_gen, none).is_one());
+  const G2Prepared inf(G2::infinity());
+  EXPECT_TRUE(inf.is_infinity());
+  EXPECT_TRUE(pairing(Bn254::get().g1_gen, inf).is_one());
+  const G2Prepared prep(Bn254::get().g2_gen);
+  EXPECT_TRUE(pairing(G1::infinity(), prep).is_one());
+}
+
+TEST_F(PairingTest, PreparedMultiPairingMatchesProduct) {
+  const G1 p1 = Bn254::get().g1_gen * random_fr(rng_);
+  const G1 p2 = Bn254::get().g1_gen * random_fr(rng_);
+  const G2 q1 = Bn254::get().g2_gen * random_fr(rng_);
+  const G2 q2 = Bn254::get().g2_gen * random_fr(rng_);
+  const G2Prepared prep1(q1), prep2(q2);
+  const std::pair<G1, const G2Prepared*> pairs[] = {{p1, &prep1},
+                                                    {p2, &prep2}};
+  EXPECT_EQ(multi_pairing(pairs), pairing(p1, q1) * pairing(p2, q2));
+  EXPECT_EQ(multi_pairing(pairs), multi_pairing({{p1, q1}, {p2, q2}}));
+  EXPECT_TRUE(
+      multi_pairing(std::span<const std::pair<G1, const G2Prepared*>>{})
+          .is_one());
+}
+
+TEST_F(PairingTest, PreparedDetectsDlogRelation) {
+  // The revocation-equation pattern (Eq.3) through the prepared path.
+  const Fr a = random_fr(rng_);
+  const G1 p = Bn254::get().g1_gen;
+  const G2Prepared q(Bn254::get().g2_gen * random_fr(rng_));
+  const std::pair<G1, const G2Prepared*> pairs[] = {{p * a, &q},
+                                                    {-(p * a), &q}};
+  EXPECT_TRUE(multi_pairing(pairs).is_one());
+}
+
+TEST_F(PairingTest, PreparedConsistentWithTateReference) {
+  // Same cross-check as ConsistentWithTateReference, but the ate side runs
+  // through precomputed lines: the same scalar must act identically on the
+  // prepared-ate and the independent Tate values.
+  for (int i = 0; i < 3; ++i) {
+    const Fr a = random_fr(rng_);
+    const G1 p = Bn254::get().g1_gen * random_fr(rng_);
+    const G2 q = Bn254::get().g2_gen * random_fr(rng_);
+    const G2Prepared prep(q);
+    const GT at = pairing(p, prep);
+    const GT tate = pairing_reference(p, q);
+    EXPECT_EQ(pairing(p * a, prep), at.pow(a.to_u256()));
+    EXPECT_EQ(pairing_reference(p * a, q), tate.pow(a.to_u256()));
+    EXPECT_FALSE(at.is_one());
+    EXPECT_TRUE(at.pow(Bn254::get().r).is_one());
+    EXPECT_TRUE(tate.pow(Bn254::get().r).is_one());
+  }
 }
 
 TEST_F(PairingTest, ProductOfPairingsDetectsDlogRelation) {
@@ -175,6 +242,22 @@ TEST_P(PairingProperty, BilinearityAcrossSeeds) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PairingProperty, ::testing::Range(0, 8));
+
+TEST_F(PairingTest, CyclotomicSquareMatchesGenericSquare) {
+  // GT elements live in the cyclotomic subgroup, where the Granger-Scott
+  // shortcut must agree exactly with the generic Fp12 squaring.
+  crypto::Drbg rng = crypto::Drbg::from_string("cyclo");
+  for (int iter = 0; iter < 4; ++iter) {
+    const G1 p = Bn254::get().g1_gen * random_fr(rng);
+    const G2 q = Bn254::get().g2_gen * random_fr(rng);
+    GT f = pairing(p, q);
+    for (int step = 0; step < 8; ++step) {
+      ASSERT_EQ(f.cyclotomic_square(), f.square());
+      f = f.cyclotomic_square();
+    }
+  }
+  ASSERT_EQ(GT(math::Fp12::one()).cyclotomic_square(), math::Fp12::one());
+}
 
 }  // namespace
 }  // namespace peace::curve

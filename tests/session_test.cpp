@@ -73,6 +73,44 @@ TEST_F(SessionTest, TamperRejected) {
   EXPECT_FALSE(b_.open(f).has_value());
 }
 
+TEST_F(SessionTest, FailedOpenDoesNotAdvanceWindow) {
+  // A forged frame with a high sequence number must not burn sequence
+  // numbers for the legitimate sender: the replay window only advances on
+  // successful AEAD verification.
+  DataFrame forged;
+  forged.session_id = sid_;
+  forged.seq = 1000;
+  forged.ciphertext = to_bytes("not a real ciphertext, just padding....");
+  EXPECT_FALSE(b_.open(forged).has_value());
+
+  auto f0 = a_.seal(as_bytes("still works"));
+  EXPECT_EQ(f0.seq, 0u);
+  EXPECT_TRUE(b_.open(f0).has_value());
+}
+
+TEST_F(SessionTest, AcceptOnceEvenWithGaps) {
+  // Jumping forward (loss) is fine, but every accepted sequence number is
+  // accepted exactly once, and anything at or below it is then dead.
+  auto f0 = a_.seal(as_bytes("zero"));
+  auto f1 = a_.seal(as_bytes("one"));
+  auto f2 = a_.seal(as_bytes("two"));
+  ASSERT_TRUE(b_.open(f1).has_value());
+  EXPECT_FALSE(b_.open(f1).has_value());  // exact replay
+  EXPECT_FALSE(b_.open(f0).has_value());  // older
+  EXPECT_TRUE(b_.open(f2).has_value());   // newer still fine
+}
+
+TEST_F(SessionTest, SendSequenceExhaustionRefused) {
+  // The AEAD nonce is derived from the 64-bit sequence number; wrapping
+  // would reuse a nonce under the same key. seal() must refuse instead.
+  a_.advance_send_seq(Session::kSeqExhausted);
+  EXPECT_EQ(a_.frames_sent(), Session::kSeqExhausted);
+  EXPECT_THROW(a_.seal(as_bytes("one too many")), Error);
+  // Saturating, not wrapping: still refused after another advance.
+  a_.advance_send_seq(5);
+  EXPECT_THROW(a_.seal(as_bytes("still refused")), Error);
+}
+
 TEST_F(SessionTest, WrongSessionIdRejected) {
   auto f = a_.seal(as_bytes("m"));
   f.session_id = to_bytes("other-session!!");
