@@ -306,35 +306,79 @@ GT multi_pairing(const std::vector<std::pair<G1, G2>>& pairs) {
 }
 
 GT multi_pairing(std::span<const std::pair<G1, const G2Prepared*>> pairs) {
-  // Fused Miller loops: every prepared table follows the same Q-independent
-  // step schedule, so one accumulator squares once per doubling bit and
-  // absorbs each pair's line. Exactly equal to the product of individual
-  // loops — (f_a f_b)^2 = f_a^2 f_b^2 holds per step by induction — while
-  // paying the ~|ate_loop| Fp12 squarings once instead of once per pair.
-  struct Active {
+  return multi_pairing(pairs, std::span<const std::pair<G1, G2>>{});
+}
+
+GT multi_pairing(std::span<const std::pair<G1, const G2Prepared*>> prepared,
+                 std::span<const std::pair<G1, G2>> unprepared) {
+  // Fused Miller loops: every pair follows the same Q-independent ate step
+  // schedule, so one accumulator squares once per doubling bit and absorbs
+  // each pair's line. Exactly equal to the product of individual loops —
+  // (f_a f_b)^2 = f_a^2 f_b^2 holds per step by induction — while paying
+  // the ~|ate_loop| Fp12 squarings once instead of once per pair. Prepared
+  // pairs consume the next stored line; unprepared pairs produce it with a
+  // live curve step, allocating nothing. The table order matches because
+  // G2Prepared records exactly ate_line_schedule's sequence.
+  struct ActiveP {
     Fp xp, yp;
     const std::vector<PreparedLine>* lines;
   };
-  std::vector<Active> active;
-  active.reserve(pairs.size());
-  for (const auto& [p, q] : pairs) {
+  struct ActiveU {
+    Fp xp, yp;
+    AffineG2 q;  // original point, re-added on set loop bits
+    AffineG2 t;  // running point
+  };
+  std::vector<ActiveP> ap;
+  ap.reserve(prepared.size());
+  for (const auto& [p, q] : prepared) {
     g_pairing_count.fetch_add(1, std::memory_order_relaxed);
     if (p.is_infinity() || q->is_infinity()) continue;
-    Active a;
+    ActiveP a;
     p.to_affine(a.xp, a.yp);
     a.lines = &q->lines();
-    active.push_back(a);
+    ap.push_back(a);
   }
+  std::vector<ActiveU> au;
+  au.reserve(unprepared.size());
+  for (const auto& [p, q] : unprepared) {
+    g_pairing_count.fetch_add(1, std::memory_order_relaxed);
+    if (p.is_infinity() || q.is_infinity()) continue;
+    ActiveU a;
+    p.to_affine(a.xp, a.yp);
+    a.q = to_affine2(q);
+    a.t = a.q;
+    au.push_back(a);
+  }
+
   Fp12 f = Fp12::one();
-  if (active.empty()) return final_exponentiation(f);
+  if (ap.empty() && au.empty()) return final_exponentiation(f);
+
   std::size_t next = 0;
-  ate_consume_schedule([&](bool doubling) {
+  const auto step_all = [&](bool doubling, auto&& unprep_line) {
     if (doubling) f = f.square();
-    for (const Active& a : active) {
+    for (const ActiveP& a : ap) {
       const LineCoeffs l = eval_line((*a.lines)[next], a.xp, a.yp);
       f = f.mul_by_line(l.a, l.b, l.c);
     }
+    for (ActiveU& a : au) {
+      const LineCoeffs l = eval_line(unprep_line(a), a.xp, a.yp);
+      f = f.mul_by_line(l.a, l.b, l.c);
+    }
     ++next;
+  };
+  const auto& bn = Bn254::get();
+  const unsigned nbits = bn.ate_loop.bit_length();
+  for (int i = static_cast<int>(nbits) - 2; i >= 0; --i) {
+    step_all(true, [](ActiveU& a) { return double_step(a.t); });
+    if (bn.ate_loop.bit(static_cast<unsigned>(i)))
+      step_all(false, [](ActiveU& a) { return add_step(a.t, a.q); });
+  }
+  step_all(false,
+           [](ActiveU& a) { return add_step(a.t, frobenius_twist(a.q)); });
+  step_all(false, [](ActiveU& a) {
+    AffineG2 q2 = frobenius2_twist(a.q);
+    q2.y = -q2.y;
+    return add_step(a.t, q2);
   });
   return final_exponentiation(f);
 }

@@ -69,6 +69,15 @@ GT pairing(const G1& p, const G2Prepared& prepared);
 /// points without copying their coefficient tables.
 GT multi_pairing(std::span<const std::pair<G1, const G2Prepared*>> pairs);
 
+/// Mixed-argument product: prod e(p, *q) over `prepared` times prod e(p, q)
+/// over `unprepared`, fused into one Miller accumulator with a single final
+/// exponentiation. The unprepared points run the twist arithmetic inline —
+/// no line table is allocated — so a one-shot G2 argument (e.g. a
+/// signature's T_hat) pairs against long-lived prepared bases without
+/// paying a G2Prepared build per call.
+GT multi_pairing(std::span<const std::pair<G1, const G2Prepared*>> prepared,
+                 std::span<const std::pair<G1, G2>> unprepared);
+
 /// f^((p^12 - 1) / r), via the BN hard-part addition chain (its exponent
 /// decomposition is verified numerically at first use; on mismatch this
 /// silently falls back to generic square-and-multiply).

@@ -338,10 +338,13 @@ bool EpochRevocationIndex::is_revoked(const Signature& sig,
   // homomorphism, so FE(m1) * FE(m2)^-1 == FE(m1 * ML(-v, T_hat)).
   if (sig.epoch != epoch_) throw Error("groupsig: epoch mismatch");
   count(ops, &OpCounters::pairings, 2);
-  const curve::G2Prepared t_hat_prep(sig.t_hat);
-  const std::pair<curve::G1, const curve::G2Prepared*> pairs[] = {
-      {sig.t2, &v_hat_prep_}, {-v_, &t_hat_prep}};
-  const GT k = curve::multi_pairing(pairs);
+  // T_hat is used exactly once, so it runs the Miller loop inline via the
+  // mixed overload — building a G2Prepared line table for it would spend
+  // the full twist arithmetic plus a heap allocation on a one-shot point.
+  const std::pair<curve::G1, const curve::G2Prepared*> prep[] = {
+      {sig.t2, &v_hat_prep_}};
+  const std::pair<curve::G1, curve::G2> unprep[] = {{-v_, sig.t_hat}};
+  const GT k = curve::multi_pairing(prep, unprep);
   return tags_.contains(to_hex(k.to_bytes()));
 }
 

@@ -16,34 +16,54 @@ VerifyPool::VerifyPool(unsigned threads) {
     workers_.emplace_back([this](std::stop_token st) { worker_loop(st); });
 }
 
-std::size_t VerifyPool::drain(const std::function<void(std::size_t)>* body,
-                              std::size_t count) {
+std::size_t VerifyPool::drain(Batch& batch, std::exception_ptr& error) {
   std::size_t done = 0;
   for (;;) {
-    const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= count) return done;
-    (*body)(i);
+    const std::size_t i =
+        batch.next_index.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) return done;
+    // Exception barrier: a throwing body (e.g. an Error escaping groupsig
+    // code) must neither std::terminate a worker thread nor let run()
+    // unwind while other participants still execute the body. The index
+    // still counts as completed so the batch drains; the first recorded
+    // error is rethrown by run() once everyone has parked.
+    try {
+      batch.body(i);
+    } catch (...) {
+      if (error == nullptr) error = std::current_exception();
+    }
     ++done;
   }
+}
+
+void VerifyPool::finish(const std::shared_ptr<Batch>& batch, std::size_t done,
+                        std::exception_ptr error) {
+  std::lock_guard lock(mutex_);
+  batch->completed += done;
+  if (error != nullptr && batch->error == nullptr)
+    batch->error = std::move(error);
+  if (batch->completed == batch->count) cv_done_.notify_all();
 }
 
 void VerifyPool::worker_loop(std::stop_token st) {
   std::uint64_t seen = 0;
   for (;;) {
-    const std::function<void(std::size_t)>* body = nullptr;
-    std::size_t count = 0;
+    std::shared_ptr<Batch> batch;
     {
       std::unique_lock lock(mutex_);
       cv_start_.wait(lock, st, [&] { return generation_ != seen; });
       if (st.stop_requested()) return;
       seen = generation_;
-      body = body_;
-      count = count_;
+      batch = current_batch_;
     }
-    const std::size_t done = drain(body, count);
-    std::lock_guard lock(mutex_);
-    completed_ += done;
-    if (completed_ == count_) cv_done_.notify_all();
+    // From here on only the shared Batch is touched: even if this worker is
+    // descheduled and run() returns (the batch's indices all claimed by
+    // others), the shared_ptr keeps this generation's state alive, and a
+    // newer batch has its own next_index — a straggler can neither claim a
+    // new batch's index nor invoke a destroyed body.
+    std::exception_ptr error;
+    const std::size_t done = drain(*batch, error);
+    finish(batch, done, std::move(error));
   }
 }
 
@@ -54,22 +74,24 @@ void VerifyPool::run(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
+  auto batch = std::make_shared<Batch>();
+  batch->body = body;  // copied: workers never see the caller's temporary
+  batch->count = count;
   {
     std::lock_guard lock(mutex_);
-    body_ = &body;
-    count_ = count;
-    completed_ = 0;
-    next_index_.store(0, std::memory_order_relaxed);
+    current_batch_ = batch;
     ++generation_;
   }
   cv_start_.notify_all();
-  const std::size_t done = drain(&body, count);
+  std::exception_ptr error;
+  const std::size_t done = drain(*batch, error);
+  finish(batch, done, std::move(error));
   std::unique_lock lock(mutex_);
-  completed_ += done;
-  if (completed_ == count_) cv_done_.notify_all();
-  cv_done_.wait(lock, [&] { return completed_ == count_; });
-  // body_ intentionally stays set: a worker that missed this batch only
-  // wakes on the next generation bump, by which time it is valid again.
+  cv_done_.wait(lock, [&] { return batch->completed == batch->count; });
+  // completed == count implies every claimed index has run and been
+  // accounted; stragglers that wake later find the batch exhausted and only
+  // touch its heap state, so unwinding the caller's frame now is safe.
+  if (batch->error != nullptr) std::rethrow_exception(batch->error);
 }
 
 MeshRouter::MeshRouter(RouterId id, curve::EcdsaKeyPair keypair,

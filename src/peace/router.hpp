@@ -38,24 +38,40 @@ class VerifyPool {
 
   /// Invokes body(i) for every i in [0, count), distributing indices over
   /// the workers plus the calling thread; returns once all completed.
-  /// `body` must tolerate concurrent invocation (distinct indices).
+  /// `body` must tolerate concurrent invocation (distinct indices). If any
+  /// invocation throws, every remaining index still runs and the first
+  /// exception (in completion order) is rethrown here after the batch has
+  /// fully drained — run() never returns or throws mid-batch.
   void run(std::size_t count, const std::function<void(std::size_t)>& body);
 
  private:
+  /// Per-batch state, heap-allocated and shared with every worker that wakes
+  /// for it. A worker that reads the batch for generation N but is
+  /// descheduled until generation N+1 has been published only ever touches
+  /// its own (kept-alive) Batch — never a newer batch's indices or a
+  /// destroyed caller frame.
+  struct Batch {
+    std::function<void(std::size_t)> body;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next_index{0};
+    std::size_t completed = 0;          // guarded by the pool mutex
+    std::exception_ptr error;           // first failure; guarded by mutex
+  };
+
   void worker_loop(std::stop_token st);
   /// Claims and runs indices until the batch is exhausted; returns how many
-  /// this thread completed.
-  std::size_t drain(const std::function<void(std::size_t)>* body,
-                    std::size_t count);
+  /// this thread completed. Catches per-index exceptions into `error`.
+  std::size_t drain(Batch& batch, std::exception_ptr& error);
+  /// Folds one participant's completions (and first error) into the batch
+  /// under the pool mutex; signals cv_done_ when the batch fully drains.
+  void finish(const std::shared_ptr<Batch>& batch, std::size_t done,
+              std::exception_ptr error);
 
   std::mutex mutex_;
   std::condition_variable_any cv_start_;
   std::condition_variable cv_done_;
   std::uint64_t generation_ = 0;  // bumps once per batch; wakes workers
-  std::size_t count_ = 0;
-  const std::function<void(std::size_t)>* body_ = nullptr;
-  std::atomic<std::size_t> next_index_{0};
-  std::size_t completed_ = 0;  // guarded by mutex_
+  std::shared_ptr<Batch> current_batch_;  // guarded by mutex_
   std::vector<std::jthread> workers_;
 };
 

@@ -4,6 +4,9 @@
 // timestamps, revoked signers, rogue routers, tampered confirms).
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
+
 #include "peace/router.hpp"
 #include "peace/user.hpp"
 
@@ -59,6 +62,59 @@ class AuthTest : public ::testing::Test {
   std::unique_ptr<User> alice_;
   std::unique_ptr<User> bob_;
 };
+
+TEST(VerifyPoolTest, BackToBackBatchesStressGenerations) {
+  // Regression for the generation race: a worker that woke for batch N but
+  // was descheduled before claiming an index must not invoke batch N's
+  // (destroyed) body on batch N+1's indices. Thousands of tiny
+  // back-to-back batches with distinct bodies make a straggler crossing a
+  // batch boundary overwhelmingly likely; each body records into its own
+  // batch's slots, so any cross-batch invocation corrupts a marker.
+  VerifyPool pool(4);
+  constexpr int kBatches = 4000;
+  constexpr std::size_t kJobs = 3;
+  for (int b = 0; b < kBatches; ++b) {
+    std::array<int, kJobs> slots{};
+    pool.run(kJobs, [&slots, b](std::size_t i) { slots[i] = b + 1; });
+    for (std::size_t i = 0; i < kJobs; ++i)
+      ASSERT_EQ(slots[i], b + 1) << "batch " << b << " index " << i;
+  }
+}
+
+TEST(VerifyPoolTest, BodyExceptionDrainsBatchAndRethrows) {
+  // A throwing body must neither terminate a worker thread nor let run()
+  // unwind mid-batch: every index still executes, and the failure surfaces
+  // on the calling thread once the batch has drained.
+  VerifyPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    constexpr std::size_t kJobs = 16;
+    std::array<std::atomic<bool>, kJobs> ran{};
+    EXPECT_THROW(pool.run(kJobs,
+                          [&ran](std::size_t i) {
+                            ran[i].store(true, std::memory_order_relaxed);
+                            if (i % 5 == 0) throw Error("verify failed");
+                          }),
+                 Error);
+    for (std::size_t i = 0; i < kJobs; ++i)
+      EXPECT_TRUE(ran[i].load(std::memory_order_relaxed))
+          << "round " << round << " index " << i;
+  }
+  // The pool survives a throwing batch: the next batch runs normally.
+  std::atomic<int> ok{0};
+  pool.run(8, [&ok](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(VerifyPoolTest, InlineExceptionPropagates) {
+  // threads <= 1 spawns no workers; the inline path throws directly.
+  VerifyPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  EXPECT_THROW(pool.run(4,
+                        [](std::size_t i) {
+                          if (i == 2) throw Error("inline failure");
+                        }),
+               Error);
+}
 
 TEST_F(AuthTest, UserRouterHandshakeSucceeds) {
   auto result = full_handshake(*alice_, 1000);

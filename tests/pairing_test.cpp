@@ -145,6 +145,45 @@ TEST_F(PairingTest, PreparedMultiPairingMatchesProduct) {
           .is_one());
 }
 
+TEST_F(PairingTest, MixedMultiPairingMatchesProduct) {
+  // The mixed overload — prepared long-lived bases fused with inline
+  // one-shot G2 arguments — must equal the product of individual pairings
+  // and agree with both homogeneous overloads.
+  const G1 p1 = Bn254::get().g1_gen * random_fr(rng_);
+  const G1 p2 = Bn254::get().g1_gen * random_fr(rng_);
+  const G1 p3 = Bn254::get().g1_gen * random_fr(rng_);
+  const G2 q1 = Bn254::get().g2_gen * random_fr(rng_);
+  const G2 q2 = Bn254::get().g2_gen * random_fr(rng_);
+  const G2 q3 = Bn254::get().g2_gen * random_fr(rng_);
+  const G2Prepared prep1(q1);
+  const std::pair<G1, const G2Prepared*> prep[] = {{p1, &prep1}};
+  const std::pair<G1, G2> unprep[] = {{p2, q2}, {p3, q3}};
+  EXPECT_EQ(multi_pairing(prep, unprep),
+            pairing(p1, q1) * pairing(p2, q2) * pairing(p3, q3));
+  EXPECT_EQ(multi_pairing(prep, unprep),
+            multi_pairing({{p1, q1}, {p2, q2}, {p3, q3}}));
+  // Degenerate shapes: all-prepared, all-unprepared, infinities, empty.
+  EXPECT_EQ(multi_pairing(prep, {}), pairing(p1, q1));
+  EXPECT_EQ(multi_pairing({}, unprep), pairing(p2, q2) * pairing(p3, q3));
+  const std::pair<G1, G2> with_inf[] = {{G1::infinity(), q2},
+                                        {p3, G2::infinity()}};
+  EXPECT_TRUE(multi_pairing({}, with_inf).is_one());
+  EXPECT_TRUE(multi_pairing({}, {}).is_one());
+}
+
+TEST_F(PairingTest, MixedMultiPairingCrossKindCancellation) {
+  // The is_revoked shape: the same G2 point entering once through the
+  // prepared table and once through the inline loop must cancel exactly —
+  // e(P^a, Q) * e(P^-a, Q) = 1 across the two line sources.
+  const Fr a = random_fr(rng_);
+  const G1 p = Bn254::get().g1_gen;
+  const G2 q = Bn254::get().g2_gen * random_fr(rng_);
+  const G2Prepared prep_q(q);
+  const std::pair<G1, const G2Prepared*> prep[] = {{p * a, &prep_q}};
+  const std::pair<G1, G2> unprep[] = {{-(p * a), q}};
+  EXPECT_TRUE(multi_pairing(prep, unprep).is_one());
+}
+
 TEST_F(PairingTest, PreparedDetectsDlogRelation) {
   // The revocation-equation pattern (Eq.3) through the prepared path.
   const Fr a = random_fr(rng_);
