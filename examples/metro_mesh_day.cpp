@@ -97,6 +97,33 @@ int main() {
               static_cast<unsigned long long>(net.stats().backbone_hops_total),
               static_cast<unsigned long long>(net.stats().frames_lost));
 
+  // Late afternoon: the golf club reports mallory's device stolen and the
+  // club's second key lapses too. The NO revokes both and distributes the
+  // changes as signed deltas over the lossy radio — deliberately newest
+  // announcement first, so the segment sees a chain gap and heals it with
+  // a resync round-trip before the older (now stale) announcement arrives.
+  no.revoke_user_key(company.enroll("stolen@company", ttp).index, 14'000);
+  no.revoke_user_key(golf_club.enroll("lapsed@golf", ttp).index, 14'500);
+  net.announce_rl_deltas(no.make_delta_announcement(0, 1), no);  // v2 only
+  net.announce_rl_deltas(no.make_delta_announcement(0, 1), no);  // retransmit
+  net.announce_rl_deltas(no.make_delta_announcement(0, 0), no);  // full log
+  sim.run_until(16'000);
+  if (net.revocation()->url_version() < no.current_url().version)
+    // Both radio deliveries lost: the operator falls back to its secure
+    // channel, exactly as for the pre-delta full-list pushes.
+    net.push_revocation_lists(no.current_crl(), no.current_url());
+
+  const auto& rs = net.revocation()->stats();
+  unsigned long long resyncs = 0;
+  for (const mesh::NodeId rid : net.router_ids())
+    resyncs += net.router(rid).stats().rl_resyncs_completed;
+  std::printf("\nlate afternoon: URL v%llu distributed by delta "
+              "(%llu applied, %llu stale, %llu gaps, %llu resyncs)\n",
+              static_cast<unsigned long long>(net.revocation()->url_version()),
+              static_cast<unsigned long long>(rs.deltas_applied),
+              static_cast<unsigned long long>(rs.deltas_stale),
+              static_cast<unsigned long long>(rs.deltas_gap), resyncs);
+
   // Evening: the eavesdropper files its report.
   std::printf("\neavesdropper saw %zu frames, %zu access requests\n",
               eve.frames_seen(), eve.access_requests_seen());

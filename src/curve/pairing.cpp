@@ -13,6 +13,7 @@ using math::U256;
 namespace {
 
 std::atomic<std::uint64_t> g_pairing_count{0};
+std::atomic<std::uint64_t> g_g2_prepared_count{0};
 
 /// A pairing line in sparse form a + b*w + c*w^3 (w-power basis); consumed
 /// via Fp12::mul_by_line.
@@ -246,6 +247,7 @@ Fp12 miller_loop(const G1& p, const G2& q) {
 
 G2Prepared::G2Prepared(const G2& q) {
   if (q.is_infinity()) return;
+  g_g2_prepared_count.fetch_add(1, std::memory_order_relaxed);
   // 64-bit u: the ate loop has ~65 doublings plus the additions its set bits
   // trigger, plus the two correction lines.
   lines_.reserve(2 * 64 + 8);
@@ -446,6 +448,10 @@ const GT& gt_generator() {
 
 std::uint64_t pairing_op_count() {
   return g_pairing_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t g2_prepared_count() {
+  return g_g2_prepared_count.load(std::memory_order_relaxed);
 }
 
 }  // namespace peace::curve

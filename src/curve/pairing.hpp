@@ -107,4 +107,9 @@ void untwist(const G2& q, Fp12& x_out, Fp12& y_out);
 /// operation-count experiments E2/E3).
 std::uint64_t pairing_op_count();
 
+/// Total G2Prepared line tables built since process start. Tests use the
+/// delta across a call to assert that hot paths reuse cached prepared bases
+/// instead of constructing one-shot tables per message or per token.
+std::uint64_t g2_prepared_count();
+
 }  // namespace peace::curve

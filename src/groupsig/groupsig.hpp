@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -179,6 +181,28 @@ bool matches_token(const GroupPublicKey& gpk, BytesView message,
                    const Signature& sig, const RevocationToken& token,
                    OpCounters* ops = nullptr);
 
+/// The hashed bases of one signature with the revocation base v_hat's
+/// Miller-loop lines prepared once. Every Eq.3 check pairs against the same
+/// v_hat, so a verifier scanning a |URL|-long list (or NO scanning grt)
+/// derives this once per message and amortises the G2 twist arithmetic over
+/// the whole scan instead of re-walking it 2|URL| times.
+struct PreparedBases {
+  curve::SignatureBases bases;
+  curve::G2Prepared v_hat;
+};
+
+/// Derives (and prepares) the bases of `sig` over `message` — the one-time
+/// per-scan cost of the amortised revocation check below.
+PreparedBases prepare_bases(const GroupPublicKey& gpk, BytesView message,
+                            const Signature& sig, OpCounters* ops = nullptr);
+
+/// Eq.3 against pre-derived bases: identical accept/reject behaviour to the
+/// re-deriving overload above, but no hashing and no per-call G2 Miller
+/// walk for v_hat — the signature's one-shot T_hat runs inline via the
+/// mixed multi_pairing, so no G2Prepared is ever built per token.
+bool matches_token(const PreparedBases& prepared, const Signature& sig,
+                   const RevocationToken& token, OpCounters* ops = nullptr);
+
 /// Full verification (paper steps 3.2 + 3.3): proof plus a linear scan of
 /// the revocation list.
 bool verify(const GroupPublicKey& gpk, BytesView message, const Signature& sig,
@@ -191,24 +215,54 @@ bool verify(const PreparedGroupPublicKey& pgpk, BytesView message,
             OpCounters* ops = nullptr);
 
 /// The constant-time revocation index for epoch-based signatures (the
-/// "far more efficient revocation check" of Sec. V.C). Rebuild once per
-/// epoch; lookup cost is 2 pairings + a hash probe, independent of |URL|.
+/// "far more efficient revocation check" of Sec. V.C). Lookup cost is
+/// 2 pairings + a hash probe, independent of |URL|.
+///
+/// The index is incremental: applying a delta revocation list re-tags only
+/// the added tokens (one pairing each; removals are free), and an epoch
+/// roll re-tags the stored tokens in place against the new epoch base —
+/// callers never rebuild from the raw URL once an index exists. The
+/// per-epoch v_hat stays prepared across the epoch, so is_revoked never
+/// constructs a one-shot G2Prepared. Copyable, so snapshot publishers can
+/// clone an index cheaply (hash-map copy, zero pairings) before applying a
+/// delta to the copy.
 class EpochRevocationIndex {
  public:
   EpochRevocationIndex(const GroupPublicKey& gpk, Epoch epoch,
                        std::span<const RevocationToken> url);
 
   Epoch epoch() const { return epoch_; }
-  std::size_t size() const { return tags_.size(); }
+  std::size_t size() const { return tokens_.size(); }
+
+  /// Inserts one token (one pairing). Duplicate tokens are idempotent:
+  /// returns false and changes nothing when already indexed.
+  bool add_token(const RevocationToken& token);
+  /// Removes one token (no pairings). Returns false when absent.
+  bool remove_token(const RevocationToken& token);
+  bool contains(const RevocationToken& token) const;
+
+  /// Moves the index to a new epoch: re-derives the epoch bases once and
+  /// re-tags the stored tokens (one pairing per token — unavoidable, the
+  /// tags e(A_i, v_hat_epoch) are epoch-dependent by design).
+  void roll_epoch(const GroupPublicKey& gpk, Epoch epoch);
 
   /// True if the signer of `sig` is revoked. `sig.epoch` must match.
   bool is_revoked(const Signature& sig, OpCounters* ops = nullptr) const;
 
  private:
+  std::string tag_for(const G1& a) const;
+
   Epoch epoch_;
   G1 v_;
   G2 v_hat_;
   curve::G2Prepared v_hat_prep_;  // v_hat is fixed for the whole epoch
+  /// token bytes (hex) -> (point, tag hex); the separate tag set gives the
+  /// O(1) is_revoked probe while the map supports delta removals and rolls.
+  struct Entry {
+    G1 a;
+    std::string tag;
+  };
+  std::unordered_map<std::string, Entry> tokens_;
   std::unordered_set<std::string> tags_;  // hex of e(A_i, v_hat_epoch)
 };
 

@@ -26,11 +26,14 @@ NodeId MeshNetwork::add_router(Vec2 pos, proto::NetworkOperator& no,
                                proto::Timestamp cert_expires_at) {
   const NodeId id = next_id_++;
   auto provision = no.provision_router(id, cert_expires_at);
+  if (revocation_ == nullptr)
+    revocation_ = std::make_shared<revoke::SharedRevocationState>(
+        no.params().network_public_key);
   RouterNode node;
   node.pos = pos;
   node.router = std::make_unique<proto::MeshRouter>(
       id, provision.keypair, provision.certificate, no.params(),
-      rng_.fork("router-" + std::to_string(id)), proto_config_);
+      rng_.fork("router-" + std::to_string(id)), proto_config_, revocation_);
   node.router->install_revocation_lists(no.current_crl(), no.current_url());
   routers_.emplace(id, std::move(node));
   return id;
@@ -73,7 +76,49 @@ void MeshNetwork::move_user(NodeId id, Vec2 pos) {
 void MeshNetwork::push_revocation_lists(
     const proto::SignedRevocationList& crl,
     const proto::SignedRevocationList& url) {
-  for (auto& [id, node] : routers_) node.router->install_revocation_lists(crl, url);
+  // Every router shares revocation_; one install provisions them all.
+  if (revocation_ != nullptr) revocation_->install_full(crl, url);
+}
+
+void MeshNetwork::announce_rl_deltas(const proto::RLDeltaAnnounce& announce,
+                                     proto::NetworkOperator& no) {
+  if (routers_.empty()) return;
+  const Bytes wire = announce.to_bytes();
+  observe("rl-delta", wire);
+  if (!radio_delivers()) {
+    ++stats_.frames_lost;
+    return;  // the segment stays behind until a later announcement heals it
+  }
+  // The segment head applies the announcement on everyone's behalf (the
+  // state is shared); gaps come back as resync requests and run the full
+  // round-trip with the operator, paying latency and loss on each leg.
+  const NodeId head = routers_.begin()->first;
+  sim_.schedule_in(radio_.latency_ms, [this, head, wire, &no] {
+    const auto requests = router(head).handle_rl_announce(
+        proto::RLDeltaAnnounce::from_bytes(wire));
+    for (const proto::RLResyncRequest& req : requests) {
+      const Bytes req_wire = req.to_bytes();
+      observe("rl-resync-req", req_wire);
+      if (!radio_delivers()) {
+        ++stats_.frames_lost;
+        continue;
+      }
+      sim_.schedule_in(radio_.latency_ms, [this, head, req_wire, &no] {
+        const proto::RLResyncResponse resp =
+            no.handle_resync(proto::RLResyncRequest::from_bytes(req_wire));
+        const Bytes resp_wire = resp.to_bytes();
+        observe("rl-resync-resp", resp_wire);
+        if (!radio_delivers()) {
+          ++stats_.frames_lost;
+          return;
+        }
+        sim_.schedule_in(radio_.latency_ms, [this, head, resp_wire] {
+          router(head).handle_rl_resync(
+              proto::RLResyncResponse::from_bytes(resp_wire));
+        });
+      });
+    }
+  });
 }
 
 bool MeshNetwork::radio_delivers() {

@@ -78,9 +78,25 @@ class MeshNetwork {
   void move_user(NodeId id, Vec2 pos);
 
   /// Pushes fresh revocation lists to every router over the operator's
-  /// pre-established secure channels (paper III.A assumption).
+  /// pre-established secure channels (paper III.A assumption). All routers
+  /// of this network share one RCU revocation snapshot, so this is a single
+  /// install regardless of router count.
   void push_revocation_lists(const proto::SignedRevocationList& crl,
                              const proto::SignedRevocationList& url);
+
+  /// Metro-scale distribution: delivers a delta announcement to the
+  /// segment's shared revocation state over the lossy radio (one latency
+  /// hop). A chain gap — e.g. an earlier announcement was lost — triggers
+  /// the full resync round-trip with `no` (request + response, each paying
+  /// radio latency and loss). `no` must outlive the scheduled events.
+  void announce_rl_deltas(const proto::RLDeltaAnnounce& announce,
+                          proto::NetworkOperator& no);
+
+  /// The revocation state shared by every router of this network (null
+  /// until the first add_router).
+  const std::shared_ptr<revoke::SharedRevocationState>& revocation() const {
+    return revocation_;
+  }
 
   // --- behaviour ---------------------------------------------------------
   /// Schedules periodic beacons from every router starting at `start`.
@@ -174,6 +190,9 @@ class MeshNetwork {
   crypto::Drbg rng_;
   RadioConfig radio_;
   proto::ProtocolConfig proto_config_;
+  /// One snapshot state for the whole segment; created by the first
+  /// add_router (it needs the NO's public key as list authority).
+  std::shared_ptr<revoke::SharedRevocationState> revocation_;
   std::map<NodeId, std::vector<PendingAuth>> pending_auth_;
   std::map<NodeId, RouterNode> routers_;
   std::map<NodeId, UserNode> users_;

@@ -1,7 +1,10 @@
 #include "peace/entities.hpp"
 
+#include <algorithm>
+
 #include "common/serde.hpp"
 #include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
 
 namespace peace::proto {
 
@@ -177,9 +180,13 @@ void NetworkOperator::rotate_master_key(Timestamp now) {
   grt_.clear();
   issuer_ = groupsig::Issuer::create(rng_);
   group_secrets_.clear();
+  const SignedRevocationList prev_url = url_;
   // Fresh era: no outstanding credentials, so nothing to revoke.
   url_entries_.clear();
   url_ = sign_list({}, url_.version + 1, now);
+  // The rotation's delta removes every outstanding token — a receiver that
+  // applies it lands exactly on the new era's empty URL.
+  emit_delta(ListKind::kUrl, prev_url, url_, prev_url.entries, {});
 }
 
 void NetworkOperator::reissue_group(GroupManager& gm, std::size_t num_keys,
@@ -215,8 +222,14 @@ SignedRevocationList NetworkOperator::sign_list(std::vector<Bytes> entries,
 void NetworkOperator::revoke_user_key(const KeyIndex& idx, Timestamp now) {
   for (const GrtEntry& e : grt_) {
     if (e.index == idx) {
-      url_entries_.push_back(e.token.to_bytes());
+      Bytes entry = e.token.to_bytes();
+      if (std::find(url_entries_.begin(), url_entries_.end(), entry) !=
+          url_entries_.end())
+        return;  // already revoked
+      const SignedRevocationList prev = url_;
+      url_entries_.push_back(entry);
       url_ = sign_list(url_entries_, url_.version + 1, now);
+      emit_delta(ListKind::kUrl, prev, url_, {}, {std::move(entry)});
       return;
     }
   }
@@ -226,8 +239,57 @@ void NetworkOperator::revoke_user_key(const KeyIndex& idx, Timestamp now) {
 void NetworkOperator::revoke_router(RouterId id, Timestamp now) {
   Writer w;
   w.u32(id);
-  crl_entries_.push_back(w.take());
+  Bytes entry = w.take();
+  if (std::find(crl_entries_.begin(), crl_entries_.end(), entry) !=
+      crl_entries_.end())
+    return;  // already revoked
+  const SignedRevocationList prev = crl_;
+  crl_entries_.push_back(entry);
   crl_ = sign_list(crl_entries_, crl_.version + 1, now);
+  emit_delta(ListKind::kCrl, prev, crl_, {}, {std::move(entry)});
+}
+
+void NetworkOperator::emit_delta(ListKind kind,
+                                 const SignedRevocationList& prev,
+                                 const SignedRevocationList& next,
+                                 std::vector<Bytes> removed,
+                                 std::vector<Bytes> added) {
+  RLDelta d;
+  d.kind = kind;
+  d.base_version = prev.version;
+  d.version = next.version;
+  d.issued_at = next.issued_at;
+  d.base_hash = crypto::Sha256::hash(prev.signed_payload());
+  d.removed = std::move(removed);
+  d.added = std::move(added);
+  d.full_signature = next.signature;
+  d.signature = nsk_.sign(d.signed_payload(), rng_);
+  (kind == ListKind::kCrl ? crl_deltas_ : url_deltas_).push_back(std::move(d));
+}
+
+std::vector<RLDelta> NetworkOperator::deltas_since(
+    ListKind kind, std::uint64_t after_version) const {
+  const std::vector<RLDelta>& log =
+      kind == ListKind::kCrl ? crl_deltas_ : url_deltas_;
+  std::vector<RLDelta> out;
+  for (const RLDelta& d : log)
+    if (d.version > after_version) out.push_back(d);
+  return out;
+}
+
+RLDeltaAnnounce NetworkOperator::make_delta_announcement(
+    std::uint64_t crl_after, std::uint64_t url_after) const {
+  RLDeltaAnnounce ann;
+  ann.deltas = deltas_since(ListKind::kCrl, crl_after);
+  for (RLDelta& d : deltas_since(ListKind::kUrl, url_after))
+    ann.deltas.push_back(std::move(d));
+  return ann;
+}
+
+RLResyncResponse NetworkOperator::handle_resync(
+    const RLResyncRequest& request) const {
+  return RLResyncResponse{request.kind,
+                          request.kind == ListKind::kCrl ? crl_ : url_};
 }
 
 std::optional<AuditResult> NetworkOperator::audit(

@@ -180,12 +180,32 @@ class NetworkOperator {
   RouterProvision provision_router(RouterId id, Timestamp expires_at);
 
   /// Dynamic revocation (paper III.A): publishes the member's token on the
-  /// URL / the router id on the CRL; lists are versioned and signed.
+  /// URL / the router id on the CRL; lists are versioned and signed, and
+  /// every mutation also emits a hash-chained RLDelta (below) so routers
+  /// can advance in O(|change|) instead of refetching full lists.
+  /// Re-revoking an already-listed key or router is a no-op (the delta
+  /// chain stays duplicate-free by construction).
   void revoke_user_key(const KeyIndex& idx, Timestamp now);
   void revoke_router(RouterId id, Timestamp now);
 
   SignedRevocationList current_url() const { return url_; }
   SignedRevocationList current_crl() const { return crl_; }
+
+  // --- delta revocation distribution (the metro-scale path) --------------
+
+  /// Every delta of `kind` with version > after_version, oldest first —
+  /// what a straggler needs to catch up without a full resync.
+  std::vector<RLDelta> deltas_since(ListKind kind,
+                                    std::uint64_t after_version) const;
+
+  /// One announcement carrying the back-log past the given versions (CRL
+  /// deltas first, then URL; each oldest-first, the order receivers apply).
+  RLDeltaAnnounce make_delta_announcement(std::uint64_t crl_after,
+                                          std::uint64_t url_after) const;
+
+  /// Resync service: answers a router whose delta chain broke with the
+  /// authoritative full list for the requested kind.
+  RLResyncResponse handle_resync(const RLResyncRequest& request) const;
 
   /// URL size control (Sec. V.C: "PEACE can proactively control the size
   /// of URL"): every verification pays 2 pairings per URL token, so once
@@ -208,6 +228,13 @@ class NetworkOperator {
  private:
   SignedRevocationList sign_list(std::vector<Bytes> entries,
                                  std::uint64_t version, Timestamp now) const;
+  /// Chains one delta from `prev` to the just-installed successor of
+  /// `kind`: base_hash binds the predecessor payload, full_signature reuses
+  /// the successor list's own NO signature (so a delta-applied
+  /// reconstruction is bit-identical to the full list, signature included).
+  void emit_delta(ListKind kind, const SignedRevocationList& prev,
+                  const SignedRevocationList& next, std::vector<Bytes> removed,
+                  std::vector<Bytes> added);
 
   mutable crypto::Drbg rng_;
   groupsig::Issuer issuer_;
@@ -238,6 +265,8 @@ class NetworkOperator {
   std::vector<Bytes> crl_entries_;
   SignedRevocationList url_;
   SignedRevocationList crl_;
+  std::vector<RLDelta> url_deltas_;  // complete chains, oldest first
+  std::vector<RLDelta> crl_deltas_;
   Timestamp list_time_ = 0;
 };
 

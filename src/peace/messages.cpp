@@ -98,6 +98,136 @@ SignedRevocationList SignedRevocationList::from_bytes(BytesView data) {
   return l;
 }
 
+// --- RLDelta / RLDeltaAnnounce / RLResync ------------------------------------
+
+namespace {
+
+constexpr std::size_t kStateHashSize = 32;
+
+ListKind get_list_kind(Reader& r) {
+  const std::uint8_t k = r.u8();
+  if (k > 1) throw Error("rl-delta: unknown list kind");
+  return static_cast<ListKind>(k);
+}
+
+void put_entries(Writer& w, const std::vector<Bytes>& entries) {
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const Bytes& e : entries) w.bytes(e);
+}
+
+std::vector<Bytes> get_entries(Reader& r) {
+  const std::uint32_t n = r.u32();
+  // Each entry consumes at least its 4-byte length prefix: a count that
+  // exceeds the remaining buffer is hostile — reject before allocating.
+  if (n > r.remaining() / 4) throw Error("rl-delta: bad entry count");
+  std::vector<Bytes> entries;
+  entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) entries.push_back(r.bytes());
+  return entries;
+}
+
+}  // namespace
+
+Bytes RLDelta::signed_payload() const {
+  Writer w;
+  w.str("peace/rl-delta");
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(base_version);
+  w.u64(version);
+  w.u64(issued_at);
+  w.bytes(base_hash);
+  put_entries(w, removed);
+  put_entries(w, added);
+  put_ecdsa(w, full_signature);
+  return w.take();
+}
+
+Bytes RLDelta::to_bytes() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(base_version);
+  w.u64(version);
+  w.u64(issued_at);
+  w.bytes(base_hash);
+  put_entries(w, removed);
+  put_entries(w, added);
+  put_ecdsa(w, full_signature);
+  put_ecdsa(w, signature);
+  return w.take();
+}
+
+RLDelta RLDelta::from_bytes(BytesView data) {
+  Reader r(data);
+  RLDelta d;
+  d.kind = get_list_kind(r);
+  d.base_version = r.u64();
+  d.version = r.u64();
+  d.issued_at = r.u64();
+  d.base_hash = r.bytes();
+  if (d.base_hash.size() != kStateHashSize)
+    throw Error("rl-delta: bad base hash length");
+  // A delta that does not advance the version can never apply: reject the
+  // malformed encoding outright rather than letting stores classify it.
+  if (d.version <= d.base_version) throw Error("rl-delta: non-increasing version");
+  d.removed = get_entries(r);
+  d.added = get_entries(r);
+  d.full_signature = get_ecdsa(r);
+  d.signature = get_ecdsa(r);
+  r.expect_end();
+  return d;
+}
+
+Bytes RLDeltaAnnounce::to_bytes() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(deltas.size()));
+  for (const RLDelta& d : deltas) w.bytes(d.to_bytes());
+  return w.take();
+}
+
+RLDeltaAnnounce RLDeltaAnnounce::from_bytes(BytesView data) {
+  Reader r(data);
+  RLDeltaAnnounce a;
+  const std::uint32_t n = r.u32();
+  if (n > r.remaining() / 4) throw Error("rl-announce: bad delta count");
+  a.deltas.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    a.deltas.push_back(RLDelta::from_bytes(r.bytes()));
+  r.expect_end();
+  return a;
+}
+
+Bytes RLResyncRequest::to_bytes() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(have_version);
+  return w.take();
+}
+
+RLResyncRequest RLResyncRequest::from_bytes(BytesView data) {
+  Reader r(data);
+  RLResyncRequest req;
+  req.kind = get_list_kind(r);
+  req.have_version = r.u64();
+  r.expect_end();
+  return req;
+}
+
+Bytes RLResyncResponse::to_bytes() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.bytes(full.to_bytes());
+  return w.take();
+}
+
+RLResyncResponse RLResyncResponse::from_bytes(BytesView data) {
+  Reader r(data);
+  RLResyncResponse resp;
+  resp.kind = get_list_kind(r);
+  resp.full = SignedRevocationList::from_bytes(r.bytes());
+  r.expect_end();
+  return resp;
+}
+
 // --- BeaconMessage -----------------------------------------------------------
 
 Bytes BeaconMessage::signed_payload() const {

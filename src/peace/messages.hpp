@@ -84,6 +84,62 @@ struct SignedRevocationList {
   static SignedRevocationList from_bytes(BytesView data);
 };
 
+/// Which of the two revocation lists a delta / resync message refers to.
+enum class ListKind : std::uint8_t { kCrl = 0, kUrl = 1 };
+
+/// One step of the NO's versioned delta revocation-list chain: transforms
+/// the full list at (base_version, base_hash) into the list at `version` by
+/// removing then adding entries. `base_hash` is SHA-256 over the
+/// predecessor's canonical signed payload, so a receiver detects both gaps
+/// (base_version mismatch) and divergent state (hash mismatch) before
+/// mutating anything; `full_signature` is NO's ECDSA over the *resulting*
+/// full list's payload, making the reconstruction bit-identical to (and as
+/// authentic as) a full-list install.
+struct RLDelta {
+  ListKind kind = ListKind::kUrl;
+  std::uint64_t base_version = 0;
+  std::uint64_t version = 0;
+  Timestamp issued_at = 0;
+  Bytes base_hash;  // 32 bytes, SHA-256 of the predecessor list payload
+  std::vector<Bytes> removed;
+  std::vector<Bytes> added;
+  EcdsaSignature full_signature;  // by NO, over the resulting full list
+  EcdsaSignature signature;       // by NO, over this delta
+
+  Bytes signed_payload() const;
+  Bytes to_bytes() const;
+  static RLDelta from_bytes(BytesView data);
+};
+
+/// NO -> routers: one or more consecutive deltas (a straggler that missed
+/// an announcement can catch up from a later one carrying the back-log).
+struct RLDeltaAnnounce {
+  std::vector<RLDelta> deltas;
+
+  Bytes to_bytes() const;
+  static RLDeltaAnnounce from_bytes(BytesView data);
+};
+
+/// Router -> NO: the delta chain broke (gap or hash mismatch) — request a
+/// full-list resync for `kind`; `have_version` lets NO skip a no-op.
+struct RLResyncRequest {
+  ListKind kind = ListKind::kUrl;
+  std::uint64_t have_version = 0;
+
+  Bytes to_bytes() const;
+  static RLResyncRequest from_bytes(BytesView data);
+};
+
+/// NO -> router: the authoritative full list (already self-authenticating
+/// via its NO signature + version).
+struct RLResyncResponse {
+  ListKind kind = ListKind::kUrl;
+  SignedRevocationList full;
+
+  Bytes to_bytes() const;
+  static RLResyncResponse from_bytes(BytesView data);
+};
+
 /// M.1 — broadcast periodically by every mesh router.
 struct BeaconMessage {
   RouterId router_id = 0;

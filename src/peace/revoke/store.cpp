@@ -1,0 +1,67 @@
+#include "peace/revoke/store.hpp"
+
+#include <algorithm>
+
+#include "crypto/sha256.hpp"
+
+namespace peace::revoke {
+
+Bytes list_state_hash(const SignedRevocationList& list) {
+  return crypto::Sha256::hash(list.signed_payload());
+}
+
+RevocationStore::RevocationStore(ListKind kind, curve::G1 authority)
+    : kind_(kind), authority_(authority), state_hash_(list_state_hash(list_)) {}
+
+RevocationStore::InstallResult RevocationStore::install_full(
+    const SignedRevocationList& full) {
+  // Signature first, staleness second — matching the long-standing router
+  // order, so a forged list reports kBadSignature even when it is also old.
+  // Equal-version reinstalls are accepted (idempotent resync).
+  if (!curve::ecdsa_verify(authority_, full.signed_payload(), full.signature))
+    return InstallResult::kBadSignature;
+  if (full.version < list_.version) return InstallResult::kStale;
+  list_ = full;
+  state_hash_ = list_state_hash(list_);
+  return InstallResult::kInstalled;
+}
+
+DeltaResult RevocationStore::apply_delta(const RLDelta& delta) {
+  if (delta.kind != kind_) return DeltaResult::kWrongKind;
+  // Authenticate before classifying: a forged delta must never drive the
+  // store into a resync (that would be a cheap desync-DoS lever).
+  if (!curve::ecdsa_verify(authority_, delta.signed_payload(),
+                           delta.signature))
+    return DeltaResult::kBadSignature;
+  if (delta.version <= list_.version) return DeltaResult::kStale;
+  if (delta.base_version != list_.version) return DeltaResult::kGap;
+  if (delta.base_hash != state_hash_) return DeltaResult::kBadChain;
+
+  // Replay the edit against scratch state: removals first, then additions
+  // (matching how the NO derives deltas), duplicates idempotent both ways.
+  SignedRevocationList next;
+  next.version = delta.version;
+  next.issued_at = delta.issued_at;
+  next.entries = list_.entries;
+  for (const Bytes& gone : delta.removed)
+    next.entries.erase(
+        std::remove(next.entries.begin(), next.entries.end(), gone),
+        next.entries.end());
+  for (const Bytes& entry : delta.added)
+    if (std::find(next.entries.begin(), next.entries.end(), entry) ==
+        next.entries.end())
+      next.entries.push_back(entry);
+  next.signature = delta.full_signature;
+  // The NO signed the full list it produced; if our reconstruction verifies
+  // under that signature it is bit-identical to the NO's copy. A mismatch
+  // means the chain diverged (or the delta lied about its effect) — either
+  // way the store is out of sync and the caller should resync.
+  if (!curve::ecdsa_verify(authority_, next.signed_payload(), next.signature))
+    return DeltaResult::kBadChain;
+
+  list_ = std::move(next);
+  state_hash_ = list_state_hash(list_);
+  return DeltaResult::kApplied;
+}
+
+}  // namespace peace::revoke

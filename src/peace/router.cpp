@@ -9,120 +9,75 @@ using curve::Bn254;
 using curve::g1_to_bytes;
 using curve::random_fr;
 
-VerifyPool::VerifyPool(unsigned threads) {
-  if (threads <= 1) return;
-  workers_.reserve(threads - 1);
-  for (unsigned i = 0; i + 1 < threads; ++i)
-    workers_.emplace_back([this](std::stop_token st) { worker_loop(st); });
-}
-
-std::size_t VerifyPool::drain(Batch& batch, std::exception_ptr& error) {
-  std::size_t done = 0;
-  for (;;) {
-    const std::size_t i =
-        batch.next_index.fetch_add(1, std::memory_order_relaxed);
-    if (i >= batch.count) return done;
-    // Exception barrier: a throwing body (e.g. an Error escaping groupsig
-    // code) must neither std::terminate a worker thread nor let run()
-    // unwind while other participants still execute the body. The index
-    // still counts as completed so the batch drains; the first recorded
-    // error is rethrown by run() once everyone has parked.
-    try {
-      batch.body(i);
-    } catch (...) {
-      if (error == nullptr) error = std::current_exception();
-    }
-    ++done;
-  }
-}
-
-void VerifyPool::finish(const std::shared_ptr<Batch>& batch, std::size_t done,
-                        std::exception_ptr error) {
-  std::lock_guard lock(mutex_);
-  batch->completed += done;
-  if (error != nullptr && batch->error == nullptr)
-    batch->error = std::move(error);
-  if (batch->completed == batch->count) cv_done_.notify_all();
-}
-
-void VerifyPool::worker_loop(std::stop_token st) {
-  std::uint64_t seen = 0;
-  for (;;) {
-    std::shared_ptr<Batch> batch;
-    {
-      std::unique_lock lock(mutex_);
-      cv_start_.wait(lock, st, [&] { return generation_ != seen; });
-      if (st.stop_requested()) return;
-      seen = generation_;
-      batch = current_batch_;
-    }
-    // From here on only the shared Batch is touched: even if this worker is
-    // descheduled and run() returns (the batch's indices all claimed by
-    // others), the shared_ptr keeps this generation's state alive, and a
-    // newer batch has its own next_index — a straggler can neither claim a
-    // new batch's index nor invoke a destroyed body.
-    std::exception_ptr error;
-    const std::size_t done = drain(*batch, error);
-    finish(batch, done, std::move(error));
-  }
-}
-
-void VerifyPool::run(std::size_t count,
-                     const std::function<void(std::size_t)>& body) {
-  if (count == 0) return;
-  if (workers_.empty()) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
-    return;
-  }
-  auto batch = std::make_shared<Batch>();
-  batch->body = body;  // copied: workers never see the caller's temporary
-  batch->count = count;
-  {
-    std::lock_guard lock(mutex_);
-    current_batch_ = batch;
-    ++generation_;
-  }
-  cv_start_.notify_all();
-  std::exception_ptr error;
-  const std::size_t done = drain(*batch, error);
-  finish(batch, done, std::move(error));
-  std::unique_lock lock(mutex_);
-  cv_done_.wait(lock, [&] { return batch->completed == batch->count; });
-  // completed == count implies every claimed index has run and been
-  // accounted; stragglers that wake later find the batch exhausted and only
-  // touch its heap state, so unwinding the caller's frame now is safe.
-  if (batch->error != nullptr) std::rethrow_exception(batch->error);
-}
-
 MeshRouter::MeshRouter(RouterId id, curve::EcdsaKeyPair keypair,
                        RouterCertificate certificate, SystemParams params,
-                       crypto::Drbg rng, ProtocolConfig config)
+                       crypto::Drbg rng, ProtocolConfig config,
+                       std::shared_ptr<revoke::SharedRevocationState> revocation)
     : id_(id),
       keypair_(std::move(keypair)),
       certificate_(std::move(certificate)),
       params_(std::move(params)),
       pgpk_(params_.gpk),
       rng_(std::move(rng)),
-      config_(config) {
+      config_(config),
+      revocation_(std::move(revocation)) {
+  if (revocation_ == nullptr)
+    revocation_ = std::make_shared<revoke::SharedRevocationState>(
+        params_.network_public_key);
   if (config_.verify_threads > 1)
     pool_ = std::make_unique<VerifyPool>(config_.verify_threads);
 }
 
 void MeshRouter::install_revocation_lists(const SignedRevocationList& crl,
                                           const SignedRevocationList& url) {
-  if (!curve::ecdsa_verify(params_.network_public_key, crl.signed_payload(),
-                           crl.signature) ||
-      !curve::ecdsa_verify(params_.network_public_key, url.signed_payload(),
-                           url.signature))
-    throw Error("router: revocation list not signed by NO");
-  if (crl.version < crl_.version || url.version < url_.version)
-    throw Error("router: stale revocation list");
-  crl_ = crl;
-  url_ = url;
-  url_tokens_.clear();
-  url_tokens_.reserve(url.entries.size());
-  for (const Bytes& e : url.entries)
-    url_tokens_.push_back(RevocationToken::from_bytes(e));
+  revocation_->install_full(crl, url);
+}
+
+std::vector<RLResyncRequest> MeshRouter::handle_rl_announce(
+    const RLDeltaAnnounce& ann) {
+  bool resync[2] = {false, false};
+  for (const RLDelta& delta : ann.deltas) {
+    switch (revocation_->apply_delta(delta)) {
+      case revoke::DeltaResult::kApplied:
+        ++stats_.rl_deltas_applied;
+        break;
+      case revoke::DeltaResult::kStale:
+        ++stats_.rl_deltas_ignored;
+        break;
+      case revoke::DeltaResult::kGap:
+        // Possibly healed by a later delta in this very announcement (they
+        // arrive oldest-first); only ask for a resync if still behind after
+        // the whole batch.
+        resync[static_cast<int>(delta.kind)] = true;
+        break;
+      default:
+        ++stats_.rl_deltas_rejected;
+        break;
+    }
+  }
+  std::vector<RLResyncRequest> requests;
+  const auto still_behind = [&](ListKind kind, std::uint64_t have) {
+    if (!resync[static_cast<int>(kind)]) return;
+    std::uint64_t newest = 0;
+    for (const RLDelta& d : ann.deltas)
+      if (d.kind == kind && d.version > newest) newest = d.version;
+    if (have >= newest) return;  // a later delta in the batch healed the gap
+    ++stats_.rl_resyncs_requested;
+    requests.push_back(RLResyncRequest{kind, have});
+  };
+  still_behind(ListKind::kCrl, revocation_->crl_version());
+  still_behind(ListKind::kUrl, revocation_->url_version());
+  return requests;
+}
+
+void MeshRouter::handle_rl_resync(const RLResyncResponse& resp) {
+  if (revocation_->install_one(resp.kind, resp.full) ==
+      revoke::RevocationStore::InstallResult::kInstalled)
+    ++stats_.rl_resyncs_completed;
+}
+
+void MeshRouter::set_revocation_epoch(groupsig::Epoch epoch) {
+  revocation_->set_epoch(params_.gpk, epoch);
 }
 
 void MeshRouter::set_under_attack(bool attacked,
@@ -143,8 +98,9 @@ BeaconMessage MeshRouter::make_beacon(Timestamp now) {
   beacon.ts1 = now;
   beacon.signature = keypair_.sign(beacon.signed_payload(), rng_);
   beacon.certificate = certificate_;
-  beacon.crl = crl_;
-  beacon.url = url_;
+  const auto revocation = revocation_->snapshot();
+  beacon.crl = revocation->crl;
+  beacon.url = revocation->url;
   if (puzzle_difficulty_ > 0) {
     puzzle_nonce_ = rng_.bytes(16);
     beacon.puzzle = make_puzzle(puzzle_nonce_, puzzle_difficulty_);
@@ -246,20 +202,38 @@ MeshRouter::handle_access_requests(std::span<const AccessRequest> batch,
   }
 
   // Pass 2 (parallel): steps 3.2 + 3.3 — the pairing-heavy work — fanned
-  // out over the pool. Jobs touch only their own PendingVerify entry and
-  // shared const state (pgpk_, url_tokens_), so no synchronization beyond
-  // the pool's own is needed.
+  // out over the pool. One snapshot is loaded for the whole batch: every
+  // job (on any worker) verifies against the same immutable revocation
+  // view, so a concurrent delta publish can never split a batch. Jobs touch
+  // only their own PendingVerify entry and shared const state (pgpk_, the
+  // snapshot), so no synchronization beyond the pool's own is needed.
+  const auto revocation = revocation_->snapshot();
   std::vector<PendingVerify*> jobs;
   jobs.reserve(pending.size());
   for (PendingVerify& pv : pending)
     if (!pv.deferred) jobs.push_back(&pv);
-  const auto verify_one = [this](PendingVerify& pv) {
-    pv.sig_ok = groupsig::verify_proof(pgpk_, pv.m2->signed_payload(),
-                                       pv.m2->signature, &pv.ops);
+  const auto verify_one = [this, &revocation](PendingVerify& pv) {
+    const Bytes payload = pv.m2->signed_payload();
+    pv.sig_ok =
+        groupsig::verify_proof(pgpk_, payload, pv.m2->signature, &pv.ops);
     if (!pv.sig_ok) return;
-    for (const RevocationToken& token : url_tokens_) {
-      if (groupsig::matches_token(params_.gpk, pv.m2->signed_payload(),
-                                  pv.m2->signature, token, &pv.ops)) {
+    // Step 3.3: the revocation check. Epoch mode answers from the shared
+    // index in O(1) against its epoch-lived prepared v_hat; otherwise the
+    // bases are derived (and v_hat prepared) once per message and the
+    // whole |URL| scan reuses them — matches_token itself never builds a
+    // G2Prepared.
+    if (revocation->index != nullptr &&
+        pv.m2->signature.epoch == revocation->index->epoch()) {
+      pv.revoked = revocation->index->is_revoked(pv.m2->signature, &pv.ops);
+      return;
+    }
+    if (revocation->url_tokens.empty()) return;
+    const groupsig::PreparedBases prepared =
+        groupsig::prepare_bases(params_.gpk, payload, pv.m2->signature,
+                                &pv.ops);
+    for (const RevocationToken& token : revocation->url_tokens) {
+      if (groupsig::matches_token(prepared, pv.m2->signature, token,
+                                  &pv.ops)) {
         pv.revoked = true;
         return;
       }

@@ -4,76 +4,17 @@
 // together over a lossy radio model.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <deque>
-#include <functional>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "peace/entities.hpp"
+#include "peace/revoke/shared.hpp"
 #include "peace/session.hpp"
+#include "peace/verify_pool.hpp"
 
 namespace peace::proto {
-
-/// A fixed pool of std::jthread workers that executes indexed batch jobs.
-/// Index distribution is a single atomic fetch_add over [0, count) — no
-/// per-job queue nodes or locks on the hot path; the mutex/condvar pair is
-/// only used to park idle workers between batches and to signal completion.
-/// The calling thread participates in the batch, so a pool built with
-/// `threads` runs at most `threads` jobs concurrently.
-class VerifyPool {
- public:
-  /// `threads` <= 1 spawns no workers: run() then executes inline.
-  explicit VerifyPool(unsigned threads);
-  VerifyPool(const VerifyPool&) = delete;
-  VerifyPool& operator=(const VerifyPool&) = delete;
-
-  unsigned threads() const {
-    return static_cast<unsigned>(workers_.size()) + 1;
-  }
-
-  /// Invokes body(i) for every i in [0, count), distributing indices over
-  /// the workers plus the calling thread; returns once all completed.
-  /// `body` must tolerate concurrent invocation (distinct indices). If any
-  /// invocation throws, every remaining index still runs and the first
-  /// exception (in completion order) is rethrown here after the batch has
-  /// fully drained — run() never returns or throws mid-batch.
-  void run(std::size_t count, const std::function<void(std::size_t)>& body);
-
- private:
-  /// Per-batch state, heap-allocated and shared with every worker that wakes
-  /// for it. A worker that reads the batch for generation N but is
-  /// descheduled until generation N+1 has been published only ever touches
-  /// its own (kept-alive) Batch — never a newer batch's indices or a
-  /// destroyed caller frame.
-  struct Batch {
-    std::function<void(std::size_t)> body;
-    std::size_t count = 0;
-    std::atomic<std::size_t> next_index{0};
-    std::size_t completed = 0;          // guarded by the pool mutex
-    std::exception_ptr error;           // first failure; guarded by mutex
-  };
-
-  void worker_loop(std::stop_token st);
-  /// Claims and runs indices until the batch is exhausted; returns how many
-  /// this thread completed. Catches per-index exceptions into `error`.
-  std::size_t drain(Batch& batch, std::exception_ptr& error);
-  /// Folds one participant's completions (and first error) into the batch
-  /// under the pool mutex; signals cv_done_ when the batch fully drains.
-  void finish(const std::shared_ptr<Batch>& batch, std::size_t done,
-              std::exception_ptr error);
-
-  std::mutex mutex_;
-  std::condition_variable_any cv_start_;
-  std::condition_variable cv_done_;
-  std::uint64_t generation_ = 0;  // bumps once per batch; wakes workers
-  std::shared_ptr<Batch> current_batch_;  // guarded by mutex_
-  std::vector<std::jthread> workers_;
-};
 
 /// Counters for the security analysis experiments (A1/A2/E8): why requests
 /// were rejected and how much expensive work the router actually performed.
@@ -90,13 +31,23 @@ struct RouterStats {
   std::uint64_t signature_verifications = 0;  // expensive pairing work
   std::uint64_t verify_batches = 0;           // multi-request batches run
   std::uint64_t batched_requests = 0;         // requests entering a batch
+  // Delta revocation distribution (Sec. V.A at metro scale):
+  std::uint64_t rl_deltas_applied = 0;    // chain advanced
+  std::uint64_t rl_deltas_ignored = 0;    // stale / duplicate deliveries
+  std::uint64_t rl_deltas_rejected = 0;   // forged or broken-chain deltas
+  std::uint64_t rl_resyncs_requested = 0; // chain gaps -> full-list fetch
+  std::uint64_t rl_resyncs_completed = 0;
 };
 
 class MeshRouter {
  public:
+  /// `revocation` lets many routers share one RCU snapshot state (the mesh
+  /// simulator passes a segment-wide instance); null gives the router its
+  /// own private state, preserving the standalone behaviour.
   MeshRouter(RouterId id, curve::EcdsaKeyPair keypair,
              RouterCertificate certificate, SystemParams params,
-             crypto::Drbg rng, ProtocolConfig config = {});
+             crypto::Drbg rng, ProtocolConfig config = {},
+             std::shared_ptr<revoke::SharedRevocationState> revocation = {});
 
   RouterId id() const { return id_; }
   const RouterStats& stats() const { return stats_; }
@@ -106,6 +57,24 @@ class MeshRouter {
   /// rejected — the version check closes the paper's phishing window).
   void install_revocation_lists(const SignedRevocationList& crl,
                                 const SignedRevocationList& url);
+
+  /// Delta path: offers every delta of an announcement to the shared state.
+  /// Returns the resync requests (at most one per list kind) this router
+  /// needs when a chain gap or break leaves it behind the NO.
+  std::vector<RLResyncRequest> handle_rl_announce(const RLDeltaAnnounce& ann);
+
+  /// Completes a resync round-trip with the NO's full list.
+  void handle_rl_resync(const RLResyncResponse& resp);
+
+  /// Switches the revocation check to epoch mode (nonzero `epoch`: the
+  /// shared index answers is_revoked in O(1)) or back to per-message bases
+  /// (epoch 0). Affects every router sharing this revocation state.
+  void set_revocation_epoch(groupsig::Epoch epoch);
+
+  /// The shared revocation state (for wiring and for tests).
+  const std::shared_ptr<revoke::SharedRevocationState>& revocation() const {
+    return revocation_;
+  }
 
   /// Installs new system parameters after NO rotates the group master key
   /// (membership renewal). Pushed over the operator's secure channel;
@@ -176,9 +145,7 @@ class MeshRouter {
   std::unique_ptr<VerifyPool> pool_;  // null => verify inline
   groupsig::OpCounters verify_ops_;
 
-  SignedRevocationList crl_;
-  SignedRevocationList url_;
-  std::vector<RevocationToken> url_tokens_;
+  std::shared_ptr<revoke::SharedRevocationState> revocation_;  // never null
 
   std::deque<BeaconState> recent_beacons_;
   std::uint8_t puzzle_difficulty_ = 0;

@@ -152,9 +152,13 @@ std::optional<Session> User::process_access_confirm(const AccessConfirm& m3) {
 bool User::peer_signature_ok(BytesView payload,
                              const groupsig::Signature& sig) {
   if (!groupsig::verify_proof(params_.gpk, payload, sig)) return false;
+  if (url_tokens_.empty()) return true;
+  // One base derivation (and one v_hat preparation) amortised over the
+  // whole URL scan — matches_token never builds a per-token G2Prepared.
+  const groupsig::PreparedBases prepared =
+      groupsig::prepare_bases(params_.gpk, payload, sig);
   for (const RevocationToken& token : url_tokens_) {
-    if (groupsig::matches_token(params_.gpk, payload, sig, token))
-      return false;
+    if (groupsig::matches_token(prepared, sig, token)) return false;
   }
   return true;
 }
@@ -173,14 +177,8 @@ PeerHello User::make_peer_hello(const G1& g, Timestamp now,
   return hello;
 }
 
-std::optional<PeerReply> User::process_peer_hello(const PeerHello& hello,
-                                                  Timestamp now,
-                                                  GroupId via_group) {
-  const Timestamp age = now >= hello.ts1 ? now - hello.ts1 : hello.ts1 - now;
-  if (age > config_.replay_window_ms) return std::nullopt;
-  if (!peer_signature_ok(hello.signed_payload(), hello.signature))
-    return std::nullopt;
-
+PeerReply User::reply_to_hello(const PeerHello& hello, Timestamp now,
+                               GroupId via_group) {
   const Fr r_l = random_fr(rng_);
   PeerReply reply;
   reply.g_rj = hello.g_rj;
@@ -193,6 +191,57 @@ std::optional<PeerReply> User::process_peer_hello(const PeerHello& hello,
   pending_peer_resp_[to_hex(sid)] =
       PendingPeerResponder{hello.g_rj * r_l, hello.ts1, now};
   return reply;
+}
+
+std::optional<PeerReply> User::process_peer_hello(const PeerHello& hello,
+                                                  Timestamp now,
+                                                  GroupId via_group) {
+  const Timestamp age = now >= hello.ts1 ? now - hello.ts1 : hello.ts1 - now;
+  if (age > config_.replay_window_ms) return std::nullopt;
+  if (!peer_signature_ok(hello.signed_payload(), hello.signature))
+    return std::nullopt;
+  return reply_to_hello(hello, now, via_group);
+}
+
+std::vector<std::optional<PeerReply>> User::process_peer_hellos(
+    std::span<const PeerHello> hellos, Timestamp now, GroupId via_group) {
+  std::vector<std::optional<PeerReply>> results(hellos.size());
+
+  // Pass 1 (sequential): the cheap freshness gate, in input order.
+  struct Pending {
+    std::size_t index;
+    bool ok = false;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(hellos.size());
+  for (std::size_t i = 0; i < hellos.size(); ++i) {
+    const Timestamp age =
+        now >= hellos[i].ts1 ? now - hellos[i].ts1 : hellos[i].ts1 - now;
+    if (age <= config_.replay_window_ms) pending.push_back({i});
+  }
+
+  // Pass 2 (parallel): the pairing-heavy group-signature verification plus
+  // URL scan. peer_signature_ok touches only immutable state (params_,
+  // url_tokens_), so jobs need no synchronization beyond the pool's own.
+  const auto verify_one = [&](Pending& p) {
+    const PeerHello& hello = hellos[p.index];
+    p.ok = peer_signature_ok(hello.signed_payload(), hello.signature);
+  };
+  if (pool_ == nullptr && config_.verify_threads > 1)
+    pool_ = std::make_unique<VerifyPool>(config_.verify_threads);
+  if (pool_ != nullptr && pending.size() > 1) {
+    ++stats_.peer_verify_batches;
+    stats_.peer_batched_hellos += pending.size();
+    pool_->run(pending.size(), [&](std::size_t i) { verify_one(pending[i]); });
+  } else {
+    for (Pending& p : pending) verify_one(p);
+  }
+
+  // Pass 3 (sequential, input order): every rng draw (r_l, signing nonces)
+  // happens here, exactly as the one-at-a-time path would perform them.
+  for (const Pending& p : pending)
+    if (p.ok) results[p.index] = reply_to_hello(hellos[p.index], now, via_group);
+  return results;
 }
 
 std::optional<User::PeerEstablished> User::process_peer_reply(

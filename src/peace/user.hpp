@@ -4,10 +4,13 @@
 // (paper Sec. III.C) and chooses which role to present per session.
 #pragma once
 
+#include <memory>
+#include <span>
 #include <unordered_map>
 
 #include "peace/entities.hpp"
 #include "peace/session.hpp"
+#include "peace/verify_pool.hpp"
 
 namespace peace::proto {
 
@@ -17,6 +20,8 @@ struct UserStats {
   std::uint64_t sessions_established = 0;
   std::uint64_t peer_sessions_established = 0;
   std::uint64_t puzzle_hashes = 0;  // brute-force work spent on DoS puzzles
+  std::uint64_t peer_verify_batches = 0;  // pooled M~.1 batches run
+  std::uint64_t peer_batched_hellos = 0;  // hellos entering such a batch
 };
 
 class User {
@@ -77,6 +82,15 @@ class User {
                                               Timestamp now,
                                               GroupId via_group = 0);
 
+  /// Batch form of process_peer_hello: results, pending-session state, rng
+  /// consumption, and stats are identical to calling it on each element in
+  /// order. The pairing-heavy M~.1 verifications run on a VerifyPool sized
+  /// by config.verify_threads between a sequential precheck pass and a
+  /// sequential in-order reply pass (signing draws randomness, so replies
+  /// are produced strictly in input order).
+  std::vector<std::optional<PeerReply>> process_peer_hellos(
+      std::span<const PeerHello> hellos, Timestamp now, GroupId via_group = 0);
+
   /// Initiator side: validate M~.2, derive the key, emit M~.3.
   struct PeerEstablished {
     PeerConfirm confirm;
@@ -95,6 +109,10 @@ class User {
   bool beacon_trustworthy(const BeaconMessage& beacon, Timestamp now);
   bool peer_signature_ok(BytesView payload, const groupsig::Signature& sig);
   const MemberKey& pick_credential(GroupId via_group) const;
+  /// Builds M~.2 for an already-verified hello (the sequential tail of both
+  /// the single and the batch path — all rng draws happen here).
+  PeerReply reply_to_hello(const PeerHello& hello, Timestamp now,
+                           GroupId via_group);
 
   std::string uid_;
   SystemParams params_;
@@ -102,6 +120,7 @@ class User {
   ProtocolConfig config_;
   curve::EcdsaKeyPair receipt_key_;
   std::map<GroupId, MemberKey> credentials_;
+  std::unique_ptr<VerifyPool> pool_;  // lazily sized by config_.verify_threads
 
   SignedRevocationList crl_;
   SignedRevocationList url_;

@@ -1,0 +1,90 @@
+#include "peace/verify_pool.hpp"
+
+namespace peace::proto {
+
+VerifyPool::VerifyPool(unsigned threads) {
+  if (threads <= 1) return;
+  workers_.reserve(threads - 1);
+  for (unsigned i = 0; i + 1 < threads; ++i)
+    workers_.emplace_back([this](std::stop_token st) { worker_loop(st); });
+}
+
+std::size_t VerifyPool::drain(Batch& batch, std::exception_ptr& error) {
+  std::size_t done = 0;
+  for (;;) {
+    const std::size_t i =
+        batch.next_index.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.count) return done;
+    // Exception barrier: a throwing body (e.g. an Error escaping groupsig
+    // code) must neither std::terminate a worker thread nor let run()
+    // unwind while other participants still execute the body. The index
+    // still counts as completed so the batch drains; the first recorded
+    // error is rethrown by run() once everyone has parked.
+    try {
+      batch.body(i);
+    } catch (...) {
+      if (error == nullptr) error = std::current_exception();
+    }
+    ++done;
+  }
+}
+
+void VerifyPool::finish(const std::shared_ptr<Batch>& batch, std::size_t done,
+                        std::exception_ptr error) {
+  std::lock_guard lock(mutex_);
+  batch->completed += done;
+  if (error != nullptr && batch->error == nullptr)
+    batch->error = std::move(error);
+  if (batch->completed == batch->count) cv_done_.notify_all();
+}
+
+void VerifyPool::worker_loop(std::stop_token st) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, st, [&] { return generation_ != seen; });
+      if (st.stop_requested()) return;
+      seen = generation_;
+      batch = current_batch_;
+    }
+    // From here on only the shared Batch is touched: even if this worker is
+    // descheduled and run() returns (the batch's indices all claimed by
+    // others), the shared_ptr keeps this generation's state alive, and a
+    // newer batch has its own next_index — a straggler can neither claim a
+    // new batch's index nor invoke a destroyed body.
+    std::exception_ptr error;
+    const std::size_t done = drain(*batch, error);
+    finish(batch, done, std::move(error));
+  }
+}
+
+void VerifyPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->body = body;  // copied: workers never see the caller's temporary
+  batch->count = count;
+  {
+    std::lock_guard lock(mutex_);
+    current_batch_ = batch;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  std::exception_ptr error;
+  const std::size_t done = drain(*batch, error);
+  finish(batch, done, std::move(error));
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [&] { return batch->completed == batch->count; });
+  // completed == count implies every claimed index has run and been
+  // accounted; stragglers that wake later find the batch exhausted and only
+  // touch its heap state, so unwinding the caller's frame now is safe.
+  if (batch->error != nullptr) std::rethrow_exception(batch->error);
+}
+
+}  // namespace peace::proto

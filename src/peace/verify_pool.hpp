@@ -1,0 +1,75 @@
+// Fixed worker pool for pairing-heavy batch work. Shared by the router's
+// M.2 pipeline and the user's peer-handshake (M~.1/M~.2) batch path; its
+// batches are designed so pooled results stay bit-identical to sequential
+// execution regardless of thread count.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace peace::proto {
+
+/// A fixed pool of std::jthread workers that executes indexed batch jobs.
+/// Index distribution is a single atomic fetch_add over [0, count) — no
+/// per-job queue nodes or locks on the hot path; the mutex/condvar pair is
+/// only used to park idle workers between batches and to signal completion.
+/// The calling thread participates in the batch, so a pool built with
+/// `threads` runs at most `threads` jobs concurrently.
+class VerifyPool {
+ public:
+  /// `threads` <= 1 spawns no workers: run() then executes inline.
+  explicit VerifyPool(unsigned threads);
+  VerifyPool(const VerifyPool&) = delete;
+  VerifyPool& operator=(const VerifyPool&) = delete;
+
+  unsigned threads() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Invokes body(i) for every i in [0, count), distributing indices over
+  /// the workers plus the calling thread; returns once all completed.
+  /// `body` must tolerate concurrent invocation (distinct indices). If any
+  /// invocation throws, every remaining index still runs and the first
+  /// exception (in completion order) is rethrown here after the batch has
+  /// fully drained — run() never returns or throws mid-batch.
+  void run(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  /// Per-batch state, heap-allocated and shared with every worker that wakes
+  /// for it. A worker that reads the batch for generation N but is
+  /// descheduled until generation N+1 has been published only ever touches
+  /// its own (kept-alive) Batch — never a newer batch's indices or a
+  /// destroyed caller frame.
+  struct Batch {
+    std::function<void(std::size_t)> body;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next_index{0};
+    std::size_t completed = 0;          // guarded by the pool mutex
+    std::exception_ptr error;           // first failure; guarded by mutex
+  };
+
+  void worker_loop(std::stop_token st);
+  /// Claims and runs indices until the batch is exhausted; returns how many
+  /// this thread completed. Catches per-index exceptions into `error`.
+  std::size_t drain(Batch& batch, std::exception_ptr& error);
+  /// Folds one participant's completions (and first error) into the batch
+  /// under the pool mutex; signals cv_done_ when the batch fully drains.
+  void finish(const std::shared_ptr<Batch>& batch, std::size_t done,
+              std::exception_ptr error);
+
+  std::mutex mutex_;
+  std::condition_variable_any cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;  // bumps once per batch; wakes workers
+  std::shared_ptr<Batch> current_batch_;  // guarded by mutex_
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace peace::proto

@@ -109,8 +109,13 @@ TEST_F(ScenarioTest, FullOperationalCycle) {
   EXPECT_EQ(traced->uid, "bob");
   EXPECT_TRUE(traced->receipt_on_file);
 
+  // The revocation reaches the segment as a signed delta over the radio
+  // (the metro-scale path); both routers share the updated snapshot.
   no.revoke_user_key(audit->index, 7000);
-  net.push_revocation_lists(no.current_crl(), no.current_url());
+  net.announce_rl_deltas(no.make_delta_announcement(0, 0), no);
+  sim.run_until(7050);
+  ASSERT_EQ(net.revocation()->url_version(), no.current_url().version);
+  EXPECT_EQ(net.revocation()->stats().deltas_applied, 1u);
   {
     const auto b = net.router(r1).make_beacon(7100);
     auto m2 = net.user(bob).process_beacon(b, 7100);
