@@ -5,15 +5,218 @@
 // every frame and finds nothing to link.
 //
 // Run: ./build/examples/metro_mesh_day
+//
+// With --chaos, the same day is lived under the fault-injection harness
+// (PROTOCOL.md §10): burst loss, duplication, reordering, corruption,
+// partitions, and a router crash, each as its own phase. The reliability
+// layer must converge every reachable resident and keep the delivery rate
+// above each phase's floor; exit status reports the verdict.
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "mesh/adversary.hpp"
 
 using namespace peace;
 
-int main() {
+namespace {
+
+constexpr proto::Timestamp kYearMs = 1000ull * 86400 * 365;
+
+/// One disposable metro segment for a chaos phase: three routers on a
+/// downtown strip, twelve residents spaced so greedy relay chains work,
+/// idempotent resend on (retransmission is only safe with it).
+struct ChaosSegment {
+  explicit ChaosSegment(const std::string& seed)
+      : no(crypto::Drbg::from_string(seed + "-no")),
+        gm(no.register_group("metro", 16, ttp)),
+        net(sim, crypto::Drbg::from_string(seed + "-net"), mesh::RadioConfig{},
+            [] {
+              proto::ProtocolConfig config;
+              config.idempotent_resend = true;
+              config.replay_window_ms = 60'000;
+              return config;
+            }(),
+            [] {
+              mesh::ReliabilityConfig reliability;
+              reliability.rekey_after_frames = 8;  // exercised by the probes
+              return reliability;
+            }()) {
+    routers.push_back(net.add_router({0, 0}, no, kYearMs));
+    routers.push_back(net.add_router({400, 0}, no, kYearMs));
+    routers.push_back(net.add_router({800, 0}, no, kYearMs));
+    for (int i = 0; i < 12; ++i) {
+      auto user = std::make_unique<proto::User>(
+          "resident" + std::to_string(i), no.params(),
+          crypto::Drbg::from_string(seed + "-r" + std::to_string(i)),
+          [] {
+            proto::ProtocolConfig config;
+            config.idempotent_resend = true;
+            config.replay_window_ms = 60'000;
+            return config;
+          }());
+      user->complete_enrollment(gm.enroll(user->uid(), ttp));
+      users.push_back(net.add_user(
+          {30.0 + 50.0 * i, (i % 2) ? 12.0 : -12.0}, std::move(user)));
+    }
+  }
+
+  std::size_t connected() const {
+    std::size_t n = 0;
+    for (const mesh::NodeId u : users) n += net.is_connected(u) ? 1 : 0;
+    return n;
+  }
+
+  /// Sends `per_user` probes from every resident; returns the fraction
+  /// delivered (faults stay active — this is the in-storm delivery rate).
+  double probe(int per_user) {
+    std::size_t sent = 0, ok = 0;
+    for (const mesh::NodeId u : users)
+      for (int i = 0; i < per_user; ++i) {
+        ++sent;
+        ok += net.send_data(u, as_bytes("chaos probe")) ? 1 : 0;
+        sim.run_until(sim.now() + 50);
+      }
+    return sent == 0 ? 0.0 : static_cast<double>(ok) / sent;
+  }
+
+  proto::NetworkOperator no;
+  proto::TrustedThirdParty ttp;
+  proto::GroupManager gm;
+  mesh::Simulator sim;
+  mesh::MeshNetwork net;
+  std::vector<mesh::NodeId> routers;
+  std::vector<mesh::NodeId> users;
+};
+
+bool chaos_phase(const char* name, const std::string& seed,
+                 const mesh::FaultPlan& plan, double delivery_floor) {
+  ChaosSegment seg(seed);
+  seg.net.set_fault_plan(plan);
+  seg.net.start_beaconing(100, 1000, 60'000);
+  seg.sim.run_until(50'000);
+  seg.net.establish_peer_links();
+  seg.sim.run_until(80'000);
+  seg.net.establish_peer_links();  // retry pairs whose budget ran out
+  seg.sim.run_until(110'000);
+
+  const std::size_t connected = seg.connected();
+  const double rate = seg.probe(4);
+  const auto& s = seg.net.stats();
+  const bool ok = connected == seg.users.size() && rate >= delivery_floor;
+  std::printf(
+      "%-11s %2zu/%zu sessions, delivery %.0f%% (floor %.0f%%) | retx %llu, "
+      "timeouts %llu, rekeys %llu, corrupt-rejected %llu, dup %llu, "
+      "delayed %llu, lost %llu  %s\n",
+      name, connected, seg.users.size(), 100 * rate, 100 * delivery_floor,
+      static_cast<unsigned long long>(s.retransmissions),
+      static_cast<unsigned long long>(s.handshake_timeouts),
+      static_cast<unsigned long long>(s.rekeys),
+      static_cast<unsigned long long>(s.corrupted_rejected),
+      static_cast<unsigned long long>(s.frames_duplicated),
+      static_cast<unsigned long long>(s.frames_delayed),
+      static_cast<unsigned long long>(s.frames_lost), ok ? "ok" : "FAIL");
+  return ok;
+}
+
+bool chaos_crash_phase() {
+  ChaosSegment seg("chaos-day-crash");
+  seg.net.start_beaconing(100, 1000, 120'000);
+  seg.sim.run_until(5'000);
+  const std::size_t before = seg.connected();
+
+  // The middle router dies mid-morning. Residents discover the outage on
+  // their next send, drop the stale uplink, and fail over to whichever
+  // living router still covers them; the rest wait out the outage.
+  seg.net.crash_router(seg.routers[1]);
+  for (const mesh::NodeId u : seg.users)
+    (void)seg.net.send_data(u, as_bytes("outage probe"));
+  seg.sim.run_until(40'000);
+  const std::size_t during = seg.connected();
+
+  // Lunchtime repair: the router returns with its old identity and the
+  // whole strip reconverges.
+  seg.net.restart_router(seg.routers[1]);
+  seg.sim.run_until(90'000);
+  const std::size_t after = seg.connected();
+
+  const auto& s = seg.net.stats();
+  const bool ok = before == seg.users.size() && during > 0 &&
+                  after == seg.users.size() && s.failovers > 0;
+  std::printf(
+      "crash       %2zu/%zu before, %zu during outage, %zu after restart | "
+      "failovers %llu, partition-dropped %llu  %s\n",
+      before, seg.users.size(), during, after,
+      static_cast<unsigned long long>(s.failovers),
+      static_cast<unsigned long long>(s.frames_partitioned), ok ? "ok" : "FAIL");
+  return ok;
+}
+
+bool chaos_partition_phase() {
+  ChaosSegment seg("chaos-day-part");
+  seg.net.start_beaconing(100, 1000, 30'000);
+  seg.sim.run_until(5'000);
+  seg.net.establish_peer_links();
+  seg.sim.run_until(10'000);
+  bool ok = seg.connected() == seg.users.size();
+
+  // Sever every user-router radio link (relay chains still stand, but the
+  // last hop is always user -> router): traffic stops dead. Heal, and the
+  // untouched sessions carry traffic again without a single new handshake.
+  const auto partition = [&](bool blocked) {
+    for (const mesh::NodeId u : seg.users)
+      for (const mesh::NodeId r : seg.routers)
+        seg.net.set_link_blocked(u, r, blocked);
+  };
+  partition(true);
+  const double rate_blocked = seg.probe(1);
+  partition(false);
+  const double rate_healed = seg.probe(4);
+  ok = ok && rate_blocked == 0.0 && rate_healed >= 0.9;
+  std::printf(
+      "partition   %2zu/%zu sessions, delivery %.0f%% severed -> %.0f%% "
+      "healed | partition-dropped %llu  %s\n",
+      seg.connected(), seg.users.size(), 100 * rate_blocked, 100 * rate_healed,
+      static_cast<unsigned long long>(seg.net.stats().frames_partitioned),
+      ok ? "ok" : "FAIL");
+  return ok;
+}
+
+int run_chaos_day() {
+  std::printf("a chaotic day in the metro mesh — every phase rides the "
+              "reliability layer (PROTOCOL.md 10)\n\n");
+  mesh::FaultPlan burst;
+  burst.loss_bad = 0.75;
+  burst.p_good_to_bad = 0.2;
+  burst.p_bad_to_good = 0.3;  // ~30% loss in bursts
+  mesh::FaultPlan duplication;
+  duplication.duplicate_probability = 0.5;
+  mesh::FaultPlan reorder;
+  reorder.reorder_probability = 0.5;
+  reorder.reorder_max_jitter_ms = 50;
+  mesh::FaultPlan corruption;
+  corruption.corrupt_probability = 0.2;
+
+  bool ok = true;
+  // Floors reflect the physics: probes ride relay chains of up to four
+  // radio hops, so ~30% per-hop loss compounds to ~0.7^4 for the far users.
+  ok &= chaos_phase("burst-loss", "chaos-day-burst", burst, 0.35);
+  ok &= chaos_phase("duplication", "chaos-day-dup", duplication, 0.9);
+  ok &= chaos_phase("reordering", "chaos-day-reorder", reorder, 0.9);
+  ok &= chaos_phase("corruption", "chaos-day-corrupt", corruption, 0.4);
+  ok &= chaos_partition_phase();
+  ok &= chaos_crash_phase();
+  std::printf("\nchaos day: %s\n", ok ? "every phase converged" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   curve::Bn254::init();
-  constexpr proto::Timestamp kYear = 1000ull * 86400 * 365;
+  if (argc > 1 && std::strcmp(argv[1], "--chaos") == 0) return run_chaos_day();
+  constexpr proto::Timestamp kYear = kYearMs;
 
   proto::NetworkOperator no(crypto::Drbg::from_string("metro-demo"));
   proto::TrustedThirdParty ttp;

@@ -1,0 +1,43 @@
+#include "mesh/faults.hpp"
+
+namespace peace::mesh {
+
+FaultVerdict FaultInjector::judge(crypto::Drbg& rng) {
+  FaultVerdict v;
+  // Advance the burst chain first so a frame's loss draw reflects the state
+  // it was transmitted in. A chain that can never go bad draws nothing.
+  if (burst_bad_) {
+    if (plan_.p_bad_to_good >= 1.0 ||
+        (plan_.p_bad_to_good > 0.0 &&
+         rng.uniform_real() < plan_.p_bad_to_good))
+      burst_bad_ = false;
+  } else if (plan_.p_good_to_bad > 0.0 &&
+             rng.uniform_real() < plan_.p_good_to_bad) {
+    burst_bad_ = true;
+  }
+  const double loss = burst_bad_ ? plan_.loss_bad : plan_.loss_good;
+  if (loss > 0.0) v.lost = rng.uniform_real() < loss;
+  if (v.lost) return v;
+  if (plan_.duplicate_probability > 0.0)
+    v.duplicate = rng.uniform_real() < plan_.duplicate_probability;
+  if (plan_.reorder_probability > 0.0 &&
+      rng.uniform_real() < plan_.reorder_probability) {
+    const std::uint64_t span =
+        plan_.reorder_max_jitter_ms > 0 ? plan_.reorder_max_jitter_ms : 1;
+    v.extra_delay_ms = 1 + rng.uniform(span);
+  }
+  if (plan_.corrupt_probability > 0.0)
+    v.corrupt = rng.uniform_real() < plan_.corrupt_probability;
+  return v;
+}
+
+void FaultInjector::corrupt(Bytes& wire, crypto::Drbg& rng) {
+  if (wire.empty()) return;
+  const std::uint64_t flips = 1 + rng.uniform(3);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    const std::size_t byte = static_cast<std::size_t>(rng.uniform(wire.size()));
+    wire[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform(8));
+  }
+}
+
+}  // namespace peace::mesh

@@ -16,11 +16,24 @@ double distance(const Vec2& a, const Vec2& b) {
 }
 
 MeshNetwork::MeshNetwork(Simulator& sim, crypto::Drbg rng, RadioConfig radio,
-                         proto::ProtocolConfig proto_config)
+                         proto::ProtocolConfig proto_config,
+                         ReliabilityConfig reliability)
     : sim_(sim),
       rng_(std::move(rng)),
       radio_(radio),
-      proto_config_(proto_config) {}
+      proto_config_(proto_config),
+      reliability_(reliability) {
+  // The plain RadioConfig loss rate is the degenerate fault plan: one
+  // uniform draw per frame, nothing else — bit-identical rng consumption
+  // to the pre-fault-injection radio.
+  FaultPlan plan;
+  plan.loss_good = radio_.loss_probability;
+  faults_ = FaultInjector(plan);
+}
+
+void MeshNetwork::set_fault_plan(const FaultPlan& plan) {
+  faults_ = FaultInjector(plan);
+}
 
 NodeId MeshNetwork::add_router(Vec2 pos, proto::NetworkOperator& no,
                                proto::Timestamp cert_expires_at) {
@@ -31,12 +44,63 @@ NodeId MeshNetwork::add_router(Vec2 pos, proto::NetworkOperator& no,
         no.params().network_public_key);
   RouterNode node;
   node.pos = pos;
+  node.keypair = provision.keypair;
+  node.certificate = provision.certificate;
+  node.params = no.params();
   node.router = std::make_unique<proto::MeshRouter>(
       id, provision.keypair, provision.certificate, no.params(),
       rng_.fork("router-" + std::to_string(id)), proto_config_, revocation_);
   node.router->install_revocation_lists(no.current_crl(), no.current_url());
   routers_.emplace(id, std::move(node));
   return id;
+}
+
+void MeshNetwork::crash_router(NodeId router_node) {
+  const auto it = routers_.find(router_node);
+  if (it == routers_.end()) throw Error("mesh: no such router");
+  // The crash wipes volatile state: every established session, the replay
+  // cache, pending beacons. Beacon events check `down` and stay silent.
+  it->second.router.reset();
+  it->second.down = true;
+  pending_auth_.erase(router_node);
+}
+
+void MeshNetwork::restart_router(NodeId router_node) {
+  const auto it = routers_.find(router_node);
+  if (it == routers_.end()) throw Error("mesh: no such router");
+  RouterNode& node = it->second;
+  if (!node.down) return;
+  ++node.restarts;
+  node.router = std::make_unique<proto::MeshRouter>(
+      router_node, node.keypair, node.certificate, node.params,
+      rng_.fork("router-" + std::to_string(router_node) + "-restart-" +
+                std::to_string(node.restarts)),
+      proto_config_, revocation_);
+  node.down = false;
+}
+
+bool MeshNetwork::router_is_down(NodeId router_node) const {
+  const auto it = routers_.find(router_node);
+  if (it == routers_.end()) throw Error("mesh: no such router");
+  return it->second.down;
+}
+
+void MeshNetwork::set_link_blocked(NodeId a, NodeId b, bool blocked) {
+  const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  if (blocked)
+    blocked_links_.insert(key);
+  else
+    blocked_links_.erase(key);
+}
+
+bool MeshNetwork::link_blocked(NodeId a, NodeId b) const {
+  const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  return blocked_links_.contains(key);
+}
+
+bool MeshNetwork::node_down(NodeId node) const {
+  const auto it = routers_.find(node);
+  return it != routers_.end() && it->second.down;
 }
 
 NodeId MeshNetwork::add_user(Vec2 pos, std::unique_ptr<proto::User> user) {
@@ -51,6 +115,7 @@ NodeId MeshNetwork::add_user(Vec2 pos, std::unique_ptr<proto::User> user) {
 proto::MeshRouter& MeshNetwork::router(NodeId id) {
   const auto it = routers_.find(id);
   if (it == routers_.end()) throw Error("mesh: no such router");
+  if (it->second.router == nullptr) throw Error("mesh: router is down");
   return *it->second.router;
 }
 
@@ -126,6 +191,47 @@ bool MeshNetwork::radio_delivers() {
   return rng_.uniform_real() >= radio_.loss_probability;
 }
 
+template <typename Msg>
+std::optional<Msg> MeshNetwork::parse(const Bytes& wire) {
+  // A corrupted frame must be rejected cleanly: decode failures land here,
+  // never escape, and mutate nothing.
+  try {
+    return Msg::from_bytes(wire);
+  } catch (const std::exception&) {
+    ++stats_.corrupted_rejected;
+    return std::nullopt;
+  }
+}
+
+void MeshNetwork::unicast(const Bytes& wire, NodeId from, NodeId to,
+                          std::function<void(const Bytes&)> deliver) {
+  if (link_blocked(from, to) || node_down(to)) {
+    ++stats_.frames_partitioned;
+    return;
+  }
+  const FaultVerdict verdict = faults_.judge(rng_);
+  if (verdict.lost) {
+    ++stats_.frames_lost;
+    return;
+  }
+  if (verdict.extra_delay_ms > 0) ++stats_.frames_delayed;
+  const SimTime delay = radio_.latency_ms + verdict.extra_delay_ms;
+  Bytes copy = wire;
+  if (verdict.corrupt) FaultInjector::corrupt(copy, rng_);
+  sim_.schedule_in(delay, [deliver, copy = std::move(copy)] { deliver(copy); });
+  if (verdict.duplicate) {
+    // A MAC-layer duplicate: a clean second copy, one tick behind.
+    ++stats_.frames_duplicated;
+    sim_.schedule_in(delay + 1, [deliver, wire] { deliver(wire); });
+  }
+}
+
+void MeshNetwork::transmit(const char* kind, const Bytes& wire, NodeId from,
+                           NodeId to, std::function<void(const Bytes&)> deliver) {
+  observe(kind, wire);
+  unicast(wire, from, to, std::move(deliver));
+}
+
 void MeshNetwork::observe(const char* kind, BytesView payload) {
   ++stats_.frames_transmitted;
   if (taps_.empty()) return;
@@ -144,7 +250,10 @@ void MeshNetwork::start_beaconing(SimTime start, SimTime period,
     for (SimTime t = start; t <= until; t += period) {
       const NodeId rid = id;
       sim_.schedule(t, [this, rid] {
-        const BeaconMessage beacon = router(rid).make_beacon(sim_.now());
+        // A crashed router stays silent; its schedule resumes on restart.
+        const auto it = routers_.find(rid);
+        if (it == routers_.end() || it->second.router == nullptr) return;
+        const BeaconMessage beacon = it->second.router->make_beacon(sim_.now());
         deliver_beacon(rid, beacon);
       });
     }
@@ -153,90 +262,162 @@ void MeshNetwork::start_beaconing(SimTime start, SimTime period,
 
 void MeshNetwork::deliver_beacon(NodeId router_node,
                                  const BeaconMessage& beacon) {
-  observe("beacon", beacon.to_bytes());
+  // One broadcast observation; each listener in range then gets an
+  // independently-faulted copy (per-listener loss, as before).
+  const Bytes wire = beacon.to_bytes();
+  observe("beacon", wire);
   const Vec2 rpos = routers_.at(router_node).pos;
   for (auto& [uid, unode] : users_) {
     if (distance(rpos, unode.pos) > radio_.router_range) continue;
-    if (!radio_delivers()) {
-      ++stats_.frames_lost;
-      continue;
-    }
     const NodeId user_node = uid;
-    const Bytes wire = beacon.to_bytes();
-    sim_.schedule_in(radio_.latency_ms, [this, user_node, router_node, wire] {
-      user_hears_beacon(user_node, router_node,
-                        BeaconMessage::from_bytes(wire));
-    });
+    unicast(wire, router_node, user_node,
+            [this, user_node, router_node](const Bytes& w) {
+              const auto b = parse<BeaconMessage>(w);
+              if (b.has_value()) user_hears_beacon(user_node, router_node, *b);
+            });
   }
 }
 
 void MeshNetwork::user_hears_beacon(NodeId user_node, NodeId router_node,
                                     const BeaconMessage& beacon) {
   UserNode& unode = users_.at(user_node);
-  if (!auto_connect_ || unode.uplink.has_value() || unode.handshake_in_flight)
+  if (!auto_connect_ || unode.uplink.has_value() || unode.attempt.has_value())
     return;
+  // Failover: a router whose handshake budget ran out recently is skipped,
+  // so the user attaches to the next-best router it hears instead.
+  if (const auto bo = unode.router_backoff_until.find(router_node);
+      bo != unode.router_backoff_until.end()) {
+    if (sim_.now() < bo->second) return;
+    unode.router_backoff_until.erase(bo);
+  }
 
   auto m2 = unode.user->process_beacon(beacon, sim_.now());
   if (!m2.has_value()) return;
-  unode.handshake_in_flight = true;
+  // One attempt = one M.2, retransmitted byte-identically on RTO (so the
+  // router's idempotent-resend cache can recognise it); the user's DH share
+  // and signature are minted exactly once per attempt.
+  unode.attempt =
+      UserNode::Attempt{router_node, m2->to_bytes(), 0, ++attempt_seq_};
+  send_m2(user_node);
+}
+
+SimTime MeshNetwork::rto_for(unsigned tries) const {
+  double rto = static_cast<double>(reliability_.rto_ms);
+  for (unsigned i = 1; i < tries; ++i) rto *= reliability_.rto_backoff;
+  return static_cast<SimTime>(rto);
+}
+
+void MeshNetwork::send_m2(NodeId user_node) {
+  UserNode& unode = users_.at(user_node);
+  if (!unode.attempt.has_value()) return;
+  UserNode::Attempt& attempt = *unode.attempt;
+  ++attempt.tries;
+  if (attempt.tries > 1) ++stats_.retransmissions;
+  const NodeId router_node = attempt.router_node;
 
   // Power-boosted uplink (paper footnote 3): direct to the router.
-  observe("m2", m2->to_bytes());
-  if (!radio_delivers()) {
-    ++stats_.frames_lost;
-    unode.handshake_in_flight = false;
+  transmit("m2", attempt.m2_wire, user_node, router_node,
+           [this, user_node, router_node](const Bytes& w) {
+             auto m2 = parse<proto::AccessRequest>(w);
+             if (!m2.has_value()) return;
+             const auto r = routers_.find(router_node);
+             if (r == routers_.end() || r->second.router == nullptr) return;
+             // Arrivals enqueue; the first one in a tick schedules a
+             // same-time drain (FIFO among same-time events puts it after
+             // every arrival of the tick), so all M.2s landing together
+             // verify as one batch.
+             std::vector<PendingAuth>& pending = pending_auth_[router_node];
+             pending.push_back(PendingAuth{user_node, std::move(*m2)});
+             if (pending.size() == 1)
+               sim_.schedule_in(
+                   0, [this, router_node] { drain_auth_batch(router_node); });
+           });
+
+  // The RTO timer drives both retransmission and, once the budget is gone,
+  // giving up — which is also how a lost M.3 or a rejected request frees
+  // the attempt for the next beacon.
+  const std::uint64_t generation = attempt.generation;
+  sim_.schedule_in(rto_for(attempt.tries), [this, user_node, generation] {
+    on_m2_timeout(user_node, generation);
+  });
+}
+
+void MeshNetwork::on_m2_timeout(NodeId user_node, std::uint64_t generation) {
+  const auto it = users_.find(user_node);
+  if (it == users_.end()) return;
+  UserNode& unode = it->second;
+  if (!unode.attempt.has_value() || unode.attempt->generation != generation)
+    return;  // completed or superseded — a stale timer is a no-op
+  if (unode.uplink.has_value()) {
+    unode.attempt.reset();
     return;
   }
-  const Bytes m2_wire = m2->to_bytes();
-  sim_.schedule_in(radio_.latency_ms, [this, user_node, router_node, m2_wire] {
-    // Arrivals enqueue; the first one in a tick schedules a same-time drain
-    // (FIFO among same-time events puts it after every arrival of the
-    // tick), so all M.2s landing together verify as one batch.
-    std::vector<PendingAuth>& pending = pending_auth_[router_node];
-    pending.push_back(
-        PendingAuth{user_node, proto::AccessRequest::from_bytes(m2_wire)});
-    if (pending.size() == 1)
-      sim_.schedule_in(0, [this, router_node] { drain_auth_batch(router_node); });
-  });
+  // Byte-identical M.2 retransmission only helps when routers run the
+  // idempotent-resend cache (PROTOCOL.md §10.1): a strict-mode router
+  // rejects the duplicate as a replay, so there the RTO degrades to a
+  // watchdog that frees the attempt for a fresh M.2 at the next beacon.
+  const bool retransmit =
+      reliability_.handshake_retransmit && proto_config_.idempotent_resend;
+  const unsigned budget = retransmit ? reliability_.retry_budget : 0;
+  if (unode.attempt->tries > budget) {
+    ++stats_.handshake_timeouts;
+    const NodeId failed = unode.attempt->router_node;
+    // Failover backoff only once retries actually probed the router — a
+    // single unanswered strict-mode attempt says nothing about its health.
+    if (retransmit)
+      unode.router_backoff_until[failed] =
+          sim_.now() + reliability_.failover_backoff_ms;
+    unode.last_failed_router = failed;
+    unode.attempt.reset();
+    return;
+  }
+  send_m2(user_node);
+}
+
+void MeshNetwork::on_m3(NodeId user_node, NodeId router_node,
+                        const Bytes& wire) {
+  const auto m3 = parse<proto::AccessConfirm>(wire);
+  if (!m3.has_value()) return;
+  UserNode& unode = users_.at(user_node);
+  // A duplicate M.3 after completion is a no-op: the pending-handshake
+  // entry was consumed, so process_access_confirm returns nullopt.
+  auto session = unode.user->process_access_confirm(*m3);
+  if (!session.has_value()) return;
+  unode.uplink_session_id = session->id();
+  unode.uplink = std::move(*session);
+  unode.uplink_established_at = sim_.now();
+  unode.serving = static_cast<proto::RouterId>(router_node);
+  unode.serving_node = router_node;
+  unode.rekey_pending = false;
+  unode.attempt.reset();
+  if (unode.last_failed_router.has_value() &&
+      *unode.last_failed_router != router_node)
+    ++stats_.failovers;
+  unode.last_failed_router.reset();
 }
 
 void MeshNetwork::drain_auth_batch(NodeId router_node) {
   std::vector<PendingAuth> batch = std::move(pending_auth_[router_node]);
   pending_auth_.erase(router_node);
   if (batch.empty()) return;
+  const auto rit = routers_.find(router_node);
+  if (rit == routers_.end() || rit->second.router == nullptr) return;
 
   std::vector<proto::AccessRequest> requests;
   requests.reserve(batch.size());
   for (const PendingAuth& p : batch) requests.push_back(p.m2);
   auto outcomes =
-      router(router_node).handle_access_requests(requests, sim_.now());
+      rit->second.router->handle_access_requests(requests, sim_.now());
 
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const NodeId user_node = batch[i].user_node;
-    UserNode& unode2 = users_.at(user_node);
-    if (!outcomes[i].has_value()) {
-      unode2.handshake_in_flight = false;
-      continue;
-    }
-    observe("m3", outcomes[i]->confirm.to_bytes());
-    if (!radio_delivers()) {
-      ++stats_.frames_lost;
-      unode2.handshake_in_flight = false;
-      continue;
-    }
-    const Bytes m3_wire = outcomes[i]->confirm.to_bytes();
-    sim_.schedule_in(radio_.latency_ms, [this, user_node, router_node,
-                                         m3_wire] {
-      UserNode& unode3 = users_.at(user_node);
-      auto session = unode3.user->process_access_confirm(
-          proto::AccessConfirm::from_bytes(m3_wire));
-      unode3.handshake_in_flight = false;
-      if (!session.has_value()) return;
-      unode3.uplink_session_id = session->id();
-      unode3.uplink = std::move(*session);
-      unode3.serving = router(router_node).id();
-      unode3.serving_node = router_node;
-    });
+    // A rejected request sends nothing back; the user's RTO timer
+    // retransmits and eventually abandons the attempt.
+    if (!outcomes[i].has_value()) continue;
+    transmit("m3", outcomes[i]->confirm.to_bytes(), router_node, user_node,
+             [this, user_node, router_node](const Bytes& w) {
+               on_m3(user_node, router_node, w);
+             });
   }
 }
 
@@ -250,30 +431,122 @@ void MeshNetwork::establish_peer_links() {
     }
   }
   for (const auto& [a, b] : pairs) {
-    sim_.schedule_in(1, [this, a = a, b = b] { run_peer_handshake(a, b); });
+    sim_.schedule_in(1, [this, a = a, b = b] { start_peer_handshake(a, b); });
   }
 }
 
-void MeshNetwork::run_peer_handshake(NodeId a, NodeId b) {
+void MeshNetwork::start_peer_handshake(NodeId a, NodeId b) {
   UserNode& na = users_.at(a);
-  UserNode& nb = users_.at(b);
   if (na.peer_sessions.contains(b)) return;
+  if (peer_attempts_.contains({a, b})) return;  // already in flight
 
   // Both need a generator g from a beacon; use the serving router's, or the
   // canonical generator when not yet attached.
   const curve::G1 g = curve::Bn254::get().g1_gen;
   const proto::PeerHello hello = na.user->make_peer_hello(g, sim_.now());
-  observe("peer1", hello.to_bytes());
-  auto reply = nb.user->process_peer_hello(hello, sim_.now());
+  peer_attempts_[{a, b}] =
+      PeerAttempt{"peer1", hello.to_bytes(), a, b, 0, ++attempt_seq_};
+  send_peer_frame(a, b);
+}
+
+void MeshNetwork::send_peer_frame(NodeId from, NodeId to) {
+  const auto it = peer_attempts_.find({from, to});
+  if (it == peer_attempts_.end()) return;
+  PeerAttempt& attempt = it->second;
+  ++attempt.tries;
+  if (attempt.tries > 1) ++stats_.retransmissions;
+  if (attempt.kind[4] == '1') {  // "peer1"
+    transmit(attempt.kind, attempt.wire, from, to,
+             [this, from, to](const Bytes& w) { on_peer_hello(to, from, w); });
+  } else {  // "peer2"
+    transmit(attempt.kind, attempt.wire, from, to,
+             [this, from, to](const Bytes& w) { on_peer_reply(to, from, w); });
+  }
+  const std::uint64_t generation = attempt.generation;
+  sim_.schedule_in(rto_for(attempt.tries), [this, from, to, generation] {
+    on_peer_timeout(from, to, generation);
+  });
+}
+
+void MeshNetwork::on_peer_timeout(NodeId from, NodeId to,
+                                  std::uint64_t generation) {
+  const auto it = peer_attempts_.find({from, to});
+  if (it == peer_attempts_.end() || it->second.generation != generation)
+    return;
+  // The sender's half of the session existing is completion for both
+  // frames: the initiator holds it after M~.2, the responder after M~.3.
+  if (users_.at(from).peer_sessions.contains(to)) {
+    peer_attempts_.erase(it);
+    return;
+  }
+  const unsigned budget =
+      reliability_.handshake_retransmit ? reliability_.retry_budget : 0;
+  if (it->second.tries > budget) {
+    ++stats_.handshake_timeouts;
+    peer_attempts_.erase(it);
+    return;
+  }
+  send_peer_frame(from, to);
+}
+
+void MeshNetwork::on_peer_hello(NodeId me, NodeId from, const Bytes& wire) {
+  const auto hello = parse<proto::PeerHello>(wire);
+  if (!hello.has_value()) return;
+  UserNode& nb = users_.at(me);
+  // With idempotent resend on, a duplicate hello is answered from the
+  // user's reply cache (byte-identical M~.2, no new DH share); otherwise
+  // the strict endpoint mints a fresh reply per delivery.
+  auto reply = nb.user->process_peer_hello(*hello, sim_.now());
   if (!reply.has_value()) return;
-  observe("peer2", reply->to_bytes());
+  const Bytes reply_wire = reply->to_bytes();
+  if (!nb.peer_sessions.contains(from)) {
+    const auto [it, inserted] = peer_attempts_.try_emplace(
+        std::make_pair(me, from),
+        PeerAttempt{"peer2", reply_wire, me, from, 0, ++attempt_seq_});
+    if (inserted) {
+      // First hello: the reply rides the responder's own RTO timer, since a
+      // lost M~.3 is recovered by retransmitting M~.2.
+      send_peer_frame(me, from);
+      return;
+    }
+  }
+  // Duplicate hello while the attempt (or a finished session) exists: send
+  // the reply once more without disturbing the running timer.
+  transmit("peer2", reply_wire, me, from,
+           [this, me, from](const Bytes& w) { on_peer_reply(from, me, w); });
+}
+
+void MeshNetwork::on_peer_reply(NodeId me, NodeId from, const Bytes& wire) {
+  const auto reply = parse<proto::PeerReply>(wire);
+  if (!reply.has_value()) return;
+  UserNode& na = users_.at(me);
   auto established = na.user->process_peer_reply(*reply, sim_.now());
-  if (!established.has_value()) return;
-  observe("peer3", established->confirm.to_bytes());
-  auto b_session = nb.user->process_peer_confirm(established->confirm);
-  if (!b_session.has_value()) return;
-  na.peer_sessions.emplace(b, std::move(established->session));
-  nb.peer_sessions.emplace(a, std::move(*b_session));
+  if (established.has_value()) {
+    na.peer_sessions.emplace(from, std::move(established->session));
+    peer_attempts_.erase({me, from});  // initiator attempt complete
+    transmit("peer3", established->confirm.to_bytes(), me, from,
+             [this, me, from](const Bytes& w) { on_peer_confirm(from, me, w); });
+    return;
+  }
+  // Duplicate M~.2 — the responder retransmitted because our M~.3 was lost.
+  // The idempotent-resend cache returns the byte-identical confirmation.
+  if (auto confirm = na.user->cached_peer_confirm(*reply);
+      confirm.has_value()) {
+    ++stats_.retransmissions;
+    transmit("peer3", confirm->to_bytes(), me, from,
+             [this, me, from](const Bytes& w) { on_peer_confirm(from, me, w); });
+  }
+}
+
+void MeshNetwork::on_peer_confirm(NodeId me, NodeId from, const Bytes& wire) {
+  const auto confirm = parse<proto::PeerConfirm>(wire);
+  if (!confirm.has_value()) return;
+  UserNode& nb = users_.at(me);
+  // A duplicate M~.3 is a no-op: the pending-responder entry was consumed.
+  auto session = nb.user->process_peer_confirm(*confirm);
+  if (!session.has_value()) return;
+  nb.peer_sessions.emplace(from, std::move(*session));
+  peer_attempts_.erase({me, from});  // responder attempt complete
 }
 
 std::optional<NodeId> MeshNetwork::next_relay_hop(NodeId from,
@@ -283,6 +556,7 @@ std::optional<NodeId> MeshNetwork::next_relay_hop(NodeId from,
   std::optional<NodeId> best;
   double best_dist = own;
   for (const auto& [peer, _] : node.peer_sessions) {
+    if (link_blocked(from, peer)) continue;  // route around partitions
     const double d = distance(users_.at(peer).pos, target);
     if (d < best_dist) {
       best_dist = d;
@@ -292,48 +566,143 @@ std::optional<NodeId> MeshNetwork::next_relay_hop(NodeId from,
   return best;
 }
 
+void MeshNetwork::start_rekey(NodeId user_id) {
+  UserNode& node = users_.at(user_id);
+  if (!node.uplink.has_value() || node.rekey_pending) return;
+  ++stats_.rekeys;
+  node.rekey_pending = true;
+  // The retired session keeps draining in-flight frames; the next beacon
+  // starts a fresh anonymous handshake (never a resumption).
+  node.old_uplink = std::move(node.uplink);
+  node.uplink.reset();
+  node.old_uplink_session_id = std::move(node.uplink_session_id);
+  node.uplink_session_id.clear();
+  const Bytes old_id = node.old_uplink_session_id;
+  const NodeId router_node = node.serving_node.value_or(0);
+  sim_.schedule_in(reliability_.drain_window_ms,
+                   [this, user_id, router_node, old_id] {
+    if (const auto r = routers_.find(router_node);
+        r != routers_.end() && r->second.router != nullptr)
+      r->second.router->close_session(old_id);
+    const auto u = users_.find(user_id);
+    if (u == users_.end()) return;
+    if (u->second.old_uplink_session_id == old_id) {
+      u->second.old_uplink.reset();
+      u->second.old_uplink_session_id.clear();
+    }
+  });
+}
+
+void MeshNetwork::rekey(NodeId user_id) {
+  if (!users_.contains(user_id)) throw Error("mesh: no such user");
+  start_rekey(user_id);
+}
+
+void MeshNetwork::maybe_rekey(NodeId user_id, UserNode& node) {
+  if (!node.uplink.has_value() || node.rekey_pending) return;
+  const bool exhausted = node.uplink->seq_exhausted();
+  const bool frames_spent =
+      reliability_.rekey_after_frames > 0 &&
+      node.uplink->frames_sent() >= reliability_.rekey_after_frames;
+  const bool too_old =
+      reliability_.rekey_max_session_ms > 0 &&
+      sim_.now() - node.uplink_established_at >= reliability_.rekey_max_session_ms;
+  if (exhausted || frames_spent || too_old) start_rekey(user_id);
+}
+
 bool MeshNetwork::send_data(NodeId user_id, BytesView payload) {
   UserNode& origin = users_.at(user_id);
-  if (!origin.uplink.has_value() || !origin.serving_node.has_value()) {
+  // Rekey policy first: a retired uplink moves to the drain window and this
+  // very frame already rides the old session while the fresh handshake runs.
+  maybe_rekey(user_id, origin);
+  const bool on_old = !origin.uplink.has_value();
+  proto::Session* uplink = origin.uplink.has_value() ? &*origin.uplink
+                           : origin.old_uplink.has_value()
+                               ? &*origin.old_uplink
+                               : nullptr;
+  if (uplink == nullptr || !origin.serving_node.has_value()) {
     ++stats_.data_undeliverable;
     return false;
   }
+  const Bytes& session_id =
+      on_old ? origin.old_uplink_session_id : origin.uplink_session_id;
   const NodeId router_node = *origin.serving_node;
   const Vec2 rpos = routers_.at(router_node).pos;
 
   // End-to-end protection with the router session (relays see ciphertext).
-  DataFrame frame = origin.uplink->seal(payload);
-  const Bytes wire = frame.to_bytes();
+  // try_seal refuses at sequence exhaustion — surfaced as a rekey trigger,
+  // never an exception on the data path.
+  auto frame = uplink->try_seal(payload);
+  if (!frame.has_value()) {
+    if (!on_old) {
+      start_rekey(user_id);
+    } else {
+      origin.old_uplink.reset();
+      origin.old_uplink_session_id.clear();
+    }
+    ++stats_.data_undeliverable;
+    return false;
+  }
+  Bytes wire = frame->to_bytes();
 
-  // Greedy geographic relay until within user_range of the router.
+  if (node_down(router_node)) {
+    // The serving router is dead (crash, no beacons): abandon the uplink so
+    // the next beacon — from whichever router — re-authenticates.
+    origin.last_failed_router = router_node;
+    reassociate(user_id);
+    ++stats_.data_undeliverable;
+    return false;
+  }
+
+  // Greedy geographic relay until within user_range of the router. The
+  // data path is synchronous, so of the fault plan only loss, corruption,
+  // and partitions apply per hop (duplication/reorder are meaningless for
+  // an inline delivery).
   NodeId current = user_id;
   std::uint64_t hops = 0;
+  const auto hop_survives = [&](NodeId from, NodeId to) {
+    observe("data", wire);
+    if (link_blocked(from, to) || node_down(to)) {
+      ++stats_.frames_partitioned;
+      return false;
+    }
+    const FaultVerdict verdict = faults_.judge(rng_);
+    if (verdict.lost) {
+      ++stats_.frames_lost;
+      return false;
+    }
+    if (verdict.corrupt) FaultInjector::corrupt(wire, rng_);
+    return true;
+  };
   while (distance(users_.at(current).pos, rpos) > radio_.user_range) {
     const auto next = next_relay_hop(current, rpos);
     if (!next.has_value()) {
       ++stats_.data_undeliverable;
       return false;
     }
-    observe("data", wire);
-    if (!radio_delivers()) {
-      ++stats_.frames_lost;
-      return false;
-    }
+    if (!hop_survives(current, *next)) return false;
     current = *next;
     ++hops;
   }
-  observe("data", wire);
-  if (!radio_delivers()) {
-    ++stats_.frames_lost;
-    return false;
-  }
-  proto::Session* rsession =
-      router(router_node).session(origin.uplink_session_id);
+  if (!hop_survives(current, router_node)) return false;
+  const auto rit = routers_.find(router_node);
+  proto::Session* rsession = rit->second.router == nullptr
+                                 ? nullptr
+                                 : rit->second.router->session(session_id);
   if (rsession == nullptr) {
+    // The router lost the session (crash/restart): drop the stale uplink so
+    // the next beacon re-authenticates — possibly to another router.
+    origin.last_failed_router = router_node;
+    reassociate(user_id);
     ++stats_.data_undeliverable;
     return false;
   }
-  const auto got = rsession->open(DataFrame::from_bytes(wire));
+  const auto parsed = parse<DataFrame>(wire);
+  if (!parsed.has_value()) {
+    ++stats_.data_undeliverable;
+    return false;
+  }
+  const auto got = rsession->open(*parsed);
   if (!got.has_value()) {
     ++stats_.data_undeliverable;
     return false;
@@ -464,14 +833,20 @@ void MeshNetwork::reassociate(NodeId user_id) {
   UserNode& node = users_.at(user_id);
   node.uplink.reset();
   node.uplink_session_id.clear();
+  node.old_uplink.reset();
+  node.old_uplink_session_id.clear();
   node.serving.reset();
   node.serving_node.reset();
-  node.handshake_in_flight = false;
+  node.attempt.reset();  // pending RTO timers go stale via the generation
+  node.rekey_pending = false;
 }
 
 bool MeshNetwork::is_connected(NodeId user_id) const {
   const auto it = users_.find(user_id);
-  return it != users_.end() && it->second.uplink.has_value();
+  if (it == users_.end()) return false;
+  // During a rekey's drain window the retired session still counts — the
+  // user holds an authenticated uplink throughout.
+  return it->second.uplink.has_value() || it->second.old_uplink.has_value();
 }
 
 std::optional<proto::RouterId> MeshNetwork::serving_router(

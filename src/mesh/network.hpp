@@ -10,8 +10,10 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 
 #include "crypto/drbg.hpp"
+#include "mesh/faults.hpp"
 #include "mesh/simulator.hpp"
 #include "peace/router.hpp"
 #include "peace/user.hpp"
@@ -38,6 +40,39 @@ struct RadioConfig {
   SimTime latency_ms = 2;
 };
 
+/// The handshake reliability layer (PROTOCOL.md §10): retransmission with
+/// exponential backoff and a bounded retry budget for M.2 and the peer
+/// handshake, failover away from unresponsive routers, and automatic
+/// session rekey. Defaults are conservative enough that a loss-free radio
+/// behaves exactly as before the layer existed.
+struct ReliabilityConfig {
+  /// Retransmit unanswered handshake frames (M.2, M~.1, M~.2) on RTO
+  /// timers. When off, one timeout abandons the attempt outright — the
+  /// pre-reliability behaviour, recovered by the next beacon. M.2
+  /// retransmission additionally requires ProtocolConfig::idempotent_resend
+  /// on the routers: a strict-mode router rejects the byte-identical copy
+  /// as a replay, so there the RTO acts only as a watchdog freeing the
+  /// attempt for the next beacon.
+  bool handshake_retransmit = true;
+  /// Retransmissions allowed per attempt after the first transmission.
+  unsigned retry_budget = 4;
+  /// Initial retransmission timeout; doubles (rto_backoff) per retry.
+  SimTime rto_ms = 400;
+  double rto_backoff = 2.0;
+  /// After an attempt exhausts its budget, the user avoids that router for
+  /// this long — failing over to the next-best router it hears beacon.
+  SimTime failover_backoff_ms = 5000;
+  /// Rekey the uplink (a fresh anonymous handshake; the paper's privacy
+  /// model forbids resumption) once it has sealed this many frames.
+  /// 0 = only at hard sequence exhaustion.
+  std::uint64_t rekey_after_frames = 0;
+  /// Age-based rekey: retire an uplink session older than this. 0 = never.
+  SimTime rekey_max_session_ms = 0;
+  /// In-flight frames keep draining on a retired session for this long
+  /// before the router closes it.
+  SimTime drain_window_ms = 2000;
+};
+
 /// What a delivery tap observes: enough for an eavesdropping adversary to
 /// mount linkage attempts, nothing more than the air interface carries.
 struct WireObservation {
@@ -55,14 +90,25 @@ struct NetworkStats {
   std::uint64_t internet_delivered = 0;   // reached a wired access point
   std::uint64_t backbone_hops_total = 0;  // router-router hops used
   std::uint64_t backbone_mac_failures = 0;
+  // Reliability layer / fault injection (PROTOCOL.md §10):
+  std::uint64_t retransmissions = 0;      // handshake frames resent on RTO
+  std::uint64_t handshake_timeouts = 0;   // attempts whose budget ran out
+  std::uint64_t rekeys = 0;               // uplink sessions retired + redone
+  std::uint64_t failovers = 0;            // reconnects to a different router
+  std::uint64_t corrupted_rejected = 0;   // frames that failed to parse
+  std::uint64_t frames_duplicated = 0;    // extra copies the radio delivered
+  std::uint64_t frames_delayed = 0;       // frames given reorder jitter
+  std::uint64_t frames_partitioned = 0;   // dropped on a blocked/dead link
 };
 
 class MeshNetwork {
  public:
   /// `proto_config` is handed to every router this network creates — in
   /// particular verify_threads, which sizes each router's VerifyPool.
+  /// `reliability` governs the handshake retransmission / rekey layer.
   MeshNetwork(Simulator& sim, crypto::Drbg rng, RadioConfig radio = {},
-              proto::ProtocolConfig proto_config = {});
+              proto::ProtocolConfig proto_config = {},
+              ReliabilityConfig reliability = {});
 
   // --- construction -----------------------------------------------------
   NodeId add_router(Vec2 pos, proto::NetworkOperator& no,
@@ -135,6 +181,31 @@ class MeshNetwork {
   /// resumed across associations (fresh identifiers per the privacy model).
   void reassociate(NodeId user_id);
 
+  // --- fault injection (chaos harness) -----------------------------------
+  /// Installs a fault plan on the user-facing radio (beacons, handshakes,
+  /// data relay). RadioConfig.loss_probability keeps applying only if the
+  /// caller folds it into the plan's loss_good; the backbone and the
+  /// operator's control traffic stay on the plain loss model.
+  void set_fault_plan(const FaultPlan& plan);
+  const FaultPlan& fault_plan() const { return faults_.plan(); }
+
+  /// Blocks (or heals) the radio link between two nodes — a partition.
+  /// Frames sent across a blocked link are dropped (frames_partitioned).
+  void set_link_blocked(NodeId a, NodeId b, bool blocked);
+
+  /// Crashes a router: it stops beaconing, drops every established session,
+  /// and answers nothing until restart_router. Its certificate and keys
+  /// survive (stable identity across the restart).
+  void crash_router(NodeId router_node);
+  void restart_router(NodeId router_node);
+  bool router_is_down(NodeId router_node) const;
+
+  /// Forces an uplink rekey: the current session is retired (in-flight
+  /// frames drain for drain_window_ms) and the next beacon triggers a fresh
+  /// anonymous handshake. No-op when the user has no uplink or a rekey is
+  /// already pending.
+  void rekey(NodeId user_id);
+
   /// Registers an observer of every transmitted frame.
   void add_tap(std::function<void(const WireObservation&)> tap);
 
@@ -147,8 +218,14 @@ class MeshNetwork {
 
  private:
   struct RouterNode {
-    std::unique_ptr<proto::MeshRouter> router;
+    std::unique_ptr<proto::MeshRouter> router;  // null while crashed
     Vec2 pos;
+    bool down = false;
+    /// Provisioned identity, kept so a restart resurrects the same router.
+    curve::EcdsaKeyPair keypair;
+    proto::RouterCertificate certificate;
+    proto::SystemParams params;
+    unsigned restarts = 0;
   };
   struct UserNode {
     std::unique_ptr<proto::User> user;
@@ -158,7 +235,24 @@ class MeshNetwork {
     std::optional<proto::RouterId> serving;
     std::optional<NodeId> serving_node;
     std::map<NodeId, proto::Session> peer_sessions;
-    bool handshake_in_flight = false;
+    // --- reliability layer -----------------------------------------------
+    /// The in-flight access handshake: the cached M.2 wire is retransmitted
+    /// byte-identically on RTO until M.3 arrives or the budget runs out.
+    struct Attempt {
+      NodeId router_node = 0;
+      Bytes m2_wire;
+      unsigned tries = 0;            // transmissions so far
+      std::uint64_t generation = 0;  // stale-timer guard
+    };
+    std::optional<Attempt> attempt;
+    /// Retired uplink draining in-flight frames after a rekey.
+    std::optional<proto::Session> old_uplink;
+    Bytes old_uplink_session_id;
+    SimTime uplink_established_at = 0;
+    bool rekey_pending = false;
+    /// Routers to avoid until the deadline (failed attempts → failover).
+    std::map<NodeId, SimTime> router_backoff_until;
+    std::optional<NodeId> last_failed_router;
   };
 
   /// An M.2 that reached its router and awaits the end-of-tick batch drain.
@@ -167,8 +261,35 @@ class MeshNetwork {
     proto::AccessRequest m2;
   };
 
+  /// A peer-handshake frame the sender keeps retransmitting on RTO until
+  /// its side of the session exists: the initiator's M~.1 or the
+  /// responder's M~.2 (M~.3 needs no timer — a responder retransmitting
+  /// M~.2 pulls the cached M~.3 back out of the initiator).
+  struct PeerAttempt {
+    const char* kind;  // "peer1" | "peer2"
+    Bytes wire;
+    NodeId from = 0, to = 0;
+    unsigned tries = 0;
+    std::uint64_t generation = 0;
+  };
+
   bool radio_delivers();
   void observe(const char* kind, BytesView payload);
+  /// One observed radio transmission: partition/outage checks, the fault
+  /// plan (loss, duplication, jitter, corruption), then `deliver(wire)`
+  /// per surviving copy after latency (+jitter).
+  void transmit(const char* kind, const Bytes& wire, NodeId from, NodeId to,
+                std::function<void(const Bytes&)> deliver);
+  /// transmit() without the observe — deliver_beacon observes its broadcast
+  /// once, then unicasts an independently-faulted copy per listener.
+  void unicast(const Bytes& wire, NodeId from, NodeId to,
+               std::function<void(const Bytes&)> deliver);
+  bool link_blocked(NodeId a, NodeId b) const;
+  bool node_down(NodeId node) const;
+  /// Decodes a wire frame, counting a parse failure as corrupted_rejected.
+  template <typename Msg>
+  std::optional<Msg> parse(const Bytes& wire);
+
   void deliver_beacon(NodeId router_node, const proto::BeaconMessage& beacon);
   void user_hears_beacon(NodeId user_node, NodeId router_node,
                          const proto::BeaconMessage& beacon);
@@ -176,7 +297,26 @@ class MeshNetwork {
   /// through the router's batch verification path, then continues each
   /// handshake (M.3 delivery) exactly as the per-request path used to.
   void drain_auth_batch(NodeId router_node);
-  void run_peer_handshake(NodeId a, NodeId b);
+
+  // --- access-handshake reliability --------------------------------------
+  SimTime rto_for(unsigned tries) const;
+  void send_m2(NodeId user_node);
+  void on_m2_timeout(NodeId user_node, std::uint64_t generation);
+  void on_m3(NodeId user_node, NodeId router_node, const Bytes& wire);
+  /// Retires the current uplink into the drain window and leaves the user
+  /// ready for a fresh handshake at the next beacon.
+  void start_rekey(NodeId user_id);
+  /// Applies the configured frame-count / age rekey policy before a send.
+  void maybe_rekey(NodeId user_id, UserNode& node);
+
+  // --- peer-handshake reliability ----------------------------------------
+  void start_peer_handshake(NodeId a, NodeId b);
+  void send_peer_frame(NodeId from, NodeId to);
+  void on_peer_timeout(NodeId from, NodeId to, std::uint64_t generation);
+  void on_peer_hello(NodeId me, NodeId from, const Bytes& wire);
+  void on_peer_reply(NodeId me, NodeId from, const Bytes& wire);
+  void on_peer_confirm(NodeId me, NodeId from, const Bytes& wire);
+
   /// Next hop for greedy geographic relay, or nullopt when stuck.
   std::optional<NodeId> next_relay_hop(NodeId from, const Vec2& target);
 
@@ -190,6 +330,8 @@ class MeshNetwork {
   crypto::Drbg rng_;
   RadioConfig radio_;
   proto::ProtocolConfig proto_config_;
+  ReliabilityConfig reliability_;
+  FaultInjector faults_;
   /// One snapshot state for the whole segment; created by the first
   /// add_router (it needs the NO's public key as list authority).
   std::shared_ptr<revoke::SharedRevocationState> revocation_;
@@ -198,6 +340,11 @@ class MeshNetwork {
   std::map<NodeId, UserNode> users_;
   std::map<NodeId, Vec2> access_points_;
   std::map<std::pair<NodeId, NodeId>, Bytes> backbone_keys_;
+  /// In-flight peer-handshake frames with retransmission timers, keyed by
+  /// (sender, receiver); erased when the sender's session exists.
+  std::map<std::pair<NodeId, NodeId>, PeerAttempt> peer_attempts_;
+  std::set<std::pair<NodeId, NodeId>> blocked_links_;
+  std::uint64_t attempt_seq_ = 0;  // generation source for stale timers
   NodeId next_id_ = 1;
   bool auto_connect_ = true;
   std::vector<std::function<void(const WireObservation&)>> taps_;

@@ -1,6 +1,7 @@
 #include "peace/router.hpp"
 
 #include "common/serde.hpp"
+#include "crypto/sha256.hpp"
 #include "curve/hash_to_curve.hpp"
 
 namespace peace::proto {
@@ -8,6 +9,16 @@ namespace peace::proto {
 using curve::Bn254;
 using curve::g1_to_bytes;
 using curve::random_fr;
+
+namespace {
+
+/// Confirm-cache key: the SHA-256 of a frame's full wire bytes, so only a
+/// byte-identical retransmission ever matches.
+std::string wire_key(const Bytes& wire) {
+  return to_hex(crypto::Sha256::hash(wire));
+}
+
+}  // namespace
 
 MeshRouter::MeshRouter(RouterId id, curve::EcdsaKeyPair keypair,
                        RouterCertificate certificate, SystemParams params,
@@ -141,6 +152,18 @@ MeshRouter::handle_access_requests(std::span<const AccessRequest> batch,
                                    Timestamp now) {
   std::vector<std::optional<AccessOutcome>> results(batch.size());
 
+  // Idempotent resend: a byte-identical retransmission of an *accepted* M.2
+  // (its M.3 was lost on the air) gets the cached M.3 back — no new
+  // session, no rng draw, no pairing work, no counter but confirms_resent.
+  const auto resend_cached = [&](const AccessRequest& m2,
+                                 const Bytes& sid) -> std::optional<AccessOutcome> {
+    if (!config_.idempotent_resend) return std::nullopt;
+    const auto it = confirm_cache_.find(wire_key(m2.to_bytes()));
+    if (it == confirm_cache_.end()) return std::nullopt;
+    ++stats_.confirms_resent;
+    return AccessOutcome{AccessConfirm::from_bytes(it->second), sid};
+  };
+
   // Pass 1 (sequential, input order): the cheap gates — beacon lookup,
   // freshness, replay cache, puzzle — exactly as the sequential pipeline
   // runs them, so rejection counters are bumped in the same order.
@@ -174,6 +197,10 @@ MeshRouter::handle_access_requests(std::span<const AccessRequest> batch,
     Bytes sid = session_id_from(m2.g_rr, m2.g_rj);
     std::string sid_hex = to_hex(sid);
     if (seen_requests_.contains(sid_hex)) {
+      if (auto resent = resend_cached(m2, sid); resent.has_value()) {
+        results[i] = std::move(resent);
+        continue;
+      }
       ++stats_.rejected_replay;
       continue;
     }
@@ -253,6 +280,13 @@ MeshRouter::handle_access_requests(std::span<const AccessRequest> batch,
   // deterministic regardless of which worker verified what.
   for (PendingVerify& pv : pending) {
     if (seen_requests_.contains(pv.sid_hex)) {
+      // An in-batch byte-identical duplicate of a request accepted earlier
+      // in this pass resends its cached M.3, exactly as sequential
+      // processing would have.
+      if (auto resent = resend_cached(*pv.m2, pv.sid); resent.has_value()) {
+        results[pv.index] = std::move(resent);
+        continue;
+      }
       ++stats_.rejected_replay;
       continue;
     }
@@ -292,7 +326,29 @@ MeshRouter::AccessOutcome MeshRouter::accept_request(const AccessRequest& m2,
   payload.raw(g1_to_bytes(m2.g_rr));
   out.confirm.ciphertext = confirm_seal(shared, sid, payload.data());
   ++stats_.accepted;
+
+  // Reliability bookkeeping: remember the M.3 for idempotent resends and
+  // keep the replay cache bounded by FIFO eviction (evicted entries remain
+  // protected by the timestamp window).
+  std::string confirm_key;
+  if (config_.idempotent_resend) {
+    confirm_key = wire_key(m2.to_bytes());
+    confirm_cache_[confirm_key] = out.confirm.to_bytes();
+  }
+  seen_order_.emplace_back(sid_hex, std::move(confirm_key));
+  while (config_.replay_cache_cap > 0 &&
+         seen_requests_.size() > config_.replay_cache_cap &&
+         !seen_order_.empty()) {
+    const auto& [old_sid, old_key] = seen_order_.front();
+    seen_requests_.erase(old_sid);
+    if (!old_key.empty()) confirm_cache_.erase(old_key);
+    seen_order_.pop_front();
+  }
   return out;
+}
+
+bool MeshRouter::close_session(BytesView session_id) {
+  return sessions_.erase(to_hex(session_id)) > 0;
 }
 
 Session* MeshRouter::session(BytesView session_id) {

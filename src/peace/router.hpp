@@ -37,6 +37,8 @@ struct RouterStats {
   std::uint64_t rl_deltas_rejected = 0;   // forged or broken-chain deltas
   std::uint64_t rl_resyncs_requested = 0; // chain gaps -> full-list fetch
   std::uint64_t rl_resyncs_completed = 0;
+  // Reliability layer (PROTOCOL.md §10):
+  std::uint64_t confirms_resent = 0;  // duplicate M.2 answered with cached M.3
 };
 
 class MeshRouter {
@@ -117,6 +119,15 @@ class MeshRouter {
   Session* session(BytesView session_id);
   std::size_t session_count() const { return sessions_.size(); }
 
+  /// Tears down an established session (rekey retired it, or the peer is
+  /// gone). Returns whether a session with that id existed. The replay
+  /// cache entry survives, so the spent M.2 can never re-establish it.
+  bool close_session(BytesView session_id);
+
+  /// Replay-cache occupancy, for cap monitoring (bounded by
+  /// config.replay_cache_cap via FIFO eviction).
+  std::size_t replay_cache_size() const { return seen_requests_.size(); }
+
   /// Aggregate groupsig operation counters for all verifications this
   /// router performed (per-worker counters are merged in deterministically).
   const groupsig::OpCounters& verify_ops() const { return verify_ops_; }
@@ -152,6 +163,14 @@ class MeshRouter {
   Bytes puzzle_nonce_;
 
   std::unordered_set<std::string> seen_requests_;  // replay cache
+  /// Insertion order of the replay cache, for FIFO eviction at
+  /// config.replay_cache_cap. Each entry carries the key of its cached M.3
+  /// (empty when idempotent resend is off) so both are evicted together.
+  std::deque<std::pair<std::string, std::string>> seen_order_;
+  /// Idempotent-resend mode: the serialized M.3 per accepted M.2, keyed by
+  /// SHA-256 of the M.2's full wire bytes — only a *byte-identical*
+  /// retransmission can fish a confirmation back out.
+  std::unordered_map<std::string, Bytes> confirm_cache_;
   std::unordered_map<std::string, Session> sessions_;
   RouterStats stats_;
 };

@@ -51,12 +51,11 @@ Session Session::establish(const G1& shared_dh, BytesView session_id,
   return s;
 }
 
-DataFrame Session::seal(BytesView payload) {
+std::optional<DataFrame> Session::try_seal(BytesView payload) {
   // The AEAD nonce is a function of the sequence number alone; wrapping the
   // counter would repeat a nonce under the same key, which breaks both
   // suites catastrophically. Refuse rather than wrap.
-  if (send_seq_ == kSeqExhausted)
-    throw Error("session: send sequence space exhausted");
+  if (send_seq_ == kSeqExhausted) return std::nullopt;
   DataFrame frame;
   frame.session_id = id_;
   frame.seq = send_seq_++;
@@ -72,6 +71,13 @@ DataFrame Session::seal(BytesView payload) {
           : crypto::aead_seal(send_key_, seq_nonce(frame.seq), aad.data(),
                               payload);
   return frame;
+}
+
+DataFrame Session::seal(BytesView payload) {
+  auto frame = try_seal(payload);
+  if (!frame.has_value())
+    throw Error("session: send sequence space exhausted");
+  return *std::move(frame);
 }
 
 std::optional<Bytes> Session::open(const DataFrame& frame) {

@@ -43,9 +43,20 @@ class Session {
     send_seq_ = n > kSeqExhausted - send_seq_ ? kSeqExhausted : send_seq_ + n;
   }
 
+  /// True once the send counter has reached the sentinel: the next seal
+  /// would reuse an AEAD nonce, so the session must be rekeyed (a fresh DH
+  /// handshake) before it can send again.
+  bool seq_exhausted() const { return send_seq_ == kSeqExhausted; }
+
   /// Encrypts and authenticates one payload; the sequence number is bound
-  /// into the AEAD so frames cannot be reordered or replayed. Throws once
-  /// the 2^64 - 1 sequence space is exhausted (nonce reuse otherwise).
+  /// into the AEAD so frames cannot be reordered or replayed. Returns
+  /// nullopt — refusing gracefully — once the 2^64 - 1 sequence space is
+  /// exhausted; callers should treat that as a rekey trigger, not an error.
+  std::optional<DataFrame> try_seal(BytesView payload);
+
+  /// Throwing form of try_seal for callers that treat exhaustion as a
+  /// programming error (tests, one-shot tools). The data path must use
+  /// try_seal instead.
   DataFrame seal(BytesView payload);
 
   /// Verifies, decrypts, and enforces strictly increasing sequence numbers.

@@ -18,6 +18,57 @@ User::User(std::string uid, SystemParams params, crypto::Drbg rng,
       config_(config),
       receipt_key_(curve::EcdsaKeyPair::generate(rng_)) {}
 
+namespace {
+
+/// Key for the resend caches: only *byte-identical* duplicates of a frame
+/// ever match, so a forged variant sharing public fields can never fish a
+/// cached answer out.
+std::string wire_key(const Bytes& wire) {
+  return to_hex(crypto::Sha256::hash(wire));
+}
+
+template <typename Map>
+std::size_t reap_map(Map& map, Timestamp now, Timestamp ttl) {
+  std::size_t reaped = 0;
+  for (auto it = map.begin(); it != map.end();) {
+    if (now >= it->second.created && now - it->second.created > ttl) {
+      it = map.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  return reaped;
+}
+
+}  // namespace
+
+std::size_t User::reap_pending(Timestamp now) {
+  const Timestamp ttl = config_.pending_ttl_ms;
+  std::size_t reaped = reap_map(pending_access_, now, ttl);
+  reaped += reap_map(pending_peer_init_, now, ttl);
+  reaped += reap_map(pending_peer_resp_, now, ttl);
+  reaped += reap_map(hello_replies_, now, ttl);
+  reaped += reap_map(peer_confirms_, now, ttl);
+  stats_.pending_expired += reaped;
+  return reaped;
+}
+
+template <typename Map>
+void User::admit_pending(Map& map, Timestamp now) {
+  reap_pending(now);
+  if (config_.pending_cap == 0) return;
+  // Hard cap: evict the oldest entry rather than refuse — the newest
+  // handshake is the one most likely to still complete.
+  while (map.size() >= config_.pending_cap) {
+    auto oldest = map.begin();
+    for (auto it = map.begin(); it != map.end(); ++it)
+      if (it->second.created < oldest->second.created) oldest = it;
+    map.erase(oldest);
+    ++stats_.pending_evicted;
+  }
+}
+
 curve::EcdsaSignature User::complete_enrollment(
     const GroupManager::Enrollment& enrollment) {
   MemberKey key;
@@ -122,8 +173,9 @@ std::optional<AccessRequest> User::process_beacon(const BeaconMessage& beacon,
 
   // Step 2.2.5: K = (g^rR)^rj, remembered until M.3 arrives.
   const Bytes sid = session_id_from(m2.g_rr, m2.g_rj);
+  admit_pending(pending_access_, now);
   pending_access_[to_hex(sid)] =
-      PendingAccess{beacon.g_rr * r_j, beacon.router_id, m2.g_rj, m2.g_rr};
+      PendingAccess{beacon.g_rr * r_j, beacon.router_id, m2.g_rj, m2.g_rr, now};
   return m2;
 }
 
@@ -172,8 +224,9 @@ PeerHello User::make_peer_hello(const G1& g, Timestamp now,
   hello.ts1 = now;
   hello.signature = groupsig::sign(params_.gpk, pick_credential(via_group),
                                    hello.signed_payload(), rng_);
+  admit_pending(pending_peer_init_, now);
   pending_peer_init_[to_hex(g1_to_bytes(hello.g_rj))] =
-      PendingPeerInitiator{r_j, hello.g_rj, now};
+      PendingPeerInitiator{r_j, hello.g_rj, now, now};
   return hello;
 }
 
@@ -188,8 +241,14 @@ PeerReply User::reply_to_hello(const PeerHello& hello, Timestamp now,
                                    reply.signed_payload(), rng_);
 
   const Bytes sid = session_id_from(reply.g_rj, reply.g_rl);
+  admit_pending(pending_peer_resp_, now);
   pending_peer_resp_[to_hex(sid)] =
-      PendingPeerResponder{hello.g_rj * r_l, hello.ts1, now};
+      PendingPeerResponder{hello.g_rj * r_l, hello.ts1, now, now};
+  if (config_.idempotent_resend) {
+    admit_pending(hello_replies_, now);
+    hello_replies_[wire_key(hello.to_bytes())] =
+        CachedWire{reply.to_bytes(), now};
+  }
   return reply;
 }
 
@@ -198,6 +257,16 @@ std::optional<PeerReply> User::process_peer_hello(const PeerHello& hello,
                                                   GroupId via_group) {
   const Timestamp age = now >= hello.ts1 ? now - hello.ts1 : hello.ts1 - now;
   if (age > config_.replay_window_ms) return std::nullopt;
+  // Idempotent resend: a byte-identical duplicate (radio duplication or an
+  // initiator retransmission after a lost M~.2) gets the cached reply back
+  // — no new r_l, no new pending state, no pairing work, no rng draw.
+  if (config_.idempotent_resend) {
+    if (const auto it = hello_replies_.find(wire_key(hello.to_bytes()));
+        it != hello_replies_.end()) {
+      ++stats_.duplicate_hellos;
+      return PeerReply::from_bytes(it->second.wire);
+    }
+  }
   if (!peer_signature_ok(hello.signed_payload(), hello.signature))
     return std::nullopt;
   return reply_to_hello(hello, now, via_group);
@@ -217,7 +286,18 @@ std::vector<std::optional<PeerReply>> User::process_peer_hellos(
   for (std::size_t i = 0; i < hellos.size(); ++i) {
     const Timestamp age =
         now >= hellos[i].ts1 ? now - hellos[i].ts1 : hellos[i].ts1 - now;
-    if (age <= config_.replay_window_ms) pending.push_back({i});
+    if (age > config_.replay_window_ms) continue;
+    // Duplicates of already-answered hellos are served from the cache here,
+    // before any verification work — same as the one-at-a-time path.
+    if (config_.idempotent_resend) {
+      if (const auto it = hello_replies_.find(wire_key(hellos[i].to_bytes()));
+          it != hello_replies_.end()) {
+        ++stats_.duplicate_hellos;
+        results[i] = PeerReply::from_bytes(it->second.wire);
+        continue;
+      }
+    }
+    pending.push_back({i});
   }
 
   // Pass 2 (parallel): the pairing-heavy group-signature verification plus
@@ -239,8 +319,23 @@ std::vector<std::optional<PeerReply>> User::process_peer_hellos(
 
   // Pass 3 (sequential, input order): every rng draw (r_l, signing nonces)
   // happens here, exactly as the one-at-a-time path would perform them.
-  for (const Pending& p : pending)
-    if (p.ok) results[p.index] = reply_to_hello(hellos[p.index], now, via_group);
+  for (const Pending& p : pending) {
+    if (!p.ok) continue;
+    // An in-batch byte-identical duplicate misses the cache in pass 1 (the
+    // first copy's reply doesn't exist yet) but must still be served from
+    // it: reply_to_hello on the first copy populated the cache during this
+    // pass, so re-check before minting a second r_l.
+    if (config_.idempotent_resend) {
+      if (const auto it =
+              hello_replies_.find(wire_key(hellos[p.index].to_bytes()));
+          it != hello_replies_.end()) {
+        ++stats_.duplicate_hellos;
+        results[p.index] = PeerReply::from_bytes(it->second.wire);
+        continue;
+      }
+    }
+    results[p.index] = reply_to_hello(hellos[p.index], now, via_group);
+  }
   return results;
 }
 
@@ -272,9 +367,21 @@ std::optional<User::PeerEstablished> User::process_peer_reply(
   payload.u64(reply.ts2);
   out.confirm.ciphertext = confirm_seal(shared, sid, payload.data());
 
+  if (config_.idempotent_resend) {
+    admit_pending(peer_confirms_, now);
+    peer_confirms_[wire_key(reply.to_bytes())] =
+        CachedWire{out.confirm.to_bytes(), now};
+  }
   pending_peer_init_.erase(it);
   ++stats_.peer_sessions_established;
   return out;
+}
+
+std::optional<PeerConfirm> User::cached_peer_confirm(const PeerReply& reply) {
+  const auto it = peer_confirms_.find(wire_key(reply.to_bytes()));
+  if (it == peer_confirms_.end()) return std::nullopt;
+  ++stats_.duplicate_replies;
+  return PeerConfirm::from_bytes(it->second.wire);
 }
 
 std::optional<Session> User::process_peer_confirm(const PeerConfirm& confirm) {

@@ -22,6 +22,11 @@ struct UserStats {
   std::uint64_t puzzle_hashes = 0;  // brute-force work spent on DoS puzzles
   std::uint64_t peer_verify_batches = 0;  // pooled M~.1 batches run
   std::uint64_t peer_batched_hellos = 0;  // hellos entering such a batch
+  // Reliability layer (PROTOCOL.md §10):
+  std::uint64_t pending_expired = 0;   // handshake state reaped by TTL
+  std::uint64_t pending_evicted = 0;   // handshake state evicted by the cap
+  std::uint64_t duplicate_hellos = 0;  // M~.1 answered from the reply cache
+  std::uint64_t duplicate_replies = 0; // M~.2 answered from the confirm cache
 };
 
 class User {
@@ -53,6 +58,11 @@ class User {
     url_tokens_.clear();
     url_ = {};
     crl_ = {};
+    pending_access_.clear();
+    pending_peer_init_.clear();
+    pending_peer_resp_.clear();
+    hello_replies_.clear();
+    peer_confirms_.clear();
   }
 
   /// Which groups this user can sign for.
@@ -99,8 +109,33 @@ class User {
   std::optional<PeerEstablished> process_peer_reply(const PeerReply& reply,
                                                     Timestamp now);
 
-  /// Responder side: verify M~.3 and finalize the session.
+  /// Responder side: verify M~.3 and finalize the session. A duplicate
+  /// delivery of an already-consumed confirm returns nullopt without
+  /// touching any state — a no-op, not a protocol error.
   std::optional<Session> process_peer_confirm(const PeerConfirm& confirm);
+
+  /// Idempotent-resend path (config.idempotent_resend): when a duplicate
+  /// M~.2 arrives after the initiator already established the session (its
+  /// M~.3 was lost on the air), returns the byte-identical cached M~.3 so
+  /// the responder can still converge. Mints nothing and draws no
+  /// randomness. nullopt when the reply matches no cached confirmation.
+  std::optional<PeerConfirm> cached_peer_confirm(const PeerReply& reply);
+
+  // --- reliability state hygiene (PROTOCOL.md §10) ---
+
+  /// Reaps pending-handshake entries and resend-cache entries older than
+  /// config.pending_ttl_ms. Called internally before every insert; exposed
+  /// so hosts can also reap on a timer. Returns how many entries died.
+  std::size_t reap_pending(Timestamp now);
+
+  /// Current pending-state sizes, for cap monitoring in tests/simulations.
+  std::size_t pending_access_size() const { return pending_access_.size(); }
+  std::size_t pending_peer_size() const {
+    return pending_peer_init_.size() + pending_peer_resp_.size();
+  }
+  std::size_t resend_cache_size() const {
+    return hello_replies_.size() + peer_confirms_.size();
+  }
 
   /// Latest revocation lists the user has accepted from beacons.
   const SignedRevocationList& current_url() const { return url_; }
@@ -126,10 +161,17 @@ class User {
   SignedRevocationList url_;
   std::vector<RevocationToken> url_tokens_;
 
+  /// TTL + hard-cap admission for one pending map: expired entries are
+  /// reaped and, at the cap, the oldest entry is evicted to make room —
+  /// so no handshake flood can grow any map past config.pending_cap.
+  template <typename Map>
+  void admit_pending(Map& map, Timestamp now);
+
   struct PendingAccess {
     G1 shared;
     RouterId router_id;
     G1 g_rj, g_rr;
+    Timestamp created = 0;
   };
   std::unordered_map<std::string, PendingAccess> pending_access_;
 
@@ -137,14 +179,28 @@ class User {
     Fr r_j;
     G1 g_rj;
     Timestamp ts1;
+    Timestamp created = 0;
   };
   std::unordered_map<std::string, PendingPeerInitiator> pending_peer_init_;
 
   struct PendingPeerResponder {
     G1 shared;
     Timestamp ts1, ts2;
+    Timestamp created = 0;
   };
   std::unordered_map<std::string, PendingPeerResponder> pending_peer_resp_;
+
+  /// Resend caches for the idempotent-resend mode, keyed by the SHA-256 of
+  /// the triggering frame's full wire bytes (only *byte-identical*
+  /// duplicates match): the serialized M~.2 a responder produced per hello
+  /// and the serialized M~.3 an initiator produced per reply. Both are
+  /// TTL'd and capped exactly like the pending maps.
+  struct CachedWire {
+    Bytes wire;
+    Timestamp created = 0;
+  };
+  std::unordered_map<std::string, CachedWire> hello_replies_;
+  std::unordered_map<std::string, CachedWire> peer_confirms_;
 
   UserStats stats_;
 };
