@@ -3,6 +3,11 @@
 // 6 exponentiations + (3 + 2|URL|) pairings. We measure wall-clock AND the
 // instrumented operation counts (the Type-3 adaptation adds the T_hat
 // carrier: one extra exponentiation per side; same-base pairings folded).
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "bench_common.hpp"
 
 namespace peace::bench {
@@ -76,7 +81,7 @@ void BM_VerifyPoolBatch(benchmark::State& state) {
   std::vector<bool> expected;
   for (std::size_t i = 0; i < kBatch; ++i) {
     auto sig = groupsig::sign(w.no.params().gpk, key, as_bytes("msg"), rng);
-    if (i % 4 == 3) sig.c = sig.c + curve::Fr::one();  // corrupt every 4th
+    if (i % 4 == 3) sig.s_x = sig.s_x + curve::Fr::one();  // corrupt every 4th
     expected.push_back(
         groupsig::verify_proof(w.no.params().gpk, as_bytes("msg"), sig));
     sigs.push_back(std::move(sig));
@@ -105,6 +110,81 @@ BENCHMARK(BM_VerifyPoolBatch)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_BatchVerify(benchmark::State& state) {
+  // Randomized batch verification (docs/CRYPTO.md §4): batch sizes 1/4/16/64
+  // in three regimes — all-good (one shared final exponentiation), one-bad
+  // (bisection finds it), and k-bad (~N/4 corrupted, the bisection-heavy
+  // regime). per_sig_ms is the figure to compare against
+  // BM_GroupVerifyProofPrepared; speedup_vs_sequential is measured against a
+  // sequential prepared verify of the same batch inside this run.
+  World& w = World::instance();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto bad = static_cast<std::size_t>(state.range(1));
+  crypto::Drbg rng = crypto::Drbg::from_string(
+      "e3-batch", static_cast<std::uint64_t>(state.range(0) * 1000 +
+                                             state.range(1)));
+  const auto& key = w.user->credential(w.gm.id());
+  std::vector<Bytes> messages;
+  std::vector<groupsig::Signature> sigs;
+  for (std::size_t i = 0; i < n; ++i) {
+    messages.push_back(to_bytes("batch-msg-" + std::to_string(i)));
+    sigs.push_back(
+        groupsig::sign(w.no.params().gpk, key, messages.back(), rng));
+  }
+  // Spread the `bad` corruptions evenly across the batch.
+  for (std::size_t b = 0; b < bad && b < n; ++b) {
+    const std::size_t i = b * n / bad;
+    sigs[i].s_x = sigs[i].s_x + curve::Fr::one();
+  }
+  std::vector<groupsig::BatchItem> items(n);
+  for (std::size_t i = 0; i < n; ++i) items[i] = {messages[i], &sigs[i]};
+  const groupsig::PreparedGroupPublicKey pgpk(w.no.params().gpk);
+  const Bytes salt = rng.bytes(32);
+
+  // Sequential prepared reference: expected results plus the baseline
+  // timing for the speedup counter, measured once outside the loop.
+  std::vector<char> expected(n);
+  const auto seq_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n; ++i)
+    expected[i] = groupsig::verify_proof(pgpk, messages[i], sigs[i]);
+  const double seq_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - seq_start)
+                            .count();
+
+  const auto batch_start = std::chrono::steady_clock::now();
+  std::size_t timed_runs = 0;
+  for (auto _ : state) {
+    const std::vector<char> got =
+        groupsig::batch_verify_proof(pgpk, items, salt);
+    if (got != expected)
+      state.SkipWithError("batch verify diverged from sequential");
+    benchmark::DoNotOptimize(got);
+    ++timed_runs;
+  }
+  const double batch_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - batch_start)
+                              .count() /
+                          static_cast<double>(timed_runs == 0 ? 1 : timed_runs);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["batch_size"] = static_cast<double>(n);
+  state.counters["bad_sigs"] = static_cast<double>(bad);
+  state.counters["sequential_batch_ms"] = seq_ms;
+  state.counters["batch_ms"] = batch_ms;
+  if (batch_ms > 0)
+    state.counters["speedup_vs_sequential"] = seq_ms / batch_ms;
+  state.counters["per_sig_ms"] = batch_ms / static_cast<double>(n);
+}
+BENCHMARK(BM_BatchVerify)
+    ->ArgsProduct({{1, 4, 16, 64}, {0}})
+    ->Args({4, 1})
+    ->Args({16, 1})
+    ->Args({64, 1})
+    ->Args({16, 4})
+    ->Args({64, 16})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
@@ -155,4 +235,25 @@ BENCHMARK(BM_MemberKeyIssue)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace peace::bench
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default JSON report (BENCH_batch_verify.json in
+// the working directory) when the caller didn't pick an output file — the
+// E2/E3 cost tables and the batch-verification speedup gate read it.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_batch_verify.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    has_out |= std::string_view(argv[i]).starts_with("--benchmark_out=");
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

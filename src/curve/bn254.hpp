@@ -57,6 +57,8 @@ struct Bn254 {
 constexpr std::size_t kG1CompressedSize = 33;
 constexpr std::size_t kG2CompressedSize = 65;
 constexpr std::size_t kFrSize = 32;
+/// GT elements serialize as the 12 Fp coefficients (Fp12::to_bytes).
+constexpr std::size_t kGtSize = 12 * 32;
 
 Bytes g1_to_bytes(const G1& point);
 /// Throws Error on malformed encodings or points off the curve.

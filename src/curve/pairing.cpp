@@ -1,6 +1,8 @@
 #include "curve/pairing.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 
 namespace peace::curve {
 
@@ -383,6 +385,53 @@ GT multi_pairing(std::span<const std::pair<G1, const G2Prepared*>> prepared,
     return add_step(a.t, q2);
   });
   return final_exponentiation(f);
+}
+
+GT MillerAccumulator::finalize() const {
+  return multi_pairing(prepared_, unprepared_);
+}
+
+bool gt_in_cyclotomic_subgroup(const Fp12& x) {
+  if (x.is_zero()) return false;
+  // x^Phi_12(p) == 1  <=>  x^(p^4) * x == x^(p^2). Frobenius is
+  // coefficient-wise conjugation and scaling, so the whole test costs four
+  // Frobenius maps and one Fp12 multiplication.
+  const Fp12 x_p2 = frobenius12(frobenius12(x));
+  const Fp12 x_p4 = frobenius12(frobenius12(x_p2));
+  return x_p4 * x == x_p2;
+}
+
+GT gt_pow_unitary(const GT& x, std::uint64_t e) {
+  Fp12 acc = Fp12::one();
+  bool started = false;
+  for (int i = 63; i >= 0; --i) {
+    if (started) acc = acc.cyclotomic_square();
+    if ((e >> i) & 1) {
+      acc *= x;
+      started = true;
+    }
+  }
+  return acc;
+}
+
+GT gt_multi_pow_unitary(std::span<const GT> xs,
+                        std::span<const std::uint64_t> es) {
+  if (xs.size() != es.size())
+    throw Error("gt_multi_pow: bases/exponents size mismatch");
+  unsigned nbits = 0;
+  for (const std::uint64_t e : es)
+    nbits = std::max(nbits, static_cast<unsigned>(std::bit_width(e)));
+  Fp12 acc = Fp12::one();
+  for (int i = static_cast<int>(nbits) - 1; i >= 0; --i) {
+    // Every factor is in the cyclotomic subgroup (caller contract), the
+    // subgroup is closed under multiplication, and one() is a member — so
+    // the accumulator stays unitary and the cheap squaring stays valid.
+    acc = acc.cyclotomic_square();
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      if ((es[j] >> i) & 1) acc *= xs[j];
+    }
+  }
+  return acc;
 }
 
 GT pairing_reference(const G1& p, const G2& q) {

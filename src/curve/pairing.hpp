@@ -78,6 +78,55 @@ GT multi_pairing(std::span<const std::pair<G1, const G2Prepared*>> pairs);
 GT multi_pairing(std::span<const std::pair<G1, const G2Prepared*>> prepared,
                  std::span<const std::pair<G1, G2>> unprepared);
 
+/// Collects pairing terms across any number of call sites and evaluates the
+/// whole product with ONE fused Miller accumulation and ONE final
+/// exponentiation. This is the batched-accumulator entry point of the
+/// randomized batch verifier: each verification equation contributes its
+/// (G1, G2) terms incrementally, and finalize() pays the final
+/// exponentiation once for the entire batch instead of once per signature.
+///
+/// Prepared arguments are held by pointer — the caller keeps them alive
+/// until finalize() (they are long-lived key material on every call site).
+/// finalize() is pure: it may be called repeatedly and terms may be added
+/// between calls.
+class MillerAccumulator {
+ public:
+  void add(const G1& p, const G2Prepared& q) { prepared_.push_back({p, &q}); }
+  void add(const G1& p, const G2& q) { unprepared_.push_back({p, q}); }
+  std::size_t size() const { return prepared_.size() + unprepared_.size(); }
+  bool empty() const { return prepared_.empty() && unprepared_.empty(); }
+
+  /// prod e(p, q) over every added term: fused Miller loops, single final
+  /// exponentiation. Returns GT one for an empty accumulator.
+  GT finalize() const;
+
+ private:
+  std::vector<std::pair<G1, const G2Prepared*>> prepared_;
+  std::vector<std::pair<G1, G2>> unprepared_;
+};
+
+/// Membership test for the cyclotomic subgroup G_{Phi_12}(Fp) of Fp12*, the
+/// order-Phi_12(p) = p^4 - p^2 + 1 subgroup every pairing output lives in:
+/// x != 0 and x^(p^4) * x == x^(p^2), checked with four Frobenius maps and
+/// one multiplication — no exponentiation. Wire-deserialized GT elements
+/// must pass this before being used in batched equations: cyclotomic
+/// members are unitary (so cyclotomic squaring applies), and the subgroup's
+/// cofactor structure is what bounds forgery-cancellation in the randomized
+/// batch check (docs/CRYPTO.md).
+bool gt_in_cyclotomic_subgroup(const Fp12& x);
+
+/// x^e for x in the cyclotomic subgroup (NOT valid for general Fp12 — the
+/// caller guarantees membership, e.g. via gt_in_cyclotomic_subgroup or
+/// because x is a pairing output). Uses Granger-Scott cyclotomic squaring.
+GT gt_pow_unitary(const GT& x, std::uint64_t e);
+
+/// prod_i xs[i]^{es[i]} over cyclotomic-subgroup elements with one shared
+/// squaring chain: 64 cyclotomic squarings total plus one multiplication
+/// per set exponent bit, instead of a full chain per element. The batch
+/// verifier uses this for the randomizer powers of the carried R2 values.
+GT gt_multi_pow_unitary(std::span<const GT> xs,
+                        std::span<const std::uint64_t> es);
+
 /// f^((p^12 - 1) / r), via the BN hard-part addition chain (its exponent
 /// decomposition is verified numerically at first use; on mismatch this
 /// silently falls back to generic square-and-multiply).

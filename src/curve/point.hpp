@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <array>
+#include <span>
+#include <vector>
 
 #include "math/fp12.hpp"
 
@@ -184,6 +186,42 @@ CurvePoint<Traits> multi_scalar_mul(
     acc = acc.dbl().dbl().dbl().dbl();
     const unsigned shift = static_cast<unsigned>(i) * 4;
     for (std::size_t t = 0; t < N; ++t) {
+      const unsigned nibble =
+          static_cast<unsigned>(scalars[t].limb[shift / 64] >> (shift % 64)) &
+          0xf;
+      if (nibble != 0) acc = acc + table[t][nibble];
+    }
+  }
+  return acc;
+}
+
+/// Runtime-sized variant of multi_scalar_mul for term counts only known at
+/// call time (the randomized batch-verification folds, where one sum spans
+/// four points per signature). Same windows, same shared doubling chain,
+/// same group element as summing the individual multiplications.
+template <class Traits>
+CurvePoint<Traits> multi_scalar_mul(
+    std::span<const CurvePoint<Traits>> points,
+    std::span<const U256> scalars) {
+  using Point = CurvePoint<Traits>;
+  if (points.size() != scalars.size())
+    throw Error("multi_scalar_mul: points/scalars size mismatch");
+  const std::size_t n = points.size();
+  if (n == 0) return Point::infinity();
+  std::vector<std::array<Point, 16>> table(n);
+  unsigned nbits = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    table[t][0] = Point::infinity();
+    table[t][1] = points[t];
+    for (int i = 2; i < 16; ++i) table[t][i] = table[t][i - 1] + points[t];
+    nbits = std::max(nbits, scalars[t].bit_length());
+  }
+  Point acc = Point::infinity();
+  const unsigned nibbles = (nbits + 3) / 4;
+  for (int i = static_cast<int>(nibbles) - 1; i >= 0; --i) {
+    acc = acc.dbl().dbl().dbl().dbl();
+    const unsigned shift = static_cast<unsigned>(i) * 4;
+    for (std::size_t t = 0; t < n; ++t) {
       const unsigned nibble =
           static_cast<unsigned>(scalars[t].limb[shift / 64] >> (shift % 64)) &
           0xf;

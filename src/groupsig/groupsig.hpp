@@ -112,23 +112,52 @@ struct RevocationToken {
 /// revocation check of Sec. V.C at the cost of linkability within the epoch.
 using Epoch = std::uint64_t;
 
+/// The signature carries the Schnorr COMMITMENTS (R1, R2, R3, R4) rather
+/// than the Fiat-Shamir challenge c. The two forms are interconvertible
+/// proofs of the same statement — the verifier recomputes c = H(..., R1,
+/// R2, R3, R4) from the carried values and checks the four verification
+/// equations directly — but only the commitment-carrying form batches:
+/// with c carried, verification must recompute R2 exactly (one final
+/// exponentiation per signature, unavoidable, because R2 feeds a hash);
+/// with the R's carried, verification is pure group equations
+///
+///     u^s_alpha  == R1 * T1^c                               (Eq.1)
+///     e(T2,g2)^s_x e(v,w)^-s_alpha e(v,g2)^-s_delta
+///         (e(T2,w)/e(g1,g2))^c  == R2                       (Eq.2)
+///     T1^s_x     == R3 * u^s_delta                          (Eq.3)
+///     v_hat^s_alpha == R4 * T_hat^c                         (Eq.4)
+///
+/// which fold across signatures under small random exponents with ONE
+/// shared final exponentiation for the whole batch (docs/CRYPTO.md §4).
+/// The cost is wire size: R2 is a full GT element (384 bytes).
 struct Signature {
   Epoch epoch = 0;
   Fr nonce;  // the paper's per-signature nonce "r" feeding H0
   G1 t1;     // u^alpha
   G1 t2;     // A v^alpha
   G2 t_hat;  // v_hat^alpha (Type-3 carrier)
-  Fr c;      // Fiat-Shamir challenge
+  G1 r1;     // u^r_alpha
+  GT r2;     // the pairing commitment (see Eq.2)
+  G1 r3;     // T1^r_x u^-r_delta
+  G2 r4;     // v_hat^r_alpha
   Fr s_alpha, s_x, s_delta;
 
   Bytes to_bytes() const;
+  /// Throws on malformed encodings; additionally enforces that T1, T2,
+  /// T_hat are non-identity and that R2 lies in the cyclotomic subgroup of
+  /// Fp12 (a necessary condition for being a pairing value, and the
+  /// precondition for the cyclotomic-squaring powers of the batch check).
   static Signature from_bytes(BytesView data);
   bool operator==(const Signature&) const = default;
 };
 
-/// Serialized signature size: epoch(8) + nonce(32) + 2 G1 + 1 G2 + 4 Fr.
+/// Serialized signature size:
+/// epoch(8) + nonce(32) + 2 G1 + 1 G2 + R1(G1) + R2(GT) + R3(G1) + R4(G2)
+/// + 3 Fr = 782 bytes.
 constexpr std::size_t kSignatureSize =
-    8 + 32 + 2 * curve::kG1CompressedSize + curve::kG2CompressedSize + 4 * 32;
+    8 + 32 + 2 * curve::kG1CompressedSize + curve::kG2CompressedSize +
+    curve::kG1CompressedSize + curve::kGtSize + curve::kG1CompressedSize +
+    curve::kG2CompressedSize + 3 * 32;
 
 /// Group-manager/issuer role (the network operator in PEACE): holds the
 /// master secret gamma and mints member keys.
@@ -202,6 +231,80 @@ PreparedBases prepare_bases(const GroupPublicKey& gpk, BytesView message,
 /// mixed multi_pairing, so no G2Prepared is ever built per token.
 bool matches_token(const PreparedBases& prepared, const Signature& sig,
                    const RevocationToken& token, OpCounters* ops = nullptr);
+
+/// One element of a verification batch. The message bytes and the
+/// signature must stay alive until the batch is finalized.
+struct BatchItem {
+  BytesView message;
+  const Signature* sig = nullptr;
+};
+
+/// Randomized batch verification of signature proofs (no revocation scan):
+/// the per-signature verification equations are folded into three combined
+/// checks — one G1 multi-scalar sum (Eq.1 and Eq.3), one G2 multi-scalar
+/// sum (Eq.4), and one pairing equation (Eq.2) with a single fused Miller
+/// accumulation over the prepared bases and ONE final exponentiation for
+/// the whole batch — each signature weighted by independent nonzero 64-bit
+/// randomizers drawn from a DRBG seeded over (salt, gpk, the entire batch).
+/// A forged signature can only survive the fold by predicting those
+/// randomizers (probability ~2^-64 per batch under a secret salt; see
+/// docs/CRYPTO.md §4 for the soundness argument, including why the GT
+/// randomizers are drawn coprime to the cyclotomic cofactor).
+///
+/// On combined-check failure the batch is bisected recursively; leaves
+/// (single signatures) run the exact per-equation sequential checks, so the
+/// returned accept/reject vector is bit-identical to calling verify_proof
+/// on every element — bad signatures are attributed individually, never
+/// just "batch failed".
+///
+/// Deterministic: same key, items, and salt => same randomizers, same
+/// transcript. Seeded simulations stay reproducible; live verifiers pass a
+/// per-verifier secret salt so adversaries cannot predict the randomizers.
+class BatchVerifier {
+ public:
+  BatchVerifier(const PreparedGroupPublicKey& pgpk,
+                std::span<const BatchItem> items, BytesView salt);
+  ~BatchVerifier();  // out of line: Prep is incomplete here
+  BatchVerifier(const BatchVerifier&) = delete;
+  BatchVerifier& operator=(const BatchVerifier&) = delete;
+
+  std::size_t size() const { return items_.size(); }
+
+  /// Phase 1 — per-item preparation: base derivation, challenge hash, and
+  /// the G1 combinations feeding the folds. Thread-safe for distinct `i`
+  /// (the router's VerifyPool fans this out); touches no shared state.
+  void prepare(std::size_t i, OpCounters* ops = nullptr);
+
+  /// Phase 2 — combined checks plus bisection fallback, on the calling
+  /// thread. Items not yet prepared are prepared inline, so a pure
+  /// sequential caller may skip phase 1. Idempotent after the first call.
+  /// Returns one accept flag per item, positionally.
+  const std::vector<char>& finalize(OpCounters* ops = nullptr);
+
+  const std::vector<char>& results() const { return results_; }
+
+ private:
+  struct Prep;
+  /// The three combined randomized checks over the format-ok items of
+  /// indices [lo, hi). True when every folded equation holds.
+  bool check_range(std::size_t lo, std::size_t hi, OpCounters* ops);
+  /// Exact sequential equation checks for one item (the bisection leaf).
+  bool check_one(std::size_t i, OpCounters* ops);
+  void bisect(std::size_t lo, std::size_t hi, OpCounters* ops);
+
+  const PreparedGroupPublicKey& pgpk_;
+  std::vector<BatchItem> items_;
+  std::vector<Prep> prep_;
+  std::vector<char> results_;
+  bool finalized_ = false;
+};
+
+/// Convenience wrapper: prepare every item and finalize, sequentially.
+/// results[i] == verify_proof(pgpk, items[i].message, *items[i].sig).
+std::vector<char> batch_verify_proof(const PreparedGroupPublicKey& pgpk,
+                                     std::span<const BatchItem> items,
+                                     BytesView salt,
+                                     OpCounters* ops = nullptr);
 
 /// Full verification (paper steps 3.2 + 3.3): proof plus a linear scan of
 /// the revocation list.

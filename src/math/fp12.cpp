@@ -14,4 +14,25 @@ Bytes Fp12::to_bytes() const {
   return out;
 }
 
+Fp12 Fp12::from_bytes(BytesView data) {
+  if (data.size() != 12 * 32) throw Error("fp12: bad length");
+  std::size_t off = 0;
+  const auto next_fp = [&data, &off]() {
+    const U256 v = U256::from_bytes(data.subspan(off, 32));
+    off += 32;
+    // Reject non-canonical coefficients: every Fp value has exactly one
+    // byte encoding, so serialization round-trips bit-identically.
+    if (!(cmp(v, Fp::modulus()) < 0)) throw Error("fp12: coefficient >= p");
+    return Fp::from_u256(v);
+  };
+  Fp12 out;
+  for (Fp6* h : {&out.c0, &out.c1}) {
+    for (Fp2* q : {&h->c0, &h->c1, &h->c2}) {
+      q->c0 = next_fp();
+      q->c1 = next_fp();
+    }
+  }
+  return out;
+}
+
 }  // namespace peace::math

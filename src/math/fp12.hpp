@@ -147,6 +147,13 @@ struct Fp12 {
   /// Deterministic byte serialization (all 12 Fp coefficients, standard
   /// form, big-endian) — used to feed GT elements into hashes and KDFs.
   Bytes to_bytes() const;
+
+  /// Strict inverse of to_bytes: exactly 12 * 32 bytes, every coefficient
+  /// canonical (< p). Throws Error otherwise. Callers deserializing GT
+  /// elements from the wire must additionally run a subgroup membership
+  /// check (curve::gt_in_cyclotomic_subgroup) — an arbitrary Fp12 value is
+  /// not a valid pairing output.
+  static Fp12 from_bytes(BytesView data);
 };
 
 }  // namespace peace::math

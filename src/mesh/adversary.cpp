@@ -86,7 +86,13 @@ AccessRequest BogusInjector::forge_request(const BeaconMessage& beacon,
   m2.signature.t1 = bn.g1_gen * random_fr(rng_);
   m2.signature.t2 = bn.g1_gen * random_fr(rng_);
   m2.signature.t_hat = bn.g2_gen * random_fr(rng_);
-  m2.signature.c = random_fr(rng_);
+  m2.signature.r1 = bn.g1_gen * random_fr(rng_);
+  // A wire-plausible R2: random pairing value, so it passes the cyclotomic
+  // subgroup check yet satisfies no verification equation.
+  m2.signature.r2 =
+      curve::pairing(bn.g1_gen * random_fr(rng_), bn.g2_gen);
+  m2.signature.r3 = bn.g1_gen * random_fr(rng_);
+  m2.signature.r4 = bn.g2_gen * random_fr(rng_);
   m2.signature.s_alpha = random_fr(rng_);
   m2.signature.s_x = random_fr(rng_);
   m2.signature.s_delta = random_fr(rng_);

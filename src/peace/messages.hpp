@@ -38,6 +38,15 @@ struct ProtocolConfig {
   /// (MeshRouter::handle_access_requests). 0 or 1 verifies inline on the
   /// calling thread; results are bit-identical either way.
   unsigned verify_threads = 0;
+  /// Randomized batch verification (groupsig::BatchVerifier) for
+  /// multi-request batches: one shared final exponentiation per batch plus
+  /// bisection on failure, accept/reject bit-identical to per-signature
+  /// verification (docs/CRYPTO.md §4). Applies to the router's M.2
+  /// pipeline and the user's peer-hello batches, with or without a
+  /// VerifyPool. Off = strict per-signature mode (the differential
+  /// reference, and the mode to pick when auditing a single request's
+  /// operation counts).
+  bool batch_verify = true;
 
   // --- reliability layer (PROTOCOL.md §10) -------------------------------
   /// Idempotent resend handling: when a duplicate of an *accepted* M.2

@@ -31,6 +31,7 @@ MeshRouter::MeshRouter(RouterId id, curve::EcdsaKeyPair keypair,
       pgpk_(params_.gpk),
       rng_(std::move(rng)),
       config_(config),
+      batch_salt_(rng_.bytes(32)),
       revocation_(std::move(revocation)) {
   if (revocation_ == nullptr)
     revocation_ = std::make_shared<revoke::SharedRevocationState>(
@@ -244,29 +245,52 @@ MeshRouter::handle_access_requests(std::span<const AccessRequest> batch,
     pv.sig_ok =
         groupsig::verify_proof(pgpk_, payload, pv.m2->signature, &pv.ops);
     if (!pv.sig_ok) return;
-    // Step 3.3: the revocation check. Epoch mode answers from the shared
-    // index in O(1) against its epoch-lived prepared v_hat; otherwise the
-    // bases are derived (and v_hat prepared) once per message and the
-    // whole |URL| scan reuses them — matches_token itself never builds a
-    // G2Prepared.
-    if (revocation->index != nullptr &&
-        pv.m2->signature.epoch == revocation->index->epoch()) {
-      pv.revoked = revocation->index->is_revoked(pv.m2->signature, &pv.ops);
-      return;
-    }
-    if (revocation->url_tokens.empty()) return;
-    const groupsig::PreparedBases prepared =
-        groupsig::prepare_bases(params_.gpk, payload, pv.m2->signature,
-                                &pv.ops);
-    for (const RevocationToken& token : revocation->url_tokens) {
-      if (groupsig::matches_token(prepared, pv.m2->signature, token,
-                                  &pv.ops)) {
-        pv.revoked = true;
-        return;
-      }
+    revocation_check(pv, *revocation);
+  };
+  const auto run_jobs = [this](std::size_t count, auto&& body) {
+    if (pool_ != nullptr && count > 1) {
+      pool_->run(count, body);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) body(i);
     }
   };
-  if (pool_ != nullptr && jobs.size() > 1) {
+  if (config_.batch_verify && jobs.size() > 1) {
+    // Randomized batch verification: phase A prepares every request (base
+    // hashing, challenge, Eq.2 combinations) — independent per item, so it
+    // fans out over the pool; phase B runs the combined checks plus
+    // bisection sequentially on this thread (one final exponentiation for
+    // the whole batch when all signatures are good); phase C scans the URL
+    // only for requests whose proof held, still one scan per signature.
+    // Accept/reject is bit-identical to the per-signature path
+    // (groupsig::BatchVerifier contract), so stats and sessions match the
+    // sequential pipeline exactly.
+    stats_.verify_batches += 1;
+    stats_.batched_requests += jobs.size();
+    std::vector<Bytes> payloads(jobs.size());
+    std::vector<groupsig::BatchItem> items(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      payloads[i] = jobs[i]->m2->signed_payload();
+      items[i] = {payloads[i], &jobs[i]->m2->signature};
+    }
+    groupsig::BatchVerifier verifier(pgpk_, items, batch_salt_);
+    run_jobs(jobs.size(),
+             [&](std::size_t i) { verifier.prepare(i, &jobs[i]->ops); });
+    // The combined-check / bisection costs are batch-global, not
+    // attributable to one request: merge them straight into the aggregate
+    // (still deterministic — bisection depends only on the batch content).
+    groupsig::OpCounters finalize_ops;
+    const std::vector<char>& ok = verifier.finalize(&finalize_ops);
+    verify_ops_.merge(finalize_ops);
+    std::vector<PendingVerify*> rev_jobs;
+    rev_jobs.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      jobs[i]->sig_ok = static_cast<bool>(ok[i]);
+      if (jobs[i]->sig_ok) rev_jobs.push_back(jobs[i]);
+    }
+    run_jobs(rev_jobs.size(), [&](std::size_t i) {
+      revocation_check(*rev_jobs[i], *revocation);
+    });
+  } else if (pool_ != nullptr && jobs.size() > 1) {
     stats_.verify_batches += 1;
     stats_.batched_requests += jobs.size();
     pool_->run(jobs.size(), [&](std::size_t i) { verify_one(*jobs[i]); });
@@ -304,6 +328,31 @@ MeshRouter::handle_access_requests(std::span<const AccessRequest> batch,
     results[pv.index] = accept_request(*pv.m2, *pv.beacon, pv.sid, pv.sid_hex);
   }
   return results;
+}
+
+void MeshRouter::revocation_check(PendingVerify& pv,
+                                  const revoke::RevocationSnapshot& snapshot) {
+  // Step 3.3: the revocation check. Epoch mode answers from the shared
+  // index in O(1) against its epoch-lived prepared v_hat; otherwise the
+  // bases are derived (and v_hat prepared) once per message and the whole
+  // |URL| scan reuses them — matches_token itself never builds a
+  // G2Prepared. Always per-signature: Eq.3 cannot be batched without
+  // losing the per-token attribution.
+  if (snapshot.index != nullptr &&
+      pv.m2->signature.epoch == snapshot.index->epoch()) {
+    pv.revoked = snapshot.index->is_revoked(pv.m2->signature, &pv.ops);
+    return;
+  }
+  if (snapshot.url_tokens.empty()) return;
+  const Bytes payload = pv.m2->signed_payload();
+  const groupsig::PreparedBases prepared =
+      groupsig::prepare_bases(params_.gpk, payload, pv.m2->signature, &pv.ops);
+  for (const RevocationToken& token : snapshot.url_tokens) {
+    if (groupsig::matches_token(prepared, pv.m2->signature, token, &pv.ops)) {
+      pv.revoked = true;
+      return;
+    }
+  }
 }
 
 MeshRouter::AccessOutcome MeshRouter::accept_request(const AccessRequest& m2,

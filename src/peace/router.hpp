@@ -145,6 +145,9 @@ class MeshRouter {
   AccessOutcome accept_request(const AccessRequest& m2,
                                const BeaconState& beacon, const Bytes& sid,
                                const std::string& sid_hex);
+  /// Step 3.3 for one verified request, against a batch-wide snapshot.
+  void revocation_check(PendingVerify& pv,
+                        const revoke::RevocationSnapshot& snapshot);
 
   RouterId id_;
   curve::EcdsaKeyPair keypair_;
@@ -155,6 +158,11 @@ class MeshRouter {
   ProtocolConfig config_;
   std::unique_ptr<VerifyPool> pool_;  // null => verify inline
   groupsig::OpCounters verify_ops_;
+  /// Secret per-router salt seeding the batch-verification randomizers
+  /// (drawn once from rng_ at construction): adversaries cannot predict
+  /// the small exponents their forgeries will be weighted by, while a
+  /// seeded simulation still reproduces them bit-for-bit.
+  Bytes batch_salt_;
 
   std::shared_ptr<revoke::SharedRevocationState> revocation_;  // never null
 

@@ -14,8 +14,10 @@ User::User(std::string uid, SystemParams params, crypto::Drbg rng,
            ProtocolConfig config)
     : uid_(std::move(uid)),
       params_(std::move(params)),
+      pgpk_(params_.gpk),
       rng_(std::move(rng)),
       config_(config),
+      batch_salt_(rng_.bytes(32)),
       receipt_key_(curve::EcdsaKeyPair::generate(rng_)) {}
 
 namespace {
@@ -203,7 +205,12 @@ std::optional<Session> User::process_access_confirm(const AccessConfirm& m3) {
 
 bool User::peer_signature_ok(BytesView payload,
                              const groupsig::Signature& sig) {
-  if (!groupsig::verify_proof(params_.gpk, payload, sig)) return false;
+  if (!groupsig::verify_proof(pgpk_, payload, sig)) return false;
+  return peer_not_revoked(payload, sig);
+}
+
+bool User::peer_not_revoked(BytesView payload,
+                            const groupsig::Signature& sig) {
   if (url_tokens_.empty()) return true;
   // One base derivation (and one v_hat preparation) amortised over the
   // whole URL scan — matches_token never builds a per-token G2Prepared.
@@ -301,7 +308,7 @@ std::vector<std::optional<PeerReply>> User::process_peer_hellos(
   }
 
   // Pass 2 (parallel): the pairing-heavy group-signature verification plus
-  // URL scan. peer_signature_ok touches only immutable state (params_,
+  // URL scan. peer_signature_ok touches only immutable state (pgpk_,
   // url_tokens_), so jobs need no synchronization beyond the pool's own.
   const auto verify_one = [&](Pending& p) {
     const PeerHello& hello = hellos[p.index];
@@ -309,7 +316,39 @@ std::vector<std::optional<PeerReply>> User::process_peer_hellos(
   };
   if (pool_ == nullptr && config_.verify_threads > 1)
     pool_ = std::make_unique<VerifyPool>(config_.verify_threads);
-  if (pool_ != nullptr && pending.size() > 1) {
+  const auto run_jobs = [this](std::size_t count, auto&& body) {
+    if (pool_ != nullptr && count > 1) {
+      pool_->run(count, body);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) body(i);
+    }
+  };
+  if (config_.batch_verify && pending.size() > 1) {
+    // Randomized batch verification, mirroring the router's M.2 pipeline:
+    // pooled prepare, sequential combined-check + bisection (one final
+    // exponentiation when every proof holds), then a per-signature URL
+    // scan for the survivors. Bit-identical to peer_signature_ok per hello.
+    ++stats_.peer_verify_batches;
+    stats_.peer_batched_hellos += pending.size();
+    std::vector<Bytes> payloads(pending.size());
+    std::vector<groupsig::BatchItem> items(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      payloads[i] = hellos[pending[i].index].signed_payload();
+      items[i] = {payloads[i], &hellos[pending[i].index].signature};
+    }
+    groupsig::BatchVerifier verifier(pgpk_, items, batch_salt_);
+    run_jobs(pending.size(), [&](std::size_t i) { verifier.prepare(i); });
+    const std::vector<char>& ok = verifier.finalize();
+    std::vector<std::size_t> survivors;
+    survivors.reserve(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i)
+      if (ok[i]) survivors.push_back(i);
+    run_jobs(survivors.size(), [&](std::size_t i) {
+      const std::size_t j = survivors[i];
+      pending[j].ok = peer_not_revoked(payloads[j],
+                                       hellos[pending[j].index].signature);
+    });
+  } else if (pool_ != nullptr && pending.size() > 1) {
     ++stats_.peer_verify_batches;
     stats_.peer_batched_hellos += pending.size();
     pool_->run(pending.size(), [&](std::size_t i) { verify_one(pending[i]); });

@@ -54,6 +54,7 @@ class User {
   /// credential: install the new parameters and re-enroll.
   void install_params(const SystemParams& params) {
     params_ = params;
+    pgpk_ = groupsig::PreparedGroupPublicKey(params_.gpk);
     credentials_.clear();
     url_tokens_.clear();
     url_ = {};
@@ -143,6 +144,9 @@ class User {
  private:
   bool beacon_trustworthy(const BeaconMessage& beacon, Timestamp now);
   bool peer_signature_ok(BytesView payload, const groupsig::Signature& sig);
+  /// The URL half of peer_signature_ok: true when `sig` matches no token.
+  /// Always per-signature, even on the batch path (per-token attribution).
+  bool peer_not_revoked(BytesView payload, const groupsig::Signature& sig);
   const MemberKey& pick_credential(GroupId via_group) const;
   /// Builds M~.2 for an already-verified hello (the sequential tail of both
   /// the single and the batch path — all rng draws happen here).
@@ -151,8 +155,12 @@ class User {
 
   std::string uid_;
   SystemParams params_;
+  groupsig::PreparedGroupPublicKey pgpk_;  // fixed G2 args prepared once
   crypto::Drbg rng_;
   ProtocolConfig config_;
+  /// Secret salt seeding the batch-verification randomizers (drawn once at
+  /// construction; see MeshRouter::batch_salt_ for the rationale).
+  Bytes batch_salt_;
   curve::EcdsaKeyPair receipt_key_;
   std::map<GroupId, MemberKey> credentials_;
   std::unique_ptr<VerifyPool> pool_;  // lazily sized by config_.verify_threads

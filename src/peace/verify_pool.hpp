@@ -2,6 +2,16 @@
 // M.2 pipeline and the user's peer-handshake (M~.1/M~.2) batch path; its
 // batches are designed so pooled results stay bit-identical to sequential
 // execution regardless of thread count.
+//
+// The pool composes with randomized batch verification
+// (groupsig::BatchVerifier, ProtocolConfig::batch_verify): the
+// embarrassingly-parallel BatchVerifier::prepare(i) calls fan out here,
+// while the order-sensitive combined checks and bisection stay on the
+// calling thread (BatchVerifier::finalize is sequential by contract).
+// Threading model of both callers: a sequential precheck pass feeds the
+// pool, and a sequential in-order apply pass consumes its results — all
+// rng draws and state mutation happen in the sequential passes, which is
+// what keeps results independent of the worker count.
 #pragma once
 
 #include <atomic>

@@ -77,7 +77,7 @@ TEST_F(RingSigTest, SizeGrowsLinearlyUnlikePeace) {
     EXPECT_EQ(sig.size_bytes(), 32 * (1 + n));
     EXPECT_EQ(sig.to_bytes().size(), 32 * (1 + n) + 4);
   }
-  EXPECT_EQ(groupsig::kSignatureSize, 299u);  // constant regardless of group
+  EXPECT_EQ(groupsig::kSignatureSize, 782u);  // constant regardless of group
 }
 
 TEST_F(RingSigTest, SerializationRoundTrip) {

@@ -1,0 +1,382 @@
+// Randomized batch verification (docs/CRYPTO.md §4): the batched
+// accept/reject vector must be bit-identical to sequential verify_proof on
+// every batch — empty, singleton, all-good, all-bad, mixed, duplicated, and
+// adversarial batches crafted so the forgeries would cancel in an
+// UNrandomized combined check. Also the protocol-level contract: routers
+// and users running with batch_verify on behave exactly like strict
+// per-signature endpoints.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "groupsig/groupsig.hpp"
+#include "peace/router.hpp"
+#include "peace/user.hpp"
+
+namespace peace::groupsig {
+namespace {
+
+class BatchVerifyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { curve::Bn254::init(); }
+
+  BatchVerifyTest()
+      : rng_(crypto::Drbg::from_string("batch-verify-test")),
+        issuer_(Issuer::create(rng_)),
+        grp_(issuer_.new_group_secret(rng_)),
+        alice_(issuer_.issue(grp_, rng_)),
+        bob_(issuer_.issue(grp_, rng_)),
+        pgpk_(issuer_.gpk()),
+        salt_(rng_.bytes(32)) {}
+
+  /// n signatures over distinct messages, alternating signers.
+  void make_batch(std::size_t n) {
+    messages_.clear();
+    sigs_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      messages_.push_back(to_bytes("batch-msg-" + std::to_string(i)));
+      sigs_.push_back(sign(issuer_.gpk(), i % 2 ? bob_ : alice_,
+                           messages_.back(), rng_));
+    }
+  }
+
+  std::vector<BatchItem> items() const {
+    std::vector<BatchItem> out(sigs_.size());
+    for (std::size_t i = 0; i < sigs_.size(); ++i)
+      out[i] = {messages_[i], &sigs_[i]};
+    return out;
+  }
+
+  /// The ground truth the batch must reproduce exactly.
+  std::vector<char> sequential() const {
+    std::vector<char> out(sigs_.size());
+    for (std::size_t i = 0; i < sigs_.size(); ++i)
+      out[i] = verify_proof(pgpk_, messages_[i], sigs_[i]) ? 1 : 0;
+    return out;
+  }
+
+  void expect_batch_matches_sequential() {
+    const std::vector<char> expect = sequential();
+    const std::vector<char> got = batch_verify_proof(pgpk_, items(), salt_);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i)
+      EXPECT_EQ(static_cast<bool>(got[i]), static_cast<bool>(expect[i])) << i;
+  }
+
+  crypto::Drbg rng_;
+  Issuer issuer_;
+  Fr grp_;
+  MemberKey alice_, bob_;
+  PreparedGroupPublicKey pgpk_;
+  Bytes salt_;
+  std::vector<Bytes> messages_;
+  std::vector<Signature> sigs_;
+};
+
+TEST_F(BatchVerifyTest, EmptyBatch) {
+  EXPECT_TRUE(batch_verify_proof(pgpk_, {}, salt_).empty());
+}
+
+TEST_F(BatchVerifyTest, SingletonGoodAndBad) {
+  // N=1 runs the exact sequential leaf — no randomization involved.
+  make_batch(1);
+  expect_batch_matches_sequential();
+  EXPECT_EQ(batch_verify_proof(pgpk_, items(), salt_)[0], 1);
+  sigs_[0].s_x = sigs_[0].s_x + Fr::one();
+  expect_batch_matches_sequential();
+  EXPECT_EQ(batch_verify_proof(pgpk_, items(), salt_)[0], 0);
+}
+
+TEST_F(BatchVerifyTest, AllGoodSingleFinalExponentiation) {
+  make_batch(8);
+  OpCounters ops;
+  const std::vector<char> got = batch_verify_proof(pgpk_, items(), salt_, &ops);
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], 1) << i;
+  expect_batch_matches_sequential();
+  // The whole all-good batch runs ONE fused Miller accumulation (counted as
+  // its 2 constituent pairings) and one final exponentiation — versus
+  // 2 pairings per signature sequentially.
+  EXPECT_EQ(ops.pairings, 2u);
+}
+
+TEST_F(BatchVerifyTest, AllBadAttributedIndividually) {
+  make_batch(6);
+  for (Signature& s : sigs_) s.s_alpha = s.s_alpha + Fr::one();
+  const std::vector<char> got = batch_verify_proof(pgpk_, items(), salt_);
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], 0) << i;
+  expect_batch_matches_sequential();
+}
+
+TEST_F(BatchVerifyTest, OneBadFoundByBisection) {
+  for (const std::size_t bad : {0u, 3u, 7u}) {
+    make_batch(8);
+    sigs_[bad].s_delta = sigs_[bad].s_delta + Fr::one();
+    const std::vector<char> got = batch_verify_proof(pgpk_, items(), salt_);
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_EQ(static_cast<bool>(got[i]), i != bad) << i;
+    expect_batch_matches_sequential();
+  }
+}
+
+TEST_F(BatchVerifyTest, ManyBadMixed) {
+  make_batch(16);
+  for (const std::size_t bad : {1u, 6u, 7u, 12u})
+    sigs_[bad].s_x = sigs_[bad].s_x + Fr::one();
+  expect_batch_matches_sequential();
+}
+
+TEST_F(BatchVerifyTest, DuplicatesInOneBatch) {
+  // The same (message, signature) pair several times in one batch — the
+  // radio duplicates frames, so verifiers genuinely see this.
+  make_batch(3);
+  messages_.push_back(messages_[1]);
+  sigs_.push_back(sigs_[1]);
+  messages_.push_back(messages_[1]);
+  sigs_.push_back(sigs_[1]);
+  expect_batch_matches_sequential();
+  // And duplicated BAD signatures: every copy rejected.
+  sigs_[1].nonce = sigs_[1].nonce + Fr::one();
+  sigs_[3] = sigs_[1];
+  sigs_[4] = sigs_[1];
+  const std::vector<char> got = batch_verify_proof(pgpk_, items(), salt_);
+  EXPECT_EQ(got[0], 1);
+  EXPECT_EQ(got[1], 0);
+  EXPECT_EQ(got[2], 1);
+  EXPECT_EQ(got[3], 0);
+  EXPECT_EQ(got[4], 0);
+  expect_batch_matches_sequential();
+}
+
+TEST_F(BatchVerifyTest, FormatRejectsNeverEnterTheFold) {
+  // An R2 outside the cyclotomic subgroup (or an infinity T1) is rejected
+  // on format, exactly like sequential verify_proof, and must not poison
+  // the combined checks for its neighbours.
+  make_batch(4);
+  sigs_[2].t1 = G1::infinity();
+  const std::vector<char> got = batch_verify_proof(pgpk_, items(), salt_);
+  EXPECT_EQ(got[0], 1);
+  EXPECT_EQ(got[1], 1);
+  EXPECT_EQ(got[2], 0);
+  EXPECT_EQ(got[3], 1);
+  expect_batch_matches_sequential();
+}
+
+TEST_F(BatchVerifyTest, CraftedCancellationPairRejected) {
+  // THE attack randomization exists for. Two copies of one valid signature,
+  // responses tampered by +eps and -eps: each copy is individually invalid,
+  // but because the bases, challenge, and commitments are shared, their
+  // residuals in every UNrandomized combined check sum to exactly zero —
+  // an unweighted batcher would accept both. s_alpha tampering exercises
+  // all three folds at once (Eq.1's G1 sum, Eq.4's G2 sum, Eq.2's GT
+  // product); s_delta tampering exercises the G1 and GT folds.
+  const Fr eps = Fr::from_u64(12345);
+  for (const bool tamper_alpha : {true, false}) {
+    make_batch(4);  // two honest bystanders around the crafted pair
+    messages_.insert(messages_.begin() + 1, messages_[0]);
+    sigs_.insert(sigs_.begin() + 1, sigs_[0]);
+    if (tamper_alpha) {
+      sigs_[0].s_alpha = sigs_[0].s_alpha + eps;
+      sigs_[1].s_alpha = sigs_[1].s_alpha - eps;
+    } else {
+      sigs_[0].s_delta = sigs_[0].s_delta + eps;
+      sigs_[1].s_delta = sigs_[1].s_delta - eps;
+    }
+    // Both crafted copies individually invalid, bystanders fine.
+    EXPECT_FALSE(verify_proof(pgpk_, messages_[0], sigs_[0]));
+    EXPECT_FALSE(verify_proof(pgpk_, messages_[1], sigs_[1]));
+    const std::vector<char> got = batch_verify_proof(pgpk_, items(), salt_);
+    EXPECT_EQ(got[0], 0) << tamper_alpha;
+    EXPECT_EQ(got[1], 0) << tamper_alpha;
+    EXPECT_EQ(got[2], 1);
+    EXPECT_EQ(got[3], 1);
+    EXPECT_EQ(got[4], 1);
+    expect_batch_matches_sequential();
+  }
+}
+
+TEST_F(BatchVerifyTest, CraftedCancellationManySalts) {
+  // The crafted pair must die under EVERY salt (the defeat is structural —
+  // per-item randomizers — not a lucky weight draw).
+  make_batch(2);
+  messages_[1] = messages_[0];
+  sigs_[1] = sigs_[0];
+  const Fr eps = Fr::from_u64(99991);
+  sigs_[0].s_alpha = sigs_[0].s_alpha + eps;
+  sigs_[1].s_alpha = sigs_[1].s_alpha - eps;
+  for (int i = 0; i < 8; ++i) {
+    const Bytes salt = rng_.bytes(32);
+    const std::vector<char> got = batch_verify_proof(pgpk_, items(), salt);
+    EXPECT_EQ(got[0], 0) << i;
+    EXPECT_EQ(got[1], 0) << i;
+  }
+}
+
+TEST_F(BatchVerifyTest, DeterministicUnderFixedSalt) {
+  make_batch(5);
+  sigs_[2].s_x = sigs_[2].s_x + Fr::one();
+  OpCounters ops1, ops2;
+  const auto a = batch_verify_proof(pgpk_, items(), salt_, &ops1);
+  const auto b = batch_verify_proof(pgpk_, items(), salt_, &ops2);
+  EXPECT_EQ(a, b);
+  // Same salt + same batch => same randomizers => same bisection path and
+  // thus identical operation counts.
+  EXPECT_EQ(ops1.pairings, ops2.pairings);
+  EXPECT_EQ(ops1.total_exp(), ops2.total_exp());
+}
+
+TEST_F(BatchVerifyTest, PreparePhaseIsSplittable) {
+  // prepare() on a subset of indices, finalize() picking up the rest — the
+  // router's pooled pipeline does exactly this.
+  make_batch(6);
+  sigs_[4].s_alpha = sigs_[4].s_alpha + Fr::one();
+  const std::vector<BatchItem> batch = items();
+  BatchVerifier verifier(pgpk_, batch, salt_);
+  verifier.prepare(1);
+  verifier.prepare(3);
+  const std::vector<char>& got = verifier.finalize();
+  expect_batch_matches_sequential();
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    EXPECT_EQ(static_cast<bool>(got[i]), i != 4) << i;
+}
+
+// --- protocol level -------------------------------------------------------
+
+constexpr proto::Timestamp kFarFuture = 1000ull * 86400 * 365;
+
+class BatchProtocolTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { curve::Bn254::init(); }
+
+  BatchProtocolTest() : no_(crypto::Drbg::from_string("bp-no")) {
+    gm_ = std::make_unique<proto::GroupManager>(
+        no_.register_group("G", 16, ttp_));
+    provision_ = std::make_unique<proto::NetworkOperator::RouterProvision>(
+        no_.provision_router(1, kFarFuture));
+  }
+
+  std::unique_ptr<proto::MeshRouter> make_router(proto::ProtocolConfig cfg) {
+    // One shared provisioned identity and one shared rng seed: the router
+    // clones differ ONLY in cfg, so their wire behaviour is comparable
+    // byte for byte.
+    auto router = std::make_unique<proto::MeshRouter>(
+        1, provision_->keypair, provision_->certificate, no_.params(),
+        crypto::Drbg::from_string("bp-router"), cfg);
+    router->install_revocation_lists(no_.current_crl(), no_.current_url());
+    return router;
+  }
+
+  std::unique_ptr<proto::User> make_user(const std::string& uid) {
+    auto user = std::make_unique<proto::User>(
+        uid, no_.params(), crypto::Drbg::from_string(uid));
+    if (enrollments_.find(uid) == enrollments_.end())
+      enrollments_.emplace(uid, gm_->enroll(uid, ttp_));
+    user->complete_enrollment(enrollments_.at(uid));
+    return user;
+  }
+
+  proto::NetworkOperator no_;
+  proto::TrustedThirdParty ttp_;
+  std::unique_ptr<proto::GroupManager> gm_;
+  std::unique_ptr<proto::NetworkOperator::RouterProvision> provision_;
+  std::map<std::string, proto::GroupManager::Enrollment> enrollments_;
+};
+
+TEST_F(BatchProtocolTest, RouterBatchMatchesStrictModeWithRevokedSigner) {
+  // A revoked signer hiding inside an otherwise-good batch: the batched
+  // proof accepts its (valid) signature, and the per-signature URL scan
+  // must still catch it — outcome identical to strict mode.
+  auto alice = make_user("alice");
+  auto bob = make_user("bob");
+  auto mallory = make_user("mallory");
+  no_.revoke_user_key(enrollments_.at("mallory").index, 900);
+
+  proto::ProtocolConfig strict_cfg;
+  strict_cfg.batch_verify = false;
+  auto batched = make_router({});  // batch_verify defaults to on
+  auto strict = make_router(strict_cfg);
+
+  const proto::BeaconMessage beacon = batched->make_beacon(1000);
+  ASSERT_EQ(beacon.to_bytes(), strict->make_beacon(1000).to_bytes());
+
+  std::vector<proto::AccessRequest> batch;
+  for (proto::User* u : {alice.get(), mallory.get(), bob.get()}) {
+    auto m2 = u->process_beacon(beacon, 1001);
+    ASSERT_TRUE(m2.has_value()) << u->uid();
+    batch.push_back(*m2);
+  }
+  // A tampered request (its own session id, so it truly enters the batch)
+  // rides along: rejected by the proof in both modes.
+  auto trent = make_user("trent");
+  auto forged = trent->process_beacon(beacon, 1001);
+  ASSERT_TRUE(forged.has_value());
+  forged->signature.s_x = forged->signature.s_x + Fr::one();
+  batch.push_back(*forged);
+
+  const auto got = batched->handle_access_requests(batch, 1002);
+  const auto expect = strict->handle_access_requests(batch, 1002);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].has_value(), expect[i].has_value()) << i;
+    if (got[i].has_value())
+      EXPECT_EQ(got[i]->confirm.to_bytes(), expect[i]->confirm.to_bytes()) << i;
+  }
+  ASSERT_TRUE(got[0].has_value());
+  EXPECT_FALSE(got[1].has_value());  // mallory: valid proof, revoked token
+  ASSERT_TRUE(got[2].has_value());
+  EXPECT_FALSE(got[3].has_value());  // tampered payload
+  EXPECT_EQ(batched->stats().rejected_revoked, 1u);
+  EXPECT_EQ(batched->stats().rejected_bad_signature, 1u);
+  EXPECT_EQ(strict->stats().rejected_revoked, 1u);
+  EXPECT_EQ(batched->stats().verify_batches, 1u);
+  EXPECT_EQ(batched->stats().batched_requests, batch.size());
+  EXPECT_EQ(strict->stats().verify_batches, 0u);
+}
+
+TEST_F(BatchProtocolTest, PooledBatchedRouterMatchesStrictUnderDuplicates) {
+  // Pool + batch verification + fault-injected duplicate frames: the
+  // combined pipeline must still be bit-identical to the strict sequential
+  // router (duplicates of one M.2 are deferred to the in-order apply pass,
+  // where only the first copy establishes the session).
+  auto alice = make_user("alice");
+  auto bob = make_user("bob");
+
+  proto::ProtocolConfig pooled_cfg;
+  pooled_cfg.verify_threads = 4;  // batch_verify stays default-on
+  proto::ProtocolConfig strict_cfg;
+  strict_cfg.batch_verify = false;
+  auto pooled = make_router(pooled_cfg);
+  auto strict = make_router(strict_cfg);
+
+  const proto::BeaconMessage beacon = pooled->make_beacon(1000);
+  ASSERT_EQ(beacon.to_bytes(), strict->make_beacon(1000).to_bytes());
+
+  std::vector<proto::AccessRequest> batch;
+  auto a2 = alice->process_beacon(beacon, 1001);
+  auto b2 = bob->process_beacon(beacon, 1001);
+  ASSERT_TRUE(a2.has_value());
+  ASSERT_TRUE(b2.has_value());
+  // The radio duplicated alice's frame twice, interleaved with bob's.
+  batch.push_back(*a2);
+  batch.push_back(*b2);
+  batch.push_back(*a2);
+  batch.push_back(*a2);
+
+  const auto got = pooled->handle_access_requests(batch, 1002);
+  const auto expect = strict->handle_access_requests(batch, 1002);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].has_value(), expect[i].has_value()) << i;
+    if (got[i].has_value())
+      EXPECT_EQ(got[i]->confirm.to_bytes(), expect[i]->confirm.to_bytes()) << i;
+  }
+  ASSERT_TRUE(got[0].has_value());
+  ASSERT_TRUE(got[1].has_value());
+  EXPECT_FALSE(got[2].has_value());  // replayed duplicates
+  EXPECT_FALSE(got[3].has_value());
+  EXPECT_EQ(pooled->session_count(), strict->session_count());
+  EXPECT_EQ(pooled->stats().rejected_replay, strict->stats().rejected_replay);
+}
+
+}  // namespace
+}  // namespace peace::groupsig

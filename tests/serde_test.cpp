@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "curve/bn254.hpp"
+#include "curve/pairing.hpp"
 #include "groupsig/groupsig.hpp"
 #include "peace/messages.hpp"
 
@@ -181,7 +182,12 @@ TEST_F(PointSerdeTest, SignatureRejectsIdentityComponents) {
   sig.t1 = bn.g1_gen * curve::Fr::from_u64(3);
   sig.t2 = bn.g1_gen * curve::Fr::from_u64(5);
   sig.t_hat = bn.g2_gen * curve::Fr::from_u64(7);
-  sig.c = curve::Fr::from_u64(13);
+  sig.r1 = bn.g1_gen * curve::Fr::from_u64(13);
+  // R2 must live in the cyclotomic subgroup of GT (enforced at parse time),
+  // so build it as an honest pairing value.
+  sig.r2 = curve::pairing(bn.g1_gen * curve::Fr::from_u64(29), bn.g2_gen);
+  sig.r3 = bn.g1_gen * curve::Fr::from_u64(31);
+  sig.r4 = bn.g2_gen * curve::Fr::from_u64(37);
   sig.s_alpha = curve::Fr::from_u64(17);
   sig.s_x = curve::Fr::from_u64(19);
   sig.s_delta = curve::Fr::from_u64(23);
