@@ -11,16 +11,56 @@
 // partitions, and a router crash, each as its own phase. The reliability
 // layer must converge every reachable resident and keep the delivery rate
 // above each phase's floor; exit status reports the verdict.
+//
+// Telemetry (docs/OBSERVABILITY.md): --trace=PATH writes a Chrome
+// trace_event JSON of the day (load in chrome://tracing or Perfetto),
+// --jsonl=PATH the same events one JSON object per line, --metrics=PATH
+// the metrics-registry snapshot. Any of the three enables tracing; none
+// leaves telemetry off, and the day's protocol bytes are identical either
+// way (determinism_test asserts this).
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "mesh/adversary.hpp"
+#include "obs/trace.hpp"
 
 using namespace peace;
 
 namespace {
+
+struct ObsOptions {
+  std::string trace_path, metrics_path, jsonl_path;
+  bool any() const {
+    return !trace_path.empty() || !metrics_path.empty() || !jsonl_path.empty();
+  }
+};
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+int write_obs_outputs(const ObsOptions& opts) {
+  bool ok = true;
+  if (!opts.trace_path.empty()) {
+    ok &= obs::Tracer::global().write_chrome(opts.trace_path);
+    std::printf("trace: %zu events -> %s\n",
+                obs::Tracer::global().event_count(), opts.trace_path.c_str());
+  }
+  if (!opts.jsonl_path.empty())
+    ok &= obs::Tracer::global().write_jsonl(opts.jsonl_path);
+  if (!opts.metrics_path.empty()) {
+    ok &= write_text_file(opts.metrics_path, obs::Registry::global().to_json());
+    std::printf("metrics: -> %s\n", opts.metrics_path.c_str());
+  }
+  if (!ok) std::fprintf(stderr, "failed to write telemetry output\n");
+  return ok ? 0 : 1;
+}
 
 constexpr proto::Timestamp kYearMs = 1000ull * 86400 * 365;
 
@@ -215,7 +255,31 @@ int run_chaos_day() {
 
 int main(int argc, char** argv) {
   curve::Bn254::init();
-  if (argc > 1 && std::strcmp(argv[1], "--chaos") == 0) return run_chaos_day();
+  bool chaos = false;
+  ObsOptions obs_opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--chaos") {
+      chaos = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      obs_opts.trace_path = arg.substr(8);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      obs_opts.metrics_path = arg.substr(10);
+    } else if (arg.rfind("--jsonl=", 0) == 0) {
+      obs_opts.jsonl_path = arg.substr(8);
+    } else {
+      std::fprintf(stderr,
+                   "usage: metro_mesh_day [--chaos] [--trace=out.json] "
+                   "[--metrics=out.json] [--jsonl=out.jsonl]\n");
+      return 2;
+    }
+  }
+  if (obs_opts.any()) obs::enable(true);
+  if (chaos) {
+    const int rc = run_chaos_day();
+    const int obs_rc = obs_opts.any() ? write_obs_outputs(obs_opts) : 0;
+    return rc != 0 ? rc : obs_rc;
+  }
   constexpr proto::Timestamp kYear = kYearMs;
 
   proto::NetworkOperator no(crypto::Drbg::from_string("metro-demo"));
@@ -344,5 +408,11 @@ int main(int argc, char** argv) {
   std::printf("\nsimulator: %llu events, virtual time %llu ms\n",
               static_cast<unsigned long long>(sim.events_processed()),
               static_cast<unsigned long long>(sim.now()));
-  return connected == ids.size() ? 0 : 1;
+
+  int obs_rc = 0;
+  if (obs_opts.any()) {
+    net.publish_metrics();
+    obs_rc = write_obs_outputs(obs_opts);
+  }
+  return connected == ids.size() ? obs_rc : 1;
 }

@@ -1,8 +1,9 @@
 #include "curve/pairing.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <bit>
+
+#include "obs/trace.hpp"
 
 namespace peace::curve {
 
@@ -13,9 +14,6 @@ using math::Fp6;
 using math::U256;
 
 namespace {
-
-std::atomic<std::uint64_t> g_pairing_count{0};
-std::atomic<std::uint64_t> g_g2_prepared_count{0};
 
 /// A pairing line in sparse form a + b*w + c*w^3 (w-power basis); consumed
 /// via Fp12::mul_by_line.
@@ -235,6 +233,7 @@ void untwist(const G2& q, Fp12& x_out, Fp12& y_out) {
 }
 
 Fp12 miller_loop(const G1& p, const G2& q) {
+  obs::note_miller_loop();
   if (p.is_infinity() || q.is_infinity()) return Fp12::one();
 
   Fp xp, yp;
@@ -249,7 +248,7 @@ Fp12 miller_loop(const G1& p, const G2& q) {
 
 G2Prepared::G2Prepared(const G2& q) {
   if (q.is_infinity()) return;
-  g_g2_prepared_count.fetch_add(1, std::memory_order_relaxed);
+  obs::note_g2_prepared();
   // 64-bit u: the ate loop has ~65 doublings plus the additions its set bits
   // trigger, plus the two correction lines.
   lines_.reserve(2 * 64 + 8);
@@ -258,6 +257,7 @@ G2Prepared::G2Prepared(const G2& q) {
 }
 
 Fp12 miller_loop(const G1& p, const G2Prepared& prepared) {
+  obs::note_miller_loop();
   if (p.is_infinity() || prepared.is_infinity()) return Fp12::one();
 
   Fp xp, yp;
@@ -273,6 +273,7 @@ Fp12 miller_loop(const G1& p, const G2Prepared& prepared) {
 }
 
 GT final_exponentiation(const Fp12& f) {
+  obs::note_final_exp();
   const auto& bn = Bn254::get();
   // Easy part: f^((p^6 - 1)(p^2 + 1)). The result is unitary, which the
   // hard-part chain exploits (inverse == conjugate).
@@ -284,6 +285,7 @@ GT final_exponentiation(const Fp12& f) {
 }
 
 GT final_exponentiation_generic(const Fp12& f) {
+  obs::note_final_exp();
   const auto& bn = Bn254::get();
   Fp12 t = f.conjugate() * f.inverse();
   t = frobenius12(frobenius12(t)) * t;
@@ -291,19 +293,19 @@ GT final_exponentiation_generic(const Fp12& f) {
 }
 
 GT pairing(const G1& p, const G2& q) {
-  g_pairing_count.fetch_add(1, std::memory_order_relaxed);
+  obs::note_pairing();
   return final_exponentiation(miller_loop(p, q));
 }
 
 GT pairing(const G1& p, const G2Prepared& prepared) {
-  g_pairing_count.fetch_add(1, std::memory_order_relaxed);
+  obs::note_pairing();
   return final_exponentiation(miller_loop(p, prepared));
 }
 
 GT multi_pairing(const std::vector<std::pair<G1, G2>>& pairs) {
   Fp12 f = Fp12::one();
   for (const auto& [p, q] : pairs) {
-    g_pairing_count.fetch_add(1, std::memory_order_relaxed);
+    obs::note_pairing();
     f *= miller_loop(p, q);
   }
   return final_exponentiation(f);
@@ -335,7 +337,8 @@ GT multi_pairing(std::span<const std::pair<G1, const G2Prepared*>> prepared,
   std::vector<ActiveP> ap;
   ap.reserve(prepared.size());
   for (const auto& [p, q] : prepared) {
-    g_pairing_count.fetch_add(1, std::memory_order_relaxed);
+    obs::note_pairing();
+    obs::note_miller_loop();
     if (p.is_infinity() || q->is_infinity()) continue;
     ActiveP a;
     p.to_affine(a.xp, a.yp);
@@ -345,7 +348,8 @@ GT multi_pairing(std::span<const std::pair<G1, const G2Prepared*>> prepared,
   std::vector<ActiveU> au;
   au.reserve(unprepared.size());
   for (const auto& [p, q] : unprepared) {
-    g_pairing_count.fetch_add(1, std::memory_order_relaxed);
+    obs::note_pairing();
+    obs::note_miller_loop();
     if (p.is_infinity() || q.is_infinity()) continue;
     ActiveU a;
     p.to_affine(a.xp, a.yp);
@@ -402,6 +406,7 @@ bool gt_in_cyclotomic_subgroup(const Fp12& x) {
 }
 
 GT gt_pow_unitary(const GT& x, std::uint64_t e) {
+  obs::note_gt_pow();
   Fp12 acc = Fp12::one();
   bool started = false;
   for (int i = 63; i >= 0; --i) {
@@ -418,6 +423,7 @@ GT gt_multi_pow_unitary(std::span<const GT> xs,
                         std::span<const std::uint64_t> es) {
   if (xs.size() != es.size())
     throw Error("gt_multi_pow: bases/exponents size mismatch");
+  obs::note_gt_pow(xs.size());
   unsigned nbits = 0;
   for (const std::uint64_t e : es)
     nbits = std::max(nbits, static_cast<unsigned>(std::bit_width(e)));
@@ -495,12 +501,8 @@ const GT& gt_generator() {
   return g;
 }
 
-std::uint64_t pairing_op_count() {
-  return g_pairing_count.load(std::memory_order_relaxed);
-}
+std::uint64_t pairing_op_count() { return obs::pairing_count(); }
 
-std::uint64_t g2_prepared_count() {
-  return g_g2_prepared_count.load(std::memory_order_relaxed);
-}
+std::uint64_t g2_prepared_count() { return obs::g2_prepared_build_count(); }
 
 }  // namespace peace::curve

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "math/fp12.hpp"
+#include "obs/trace.hpp"
 
 namespace peace::curve {
 
@@ -172,6 +173,7 @@ CurvePoint<Traits> multi_scalar_mul(
     const std::array<CurvePoint<Traits>, N>& points,
     const std::array<U256, N>& scalars) {
   using Point = CurvePoint<Traits>;
+  obs::note_msm(N);
   std::array<std::array<Point, 16>, N> table;
   unsigned nbits = 0;
   for (std::size_t t = 0; t < N; ++t) {
@@ -208,6 +210,7 @@ CurvePoint<Traits> multi_scalar_mul(
     throw Error("multi_scalar_mul: points/scalars size mismatch");
   const std::size_t n = points.size();
   if (n == 0) return Point::infinity();
+  obs::note_msm(n);
   std::vector<std::array<Point, 16>> table(n);
   unsigned nbits = 0;
   for (std::size_t t = 0; t < n; ++t) {

@@ -2,6 +2,7 @@
 
 #include "common/serde.hpp"
 #include "curve/ecdsa.hpp"
+#include "obs/trace.hpp"
 
 namespace peace::groupsig {
 
@@ -382,6 +383,8 @@ void BatchVerifier::prepare(std::size_t i, OpCounters* ops) {
   Prep& p = prep_[i];
   if (p.prepared) return;
   p.prepared = true;
+  obs::Span span("batch.prepare", "groupsig");
+  span.arg("index", i);
   const Signature& sig = *items_[i].sig;
   // Same gates as sequential verify_proof, same rejection.
   if (sig.t1.is_infinity() || sig.t2.is_infinity()) return;
@@ -406,6 +409,8 @@ void BatchVerifier::prepare(std::size_t i, OpCounters* ops) {
 bool BatchVerifier::check_one(std::size_t i, OpCounters* ops) {
   const Prep& p = prep_[i];
   if (!p.format_ok) return false;
+  obs::Span span("batch.leaf", "groupsig");
+  span.arg("index", i);
   const Signature& sig = *items_[i].sig;
   // The exact sequential equation checks (same combinations, same order as
   // verify_proof), so leaf verdicts are bit-identical to one-at-a-time
@@ -438,6 +443,10 @@ bool BatchVerifier::check_range(std::size_t lo, std::size_t hi,
   for (std::size_t i = lo; i < hi; ++i)
     if (prep_[i].format_ok) active.push_back(i);
   if (active.empty()) return true;
+  obs::Span span("batch.fold", "groupsig");
+  span.arg("lo", lo);
+  span.arg("hi", hi);
+  span.arg("active", active.size());
 
   using curve::multi_scalar_mul;
   using curve::U256;
@@ -558,6 +567,8 @@ void BatchVerifier::bisect(std::size_t lo, std::size_t hi, OpCounters* ops) {
 
 const std::vector<char>& BatchVerifier::finalize(OpCounters* ops) {
   if (finalized_) return results_;
+  obs::Span span("batch.finalize", "groupsig");
+  span.arg("batch_size", items_.size());
   for (std::size_t i = 0; i < items_.size(); ++i) prepare(i, ops);
   bisect(0, items_.size(), ops);
   finalized_ = true;

@@ -4,11 +4,25 @@
 #include <cmath>
 
 #include "crypto/aead.hpp"
+#include "obs/trace.hpp"
+#include "peace/metrics_export.hpp"
 
 namespace peace::mesh {
 
 using proto::BeaconMessage;
 using proto::DataFrame;
+
+namespace {
+
+/// Simulator milliseconds → the µs timestamps of the sim-time trace track.
+std::uint64_t sim_us(SimTime now_ms) { return now_ms * 1000; }
+
+/// Async-span correlation id for the (initiator, responder) peer pair.
+std::uint64_t peer_span_id(NodeId a, NodeId b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
 
 double distance(const Vec2& a, const Vec2& b) {
   const double dx = a.x - b.x, dy = a.y - b.y;
@@ -63,6 +77,8 @@ void MeshNetwork::crash_router(NodeId router_node) {
   it->second.router.reset();
   it->second.down = true;
   pending_auth_.erase(router_node);
+  obs::Tracer::global().instant_at("mesh.crash", "fault", sim_us(sim_.now()),
+                                   {{"router", router_node}});
 }
 
 void MeshNetwork::restart_router(NodeId router_node) {
@@ -77,6 +93,8 @@ void MeshNetwork::restart_router(NodeId router_node) {
                 std::to_string(node.restarts)),
       proto_config_, revocation_);
   node.down = false;
+  obs::Tracer::global().instant_at("mesh.restart", "fault", sim_us(sim_.now()),
+                                   {{"router", router_node}});
 }
 
 bool MeshNetwork::router_is_down(NodeId router_node) const {
@@ -298,6 +316,11 @@ void MeshNetwork::user_hears_beacon(NodeId user_node, NodeId router_node,
   // and signature are minted exactly once per attempt.
   unode.attempt =
       UserNode::Attempt{router_node, m2->to_bytes(), 0, ++attempt_seq_};
+  // Sim-time async span covering M.2 send → M.3 accept (or give-up); the
+  // user's node id correlates begin and end.
+  obs::Tracer::global().async_begin("access_handshake", "handshake", user_node,
+                                    sim_us(sim_.now()),
+                                    {{"router", router_node}});
   send_m2(user_node);
 }
 
@@ -312,7 +335,12 @@ void MeshNetwork::send_m2(NodeId user_node) {
   if (!unode.attempt.has_value()) return;
   UserNode::Attempt& attempt = *unode.attempt;
   ++attempt.tries;
-  if (attempt.tries > 1) ++stats_.retransmissions;
+  if (attempt.tries > 1) {
+    ++stats_.retransmissions;
+    obs::Tracer::global().instant_at(
+        "mesh.retransmit", "reliability", sim_us(sim_.now()),
+        {{"user", user_node}, {"tries", attempt.tries}});
+  }
   const NodeId router_node = attempt.router_node;
 
   // Power-boosted uplink (paper footnote 3): direct to the router.
@@ -361,6 +389,12 @@ void MeshNetwork::on_m2_timeout(NodeId user_node, std::uint64_t generation) {
   const unsigned budget = retransmit ? reliability_.retry_budget : 0;
   if (unode.attempt->tries > budget) {
     ++stats_.handshake_timeouts;
+    obs::Tracer::global().instant_at("mesh.handshake_timeout", "reliability",
+                                     sim_us(sim_.now()),
+                                     {{"user", user_node}});
+    obs::Tracer::global().async_end("access_handshake", "handshake",
+                                    user_node, sim_us(sim_.now()),
+                                    {{"timed_out", 1}});
     const NodeId failed = unode.attempt->router_node;
     // Failover backoff only once retries actually probed the router — a
     // single unanswered strict-mode attempt says nothing about its health.
@@ -390,9 +424,16 @@ void MeshNetwork::on_m3(NodeId user_node, NodeId router_node,
   unode.serving_node = router_node;
   unode.rekey_pending = false;
   unode.attempt.reset();
+  obs::Tracer::global().async_end("access_handshake", "handshake", user_node,
+                                  sim_us(sim_.now()),
+                                  {{"router", router_node}});
   if (unode.last_failed_router.has_value() &&
-      *unode.last_failed_router != router_node)
+      *unode.last_failed_router != router_node) {
     ++stats_.failovers;
+    obs::Tracer::global().instant_at(
+        "mesh.failover", "reliability", sim_us(sim_.now()),
+        {{"user", user_node}, {"router", router_node}});
+  }
   unode.last_failed_router.reset();
 }
 
@@ -446,6 +487,9 @@ void MeshNetwork::start_peer_handshake(NodeId a, NodeId b) {
   const proto::PeerHello hello = na.user->make_peer_hello(g, sim_.now());
   peer_attempts_[{a, b}] =
       PeerAttempt{"peer1", hello.to_bytes(), a, b, 0, ++attempt_seq_};
+  obs::Tracer::global().async_begin("peer_handshake", "handshake",
+                                    peer_span_id(a, b), sim_us(sim_.now()),
+                                    {{"initiator", a}, {"responder", b}});
   send_peer_frame(a, b);
 }
 
@@ -454,7 +498,12 @@ void MeshNetwork::send_peer_frame(NodeId from, NodeId to) {
   if (it == peer_attempts_.end()) return;
   PeerAttempt& attempt = it->second;
   ++attempt.tries;
-  if (attempt.tries > 1) ++stats_.retransmissions;
+  if (attempt.tries > 1) {
+    ++stats_.retransmissions;
+    obs::Tracer::global().instant_at(
+        "mesh.retransmit", "reliability", sim_us(sim_.now()),
+        {{"user", from}, {"tries", attempt.tries}});
+  }
   if (attempt.kind[4] == '1') {  // "peer1"
     transmit(attempt.kind, attempt.wire, from, to,
              [this, from, to](const Bytes& w) { on_peer_hello(to, from, w); });
@@ -483,6 +532,14 @@ void MeshNetwork::on_peer_timeout(NodeId from, NodeId to,
       reliability_.handshake_retransmit ? reliability_.retry_budget : 0;
   if (it->second.tries > budget) {
     ++stats_.handshake_timeouts;
+    obs::Tracer::global().instant_at("mesh.handshake_timeout", "reliability",
+                                     sim_us(sim_.now()), {{"user", from}});
+    // Only the initiator's "peer1" attempt owns the handshake span — the
+    // responder's "peer2" attempt shares this timer but opened no span.
+    if (it->second.kind[4] == '1')
+      obs::Tracer::global().async_end("peer_handshake", "handshake",
+                                      peer_span_id(from, to),
+                                      sim_us(sim_.now()), {{"timed_out", 1}});
     peer_attempts_.erase(it);
     return;
   }
@@ -524,6 +581,9 @@ void MeshNetwork::on_peer_reply(NodeId me, NodeId from, const Bytes& wire) {
   if (established.has_value()) {
     na.peer_sessions.emplace(from, std::move(established->session));
     peer_attempts_.erase({me, from});  // initiator attempt complete
+    obs::Tracer::global().async_end("peer_handshake", "handshake",
+                                    peer_span_id(me, from),
+                                    sim_us(sim_.now()));
     transmit("peer3", established->confirm.to_bytes(), me, from,
              [this, me, from](const Bytes& w) { on_peer_confirm(from, me, w); });
     return;
@@ -570,6 +630,8 @@ void MeshNetwork::start_rekey(NodeId user_id) {
   UserNode& node = users_.at(user_id);
   if (!node.uplink.has_value() || node.rekey_pending) return;
   ++stats_.rekeys;
+  obs::Tracer::global().instant_at("mesh.rekey", "reliability",
+                                   sim_us(sim_.now()), {{"user", user_id}});
   node.rekey_pending = true;
   // The retired session keeps draining in-flight frames; the next beacon
   // starts a fresh anonymous handshake (never a resumption).
@@ -866,6 +928,47 @@ std::vector<NodeId> MeshNetwork::user_ids() const {
   std::vector<NodeId> out;
   for (const auto& [id, _] : users_) out.push_back(id);
   return out;
+}
+
+void MeshNetwork::publish_metrics() const {
+  // Mirror the deterministic stats structs into the registry (idempotent —
+  // Counter::set of totals; see metrics_export.hpp). Crashed routers have
+  // no live MeshRouter, so their since-restart stats are gone, exactly as
+  // stats() reporting always worked.
+  proto::RouterStats router_totals;
+  groupsig::OpCounters verify_totals;
+  for (const auto& [id, node] : routers_) {
+    if (node.router == nullptr) continue;
+    router_totals = proto::sum(router_totals, node.router->stats());
+    verify_totals.merge(node.router->verify_ops());
+  }
+  proto::UserStats user_totals;
+  for (const auto& [id, node] : users_)
+    user_totals = proto::sum(user_totals, node.user->stats());
+  proto::absorb_router_stats(router_totals);
+  proto::absorb_user_stats(user_totals);
+  proto::absorb_verify_ops(verify_totals);
+  if (revocation_ != nullptr)
+    proto::absorb_revocation_stats(revocation_->stats());
+
+  auto& reg = obs::Registry::global();
+  reg.counter("mesh.frames_transmitted").set(stats_.frames_transmitted);
+  reg.counter("mesh.frames_lost").set(stats_.frames_lost);
+  reg.counter("mesh.data_delivered").set(stats_.data_delivered);
+  reg.counter("mesh.data_undeliverable").set(stats_.data_undeliverable);
+  reg.counter("mesh.relay_hops_total").set(stats_.relay_hops_total);
+  reg.counter("mesh.internet_delivered").set(stats_.internet_delivered);
+  reg.counter("mesh.backbone_hops_total").set(stats_.backbone_hops_total);
+  reg.counter("mesh.backbone_mac_failures").set(stats_.backbone_mac_failures);
+  reg.counter("mesh.retransmissions").set(stats_.retransmissions);
+  reg.counter("mesh.handshake_timeouts").set(stats_.handshake_timeouts);
+  reg.counter("mesh.rekeys").set(stats_.rekeys);
+  reg.counter("mesh.failovers").set(stats_.failovers);
+  reg.counter("mesh.corrupted_rejected").set(stats_.corrupted_rejected);
+  reg.counter("mesh.frames_duplicated").set(stats_.frames_duplicated);
+  reg.counter("mesh.frames_delayed").set(stats_.frames_delayed);
+  reg.counter("mesh.frames_partitioned").set(stats_.frames_partitioned);
+  reg.counter("sim.events_processed").set(sim_.events_processed());
 }
 
 }  // namespace peace::mesh

@@ -212,6 +212,13 @@ class MeshNetwork {
   const NetworkStats& stats() const { return stats_; }
   Simulator& sim() { return sim_; }
 
+  /// Mirrors every deterministic stats struct of the stack (NetworkStats,
+  /// summed RouterStats / UserStats / verify OpCounters, the shared
+  /// revocation stats) into the obs metrics registry under the names
+  /// catalogued in docs/OBSERVABILITY.md. Idempotent; call before
+  /// Registry::to_json().
+  void publish_metrics() const;
+
   /// All router node ids / user node ids, for sweeps.
   std::vector<NodeId> router_ids() const;
   std::vector<NodeId> user_ids() const;

@@ -1,0 +1,160 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+namespace peace::obs {
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t n = 0;
+  for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+  return n;
+}
+
+double Histogram::quantile(double q) const {
+  std::array<std::uint64_t, kBuckets> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    // Linear interpolation across the covering bucket [lower, upper].
+    const double lower = i == 0 ? 0.0 : static_cast<double>(bucket_bound(i - 1));
+    const double upper = i + 1 >= kBuckets
+                             ? lower * 2.0  // open-ended overflow bucket
+                             : static_cast<double>(bucket_bound(i));
+    const double within =
+        counts[i] == 0
+            ? 0.0
+            : (target - static_cast<double>(before)) /
+                  static_cast<double>(counts[i]);
+    return lower + (upper - lower) * within;
+  }
+  return static_cast<double>(bucket_bound(kBuckets - 2));
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::piecewise_construct,
+                           std::forward_as_tuple(name),
+                           std::forward_as_tuple())
+      .first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::piecewise_construct, std::forward_as_tuple(name),
+                         std::forward_as_tuple())
+      .first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::piecewise_construct,
+                             std::forward_as_tuple(name),
+                             std::forward_as_tuple())
+      .first->second;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+namespace {
+
+void append(std::string& out, const char* fmt, auto... args) {
+  char buf[128];
+  const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+  if (n < static_cast<int>(sizeof(buf))) {
+    out += buf;
+    return;
+  }
+  // Rare long line (histogram headers): retry with the exact size.
+  std::string big(static_cast<std::size_t>(n) + 1, '\0');
+  std::snprintf(big.data(), big.size(), fmt, args...);
+  big.resize(static_cast<std::size_t>(n));
+  out += big;
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  std::lock_guard lock(mutex_);
+  std::string out = "{\n  \"schema\": \"peace.metrics.v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    append(out, "%s\n    \"%s\": %llu", first ? "" : ",", name.c_str(),
+           static_cast<unsigned long long>(c.value()));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    append(out, "%s\n    \"%s\": %lld", first ? "" : ",", name.c_str(),
+           static_cast<long long>(g.value()));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const std::uint64_t count = h.count();
+    append(out,
+           "%s\n    \"%s\": {\"count\": %llu, \"sum_us\": %llu, "
+           "\"p50_us\": %.1f, \"p90_us\": %.1f, \"p95_us\": %.1f, "
+           "\"p99_us\": %.1f, \"buckets\": [",
+           first ? "" : ",", name.c_str(),
+           static_cast<unsigned long long>(count),
+           static_cast<unsigned long long>(h.sum()), h.quantile(0.50),
+           h.quantile(0.90), h.quantile(0.95), h.quantile(0.99));
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h.bucket_count(i);
+      if (n == 0) continue;  // sparse: empty buckets carry no information
+      if (i + 1 >= Histogram::kBuckets)
+        append(out, "%s{\"le_us\": \"inf\", \"count\": %llu}",
+               first_bucket ? "" : ", ", static_cast<unsigned long long>(n));
+      else
+        append(out, "%s{\"le_us\": %llu, \"count\": %llu}",
+               first_bucket ? "" : ", ",
+               static_cast<unsigned long long>(Histogram::bucket_bound(i)),
+               static_cast<unsigned long long>(n));
+      first_bucket = false;
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace peace::obs

@@ -1,0 +1,198 @@
+// The tracing half of the observability layer (docs/OBSERVABILITY.md):
+// wall-clock spans with per-span crypto-op attribution, simulator-time
+// handshake spans, and instant events, exportable as Chrome trace_event
+// JSON and as a JSONL event log.
+//
+// Telemetry is strictly an observer: it draws no DRBG randomness, touches
+// no protocol state, and never influences accept/reject decisions or wire
+// bytes (tests/obs_test.cpp and determinism_test assert this). Two layers
+// of disablement:
+//
+//  * Runtime: obs::enable(false) (the default). Span construction is one
+//    relaxed atomic load and a branch; hooks fall through to their bare
+//    counter add.
+//  * Compile time: -DPEACE_OBS=OFF defines PEACE_OBS_DISABLED, making
+//    enabled() a constexpr false — Span bodies, tallies, and Tracer
+//    recording fold away entirely. The op-count hooks keep their registry
+//    counter adds (they are the crypto op-count API; see metrics.hpp).
+//
+// All name/category/key strings passed into this API must be string
+// literals (or otherwise outlive the Tracer) — events store the pointers.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace peace::obs {
+
+// --- runtime toggle -------------------------------------------------------
+
+#ifdef PEACE_OBS_DISABLED
+constexpr bool enabled() { return false; }
+inline void enable(bool) {}
+#else
+bool enabled();
+void enable(bool on);
+#endif
+
+/// Microseconds on the steady clock since the process's tracing epoch.
+std::uint64_t now_us();
+
+// --- crypto-op hooks (called from curve:: / groupsig::) -------------------
+//
+// Each hook bumps its process-global registry counter (always — this is
+// what curve::pairing_op_count() and curve::g2_prepared_count() read) and,
+// when tracing is enabled, a thread-local tally that open spans diff to
+// attribute crypto work to themselves.
+
+void note_pairing(std::uint64_t n = 1);
+void note_miller_loop(std::uint64_t n = 1);
+void note_final_exp(std::uint64_t n = 1);
+void note_g2_prepared(std::uint64_t n = 1);
+void note_msm(std::uint64_t terms);
+void note_gt_pow(std::uint64_t n = 1);
+
+/// Fast reads of the always-on op counters (what the curve:: op-count API
+/// delegates to after the bare-global migration).
+std::uint64_t pairing_count();
+std::uint64_t g2_prepared_build_count();
+
+/// Per-thread crypto-op tally. Spans snapshot it at open and diff at close;
+/// crypto work and the span observing it share a thread by construction
+/// (VerifyPool jobs run their own spans on the worker).
+struct CryptoTally {
+  std::uint64_t pairings = 0;
+  std::uint64_t miller_loops = 0;
+  std::uint64_t final_exps = 0;
+  std::uint64_t g2_prepared = 0;
+  std::uint64_t msm_calls = 0;
+  std::uint64_t msm_terms = 0;
+  std::uint64_t gt_pows = 0;
+};
+
+#ifndef PEACE_OBS_DISABLED
+const CryptoTally& thread_tally();
+#endif
+
+// --- events and spans -----------------------------------------------------
+
+struct TraceArg {
+  const char* key = nullptr;
+  std::uint64_t value = 0;
+};
+
+/// One recorded event, already flattened to Chrome trace_event semantics.
+struct TraceEvent {
+  static constexpr std::size_t kMaxArgs = 12;
+
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  char ph = 'X';            // 'X' span, 'i' instant, 'b'/'e' async pair
+  std::uint64_t ts_us = 0;  // wall clock (pid 1) or sim time (pid 2)
+  std::uint64_t dur_us = 0; // 'X' only
+  std::uint32_t pid = 1;    // 1 = wall-clock track, 2 = simulator-time track
+  std::uint32_t tid = 0;
+  std::uint64_t id = 0;     // async correlation ('b'/'e')
+  std::size_t nargs = 0;
+  TraceArg args[kMaxArgs];
+
+  void add_arg(const char* key, std::uint64_t value) {
+    if (nargs < kMaxArgs) args[nargs++] = {key, value};
+  }
+};
+
+/// Collects events from every thread; export at end of run. Recording is a
+/// short mutex-guarded vector push per completed span — spans close at the
+/// granularity of pairing work (milliseconds), so contention is noise.
+class Tracer {
+ public:
+  static Tracer& global();
+
+  static constexpr std::uint32_t kWallPid = 1;
+  static constexpr std::uint32_t kSimPid = 2;
+
+  void record(TraceEvent event);  // fills tid for the calling thread
+  /// Instant event on the wall-clock track.
+  void instant(const char* name, const char* cat);
+  /// Instant event on the simulator-time track.
+  void instant_at(const char* name, const char* cat, std::uint64_t sim_us,
+                  std::initializer_list<TraceArg> args = {});
+  /// Async span on the simulator-time track, correlated by (cat, id).
+  void async_begin(const char* name, const char* cat, std::uint64_t id,
+                   std::uint64_t sim_us,
+                   std::initializer_list<TraceArg> args = {});
+  void async_end(const char* name, const char* cat, std::uint64_t id,
+                 std::uint64_t sim_us,
+                 std::initializer_list<TraceArg> args = {});
+
+  std::size_t event_count() const;
+  /// Snapshot of the recorded events (tests).
+  std::vector<TraceEvent> events() const;
+  void clear();
+
+  /// Chrome trace_event JSON ("traceEvents" array object format; load via
+  /// chrome://tracing or https://ui.perfetto.dev).
+  std::string chrome_json() const;
+  /// One JSON object per line, same fields — the grep/jq-friendly log.
+  std::string jsonl() const;
+  bool write_chrome(const std::string& path) const;
+  bool write_jsonl(const std::string& path) const;
+
+ private:
+  std::uint32_t tid_for_current_thread();
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::uint32_t next_tid_ = 1;
+};
+
+#ifdef PEACE_OBS_DISABLED
+
+/// Compiled-out span: every member folds to nothing.
+class Span {
+ public:
+  explicit Span(const char*, const char* = "crypto", Histogram* = nullptr) {}
+  bool active() const { return false; }
+  void arg(const char*, std::uint64_t) {}
+  std::uint64_t close() { return 0; }
+};
+
+#else
+
+/// RAII wall-clock span. When tracing is enabled at construction it records
+/// on destruction (or close()) a 'X' event carrying its duration, the
+/// crypto-op delta observed on this thread while it was open (pairings,
+/// Miller loops, final exps, G2Prepared builds, MSM calls/terms, GT pows —
+/// only nonzero deltas are attached), and any explicit args. An optional
+/// histogram receives the duration in µs, sharing the span's clock reads.
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "crypto",
+                Histogram* hist = nullptr);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { close(); }
+
+  bool active() const { return active_; }
+  void arg(const char* key, std::uint64_t value) {
+    if (active_) event_.add_arg(key, value);
+  }
+  /// Records now (idempotent); returns the duration in µs (0 if inactive).
+  std::uint64_t close();
+
+ private:
+  bool active_ = false;
+  std::uint64_t start_us_ = 0;
+  CryptoTally start_tally_;
+  Histogram* hist_ = nullptr;
+  TraceEvent event_;
+};
+
+#endif  // PEACE_OBS_DISABLED
+
+}  // namespace peace::obs

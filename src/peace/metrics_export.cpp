@@ -1,0 +1,107 @@
+#include "peace/metrics_export.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace peace::proto {
+
+namespace {
+
+void set(const char* name, std::uint64_t value) {
+  obs::Registry::global().counter(name).set(value);
+}
+
+}  // namespace
+
+void absorb_router_stats(const RouterStats& t) {
+  set("router.beacons_sent", t.beacons_sent);
+  set("router.requests_received", t.requests_received);
+  set("router.accepted", t.accepted);
+  set("router.rejected_unknown_beacon", t.rejected_unknown_beacon);
+  set("router.rejected_stale", t.rejected_stale);
+  set("router.rejected_replay", t.rejected_replay);
+  set("router.rejected_puzzle", t.rejected_puzzle);
+  set("router.rejected_bad_signature", t.rejected_bad_signature);
+  set("router.rejected_revoked", t.rejected_revoked);
+  set("router.signature_verifications", t.signature_verifications);
+  set("router.verify_batches", t.verify_batches);
+  set("router.batched_requests", t.batched_requests);
+  set("router.rl_deltas_applied", t.rl_deltas_applied);
+  set("router.rl_deltas_ignored", t.rl_deltas_ignored);
+  set("router.rl_deltas_rejected", t.rl_deltas_rejected);
+  set("router.rl_resyncs_requested", t.rl_resyncs_requested);
+  set("router.rl_resyncs_completed", t.rl_resyncs_completed);
+  set("router.confirms_resent", t.confirms_resent);
+}
+
+void absorb_user_stats(const UserStats& t) {
+  set("user.beacons_seen", t.beacons_seen);
+  set("user.beacons_rejected", t.beacons_rejected);
+  set("user.sessions_established", t.sessions_established);
+  set("user.peer_sessions_established", t.peer_sessions_established);
+  set("user.puzzle_hashes", t.puzzle_hashes);
+  set("user.peer_verify_batches", t.peer_verify_batches);
+  set("user.peer_batched_hellos", t.peer_batched_hellos);
+  set("user.pending_expired", t.pending_expired);
+  set("user.pending_evicted", t.pending_evicted);
+  set("user.duplicate_hellos", t.duplicate_hellos);
+  set("user.duplicate_replies", t.duplicate_replies);
+}
+
+void absorb_verify_ops(const groupsig::OpCounters& t) {
+  set("groupsig.verify.g1_exp", t.g1_exp);
+  set("groupsig.verify.g2_exp", t.g2_exp);
+  set("groupsig.verify.gt_exp", t.gt_exp);
+  set("groupsig.verify.pairings", t.pairings);
+  set("groupsig.verify.hash_to_group", t.hash_to_group);
+}
+
+void absorb_revocation_stats(const revoke::SharedRevocationStats& t) {
+  set("revocation.full_installs", t.full_installs);
+  set("revocation.deltas_applied", t.deltas_applied);
+  set("revocation.deltas_stale", t.deltas_stale);
+  set("revocation.deltas_gap", t.deltas_gap);
+  set("revocation.deltas_rejected", t.deltas_rejected);
+  set("revocation.snapshots_published", t.snapshots_published);
+  set("revocation.tokens_retagged", t.tokens_retagged);
+}
+
+RouterStats sum(const RouterStats& a, const RouterStats& b) {
+  RouterStats s = a;
+  s.beacons_sent += b.beacons_sent;
+  s.requests_received += b.requests_received;
+  s.accepted += b.accepted;
+  s.rejected_unknown_beacon += b.rejected_unknown_beacon;
+  s.rejected_stale += b.rejected_stale;
+  s.rejected_replay += b.rejected_replay;
+  s.rejected_puzzle += b.rejected_puzzle;
+  s.rejected_bad_signature += b.rejected_bad_signature;
+  s.rejected_revoked += b.rejected_revoked;
+  s.signature_verifications += b.signature_verifications;
+  s.verify_batches += b.verify_batches;
+  s.batched_requests += b.batched_requests;
+  s.rl_deltas_applied += b.rl_deltas_applied;
+  s.rl_deltas_ignored += b.rl_deltas_ignored;
+  s.rl_deltas_rejected += b.rl_deltas_rejected;
+  s.rl_resyncs_requested += b.rl_resyncs_requested;
+  s.rl_resyncs_completed += b.rl_resyncs_completed;
+  s.confirms_resent += b.confirms_resent;
+  return s;
+}
+
+UserStats sum(const UserStats& a, const UserStats& b) {
+  UserStats s = a;
+  s.beacons_seen += b.beacons_seen;
+  s.beacons_rejected += b.beacons_rejected;
+  s.sessions_established += b.sessions_established;
+  s.peer_sessions_established += b.peer_sessions_established;
+  s.puzzle_hashes += b.puzzle_hashes;
+  s.peer_verify_batches += b.peer_verify_batches;
+  s.peer_batched_hellos += b.peer_batched_hellos;
+  s.pending_expired += b.pending_expired;
+  s.pending_evicted += b.pending_evicted;
+  s.duplicate_hellos += b.duplicate_hellos;
+  s.duplicate_replies += b.duplicate_replies;
+  return s;
+}
+
+}  // namespace peace::proto

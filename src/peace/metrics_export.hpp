@@ -1,0 +1,37 @@
+// Absorbs the stack's deterministic stats structs into the obs metrics
+// registry (docs/OBSERVABILITY.md §2). The structs stay the collection
+// mechanism — per-endpoint, plain uint64_t fields, bumped inline on the
+// protocol paths with zero atomic traffic — and these functions mirror
+// them into registry counters under stable names at export time.
+//
+// Every function uses Counter::set(), so a publish is idempotent: callers
+// pass totals (already summed across endpoints where several exist) and
+// may publish as often as they like. MeshNetwork::publish_metrics() is the
+// usual caller; standalone harnesses can call these directly.
+#pragma once
+
+#include "groupsig/groupsig.hpp"
+#include "peace/revoke/shared.hpp"
+#include "peace/router.hpp"
+#include "peace/user.hpp"
+
+namespace peace::proto {
+
+/// router.* counters (pass the sum over all routers).
+void absorb_router_stats(const RouterStats& totals);
+
+/// user.* counters (pass the sum over all users).
+void absorb_user_stats(const UserStats& totals);
+
+/// groupsig.verify.* counters — the routers' aggregated verification op
+/// counts (pass the sum of MeshRouter::verify_ops() over all routers).
+void absorb_verify_ops(const groupsig::OpCounters& totals);
+
+/// revocation.* counters from the shared revocation state.
+void absorb_revocation_stats(const revoke::SharedRevocationStats& totals);
+
+/// Field-by-field sums, for callers aggregating over many endpoints.
+RouterStats sum(const RouterStats& a, const RouterStats& b);
+UserStats sum(const UserStats& a, const UserStats& b);
+
+}  // namespace peace::proto

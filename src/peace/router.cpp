@@ -3,6 +3,7 @@
 #include "common/serde.hpp"
 #include "crypto/sha256.hpp"
 #include "curve/hash_to_curve.hpp"
+#include "obs/trace.hpp"
 
 namespace peace::proto {
 
@@ -152,6 +153,14 @@ std::vector<std::optional<MeshRouter::AccessOutcome>>
 MeshRouter::handle_access_requests(std::span<const AccessRequest> batch,
                                    Timestamp now) {
   std::vector<std::optional<AccessOutcome>> results(batch.size());
+
+  // Telemetry (observer only — records durations and op attribution, never
+  // touches verdicts): one span for the whole M.2 batch, amortised per
+  // request into router.handshake_us at close.
+  static obs::Histogram& batch_hist =
+      obs::Registry::global().histogram("router.m2_batch_us");
+  obs::Span span("router.m2_batch", "handshake", &batch_hist);
+  span.arg("batch_size", batch.size());
 
   // Idempotent resend: a byte-identical retransmission of an *accepted* M.2
   // (its M.3 was lost on the air) gets the cached M.3 back — no new
@@ -326,6 +335,16 @@ MeshRouter::handle_access_requests(std::span<const AccessRequest> batch,
       continue;
     }
     results[pv.index] = accept_request(*pv.m2, *pv.beacon, pv.sid, pv.sid_hex);
+  }
+
+  if (span.active() && !batch.empty()) {
+    std::uint64_t accepted = 0;
+    for (const auto& r : results) accepted += r.has_value() ? 1 : 0;
+    span.arg("accepted", accepted);
+    const std::uint64_t dur = span.close();
+    static obs::Histogram& handshake_hist =
+        obs::Registry::global().histogram("router.handshake_us");
+    handshake_hist.record(dur / batch.size());
   }
   return results;
 }

@@ -3,6 +3,7 @@
 #include "common/serde.hpp"
 #include "crypto/sha256.hpp"
 #include "curve/hash_to_curve.hpp"
+#include "obs/trace.hpp"
 
 namespace peace::proto {
 
@@ -155,6 +156,12 @@ std::optional<AccessRequest> User::process_beacon(const BeaconMessage& beacon,
     return std::nullopt;
   }
 
+  // Telemetry: the M.2 build (DH share, puzzle, group signature) is the
+  // user's heaviest handshake step.
+  static obs::Histogram& m2_hist =
+      obs::Registry::global().histogram("user.m2_build_us");
+  obs::Span span("user.m2_build", "handshake", &m2_hist);
+
   // Step 2.2.1: fresh DH share under the beacon's generator.
   const Fr r_j = random_fr(rng_);
   AccessRequest m2;
@@ -182,6 +189,9 @@ std::optional<AccessRequest> User::process_beacon(const BeaconMessage& beacon,
 }
 
 std::optional<Session> User::process_access_confirm(const AccessConfirm& m3) {
+  static obs::Histogram& m3_hist =
+      obs::Registry::global().histogram("user.m3_process_us");
+  obs::Span span("user.m3_process", "handshake", &m3_hist);
   const Bytes sid = session_id_from(m3.g_rr, m3.g_rj);
   const auto it = pending_access_.find(to_hex(sid));
   if (it == pending_access_.end()) return std::nullopt;
@@ -262,6 +272,9 @@ PeerReply User::reply_to_hello(const PeerHello& hello, Timestamp now,
 std::optional<PeerReply> User::process_peer_hello(const PeerHello& hello,
                                                   Timestamp now,
                                                   GroupId via_group) {
+  static obs::Histogram& hello_hist =
+      obs::Registry::global().histogram("user.peer_hello_us");
+  obs::Span span("user.peer_hello", "handshake", &hello_hist);
   const Timestamp age = now >= hello.ts1 ? now - hello.ts1 : hello.ts1 - now;
   if (age > config_.replay_window_ms) return std::nullopt;
   // Idempotent resend: a byte-identical duplicate (radio duplication or an
@@ -282,6 +295,11 @@ std::optional<PeerReply> User::process_peer_hello(const PeerHello& hello,
 std::vector<std::optional<PeerReply>> User::process_peer_hellos(
     std::span<const PeerHello> hellos, Timestamp now, GroupId via_group) {
   std::vector<std::optional<PeerReply>> results(hellos.size());
+
+  static obs::Histogram& peer_batch_hist =
+      obs::Registry::global().histogram("user.peer_batch_us");
+  obs::Span span("user.peer_batch", "handshake", &peer_batch_hist);
+  span.arg("batch_size", hellos.size());
 
   // Pass 1 (sequential): the cheap freshness gate, in input order.
   struct Pending {
@@ -375,11 +393,21 @@ std::vector<std::optional<PeerReply>> User::process_peer_hellos(
     }
     results[p.index] = reply_to_hello(hellos[p.index], now, via_group);
   }
+
+  if (span.active() && !hellos.empty()) {
+    const std::uint64_t dur = span.close();
+    static obs::Histogram& hello_hist =
+        obs::Registry::global().histogram("user.peer_hello_us");
+    hello_hist.record(dur / hellos.size());
+  }
   return results;
 }
 
 std::optional<User::PeerEstablished> User::process_peer_reply(
     const PeerReply& reply, Timestamp now) {
+  static obs::Histogram& reply_hist =
+      obs::Registry::global().histogram("user.peer_reply_us");
+  obs::Span span("user.peer_reply", "handshake", &reply_hist);
   const auto it = pending_peer_init_.find(to_hex(g1_to_bytes(reply.g_rj)));
   if (it == pending_peer_init_.end()) return std::nullopt;
   const PendingPeerInitiator& pending = it->second;

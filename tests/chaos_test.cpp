@@ -5,6 +5,7 @@
 // state bounded and the pooled verifier bit-identical to the sequential
 // one. Everything is driven by seeded DRBGs: same seed, same run.
 #include "mesh/network.hpp"
+#include "obs/trace.hpp"
 
 #include <gtest/gtest.h>
 
@@ -297,6 +298,19 @@ TEST_F(ChaosTest, DeterministicUnderSameSeed) {
   EXPECT_EQ(a.handshake_timeouts, b.handshake_timeouts);
   EXPECT_EQ(a.data_delivered, b.data_delivered);
   EXPECT_EQ(a.corrupted_rejected, b.corrupted_rejected);
+
+  // Telemetry neutrality under faults: the same chaotic run with span
+  // tracing enabled is bit-identical on every deterministic observable.
+  obs::enable(true);
+  const NetworkStats c = run("chaos-det");
+  obs::enable(false);
+  obs::Tracer::global().clear();
+  EXPECT_EQ(a.frames_transmitted, c.frames_transmitted);
+  EXPECT_EQ(a.frames_lost, c.frames_lost);
+  EXPECT_EQ(a.retransmissions, c.retransmissions);
+  EXPECT_EQ(a.handshake_timeouts, c.handshake_timeouts);
+  EXPECT_EQ(a.data_delivered, c.data_delivered);
+  EXPECT_EQ(a.corrupted_rejected, c.corrupted_rejected);
 }
 
 TEST_F(ChaosTest, PooledVerifierMatchesSequentialUnderFaults) {

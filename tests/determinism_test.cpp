@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "mesh/network.hpp"
+#include "obs/trace.hpp"
 
 namespace peace::mesh {
 namespace {
@@ -70,6 +71,25 @@ TEST_F(DeterminismTest, DifferentSeedsDiverge) {
   const RunResult b = run_scenario("det-seed-2");
   // Same topology => same macro outcome, but all randomness differs.
   EXPECT_NE(a.first_m2, b.first_m2);
+}
+
+TEST_F(DeterminismTest, TelemetryIsNeutral) {
+  // The observability layer is a pure observer: turning span tracing on
+  // must change neither wire bytes nor any simulation outcome. (Under
+  // PEACE_OBS=OFF obs::enable is a no-op and this degenerates to the
+  // identical-seeds test — still a valid assertion.)
+  const RunResult off = run_scenario("det-obs-seed");
+  obs::enable(true);
+  const RunResult on = run_scenario("det-obs-seed");
+  obs::enable(false);
+  obs::Tracer::global().clear();
+  EXPECT_EQ(off.connected, on.connected);
+  EXPECT_EQ(off.frames, on.frames);
+  EXPECT_EQ(off.events, on.events);
+  // Byte-identical traffic: telemetry drew no DRBG randomness and touched
+  // no protocol state.
+  EXPECT_EQ(off.first_m2, on.first_m2);
+  EXPECT_FALSE(off.first_m2.empty());
 }
 
 TEST_F(DeterminismTest, GroupSignatureDeterministicGivenRng) {

@@ -1,0 +1,274 @@
+// The observability layer (docs/OBSERVABILITY.md): metrics registry
+// semantics, histogram quantiles, span crypto-op attribution, export
+// formats, the op-count API migration (curve::pairing_op_count /
+// g2_prepared_count now read registry counters), and the neutrality +
+// pooled-vs-sequential determinism contracts telemetry must keep.
+#include <gtest/gtest.h>
+
+#include "curve/bn254.hpp"
+#include "curve/pairing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "peace/entities.hpp"
+#include "peace/metrics_export.hpp"
+#include "peace/router.hpp"
+#include "peace/user.hpp"
+
+namespace peace {
+namespace {
+
+using obs::Counter;
+using obs::Histogram;
+using obs::Registry;
+
+class ObsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { curve::Bn254::init(); }
+  void TearDown() override {
+    obs::enable(false);
+    obs::Tracer::global().clear();
+  }
+};
+
+TEST_F(ObsTest, CounterBasics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.set(7);
+  EXPECT_EQ(c.value(), 7u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, RegistryHandlesAreStable) {
+  Registry reg;
+  Counter& a = reg.counter("x.a");
+  Counter& same = reg.counter("x.a");
+  EXPECT_EQ(&a, &same);
+  // Creating more metrics must not move existing ones.
+  for (int i = 0; i < 100; ++i)
+    reg.counter("x.fill" + std::to_string(i)).add();
+  EXPECT_EQ(&a, &reg.counter("x.a"));
+  a.add(3);
+  reg.reset();
+  EXPECT_EQ(a.value(), 0u);       // reset zeroes in place
+  EXPECT_EQ(&a, &reg.counter("x.a"));  // identity survives reset
+}
+
+TEST_F(ObsTest, HistogramBucketsAndQuantiles) {
+  EXPECT_EQ(Histogram::bucket_bound(0), 1u);
+  EXPECT_EQ(Histogram::bucket_bound(4), 16u);
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty
+  // 100 samples in (512, 1024], exactly one bucket.
+  for (int i = 0; i < 100; ++i) h.record(1000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 100'000u);
+  const double p50 = h.quantile(0.50);
+  EXPECT_GT(p50, 512.0);
+  EXPECT_LE(p50, 1024.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.quantile(0.50), h.quantile(0.95));
+  EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+  // A far-away tail sample moves p99's covering bucket, not p50's.
+  for (int i = 0; i < 2; ++i) h.record(1'000'000);
+  EXPECT_LE(h.quantile(0.50), 1024.0);
+  EXPECT_GT(h.quantile(0.99), 512'000.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(ObsTest, MetricsJsonShape) {
+  Registry reg;
+  reg.counter("a.count").add(5);
+  reg.gauge("a.depth").set(-3);
+  reg.histogram("a.lat_us").record(100);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"schema\": \"peace.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"a.depth\": -3"), std::string::npos);
+  EXPECT_NE(json.find("\"a.lat_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"le_us\": 128"), std::string::npos);
+}
+
+TEST_F(ObsTest, OpCountApiReadsRegistry) {
+  // Satellite 1: the bare globals are gone — the curve:: op-count API and
+  // the registry counters are the same numbers, and Registry::reset gives
+  // per-scope deltas.
+  const auto& bn = curve::Bn254::get();
+  Registry::global().reset();
+  EXPECT_EQ(curve::pairing_op_count(), 0u);
+  EXPECT_EQ(curve::g2_prepared_count(), 0u);
+  (void)curve::pairing(bn.g1_gen, bn.g2_gen);
+  EXPECT_EQ(curve::pairing_op_count(), 1u);
+  EXPECT_EQ(Registry::global().counter("curve.pairings").value(), 1u);
+  const curve::G2Prepared prep(bn.g2_gen);
+  EXPECT_EQ(curve::g2_prepared_count(), 1u);
+  EXPECT_EQ(Registry::global().counter("curve.g2_prepared_builds").value(),
+            1u);
+  // Infinity still skips the build, exactly as the old global counted.
+  const curve::G2Prepared inf_prep(curve::G2::infinity());
+  EXPECT_EQ(curve::g2_prepared_count(), 1u);
+  EXPECT_GE(Registry::global().counter("curve.miller_loops").value(), 1u);
+  EXPECT_GE(Registry::global().counter("curve.final_exps").value(), 1u);
+}
+
+#ifndef PEACE_OBS_DISABLED
+
+TEST_F(ObsTest, SpanAttributesCryptoOps) {
+  const auto& bn = curve::Bn254::get();
+  obs::enable(true);
+  obs::Tracer::global().clear();
+  {
+    obs::Span span("test.pairing_work", "test");
+    (void)curve::pairing(bn.g1_gen, bn.g2_gen);
+    (void)curve::pairing(bn.g1_gen, bn.g2_gen);
+    span.arg("custom", 7);
+  }
+  const auto events = obs::Tracer::global().events();
+  ASSERT_EQ(events.size(), 1u);
+  const obs::TraceEvent& e = events[0];
+  EXPECT_STREQ(e.name, "test.pairing_work");
+  EXPECT_EQ(e.ph, 'X');
+  std::uint64_t pairings = 0, custom = 0;
+  for (std::size_t i = 0; i < e.nargs; ++i) {
+    if (std::string_view(e.args[i].key) == "pairings")
+      pairings = e.args[i].value;
+    if (std::string_view(e.args[i].key) == "custom") custom = e.args[i].value;
+  }
+  EXPECT_EQ(pairings, 2u);
+  EXPECT_EQ(custom, 7u);
+}
+
+TEST_F(ObsTest, SpansRecordNothingWhenDisabled) {
+  const auto& bn = curve::Bn254::get();
+  obs::Tracer::global().clear();
+  ASSERT_FALSE(obs::enabled());
+  {
+    obs::Span span("test.disabled", "test");
+    EXPECT_FALSE(span.active());
+    (void)curve::pairing(bn.g1_gen, bn.g2_gen);
+  }
+  EXPECT_EQ(obs::Tracer::global().event_count(), 0u);
+}
+
+TEST_F(ObsTest, ExportFormats) {
+  obs::enable(true);
+  obs::Tracer::global().clear();
+  { obs::Span span("test.export", "test"); }
+  obs::Tracer::global().instant_at("test.instant", "test", 1234,
+                                   {{"k", 42}});
+  obs::Tracer::global().async_begin("test.async", "test", 9, 1000);
+  obs::Tracer::global().async_end("test.async", "test", 9, 2000);
+  obs::enable(false);
+
+  const std::string chrome = obs::Tracer::global().chrome_json();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\": \"test.export\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\": \"b\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\": \"e\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"s\": \"t\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"args\": {\"k\": 42}"), std::string::npos);
+  // Both clock tracks are named.
+  EXPECT_NE(chrome.find("wall-clock"), std::string::npos);
+  EXPECT_NE(chrome.find("sim-time"), std::string::npos);
+
+  const std::string jsonl = obs::Tracer::global().jsonl();
+  std::size_t lines = 0;
+  for (const char c : jsonl) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, obs::Tracer::global().event_count());
+}
+
+TEST_F(ObsTest, SpanHistogramReceivesDuration) {
+  Registry reg;
+  Histogram& hist = reg.histogram("test.span_us");
+  obs::enable(true);
+  { obs::Span span("test.hist", "test", &hist); }
+  obs::enable(false);
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+#endif  // PEACE_OBS_DISABLED
+
+TEST_F(ObsTest, StatsAbsorptionIsIdempotent) {
+  proto::RouterStats stats;
+  stats.accepted = 3;
+  stats.requests_received = 5;
+  proto::absorb_router_stats(stats);
+  proto::absorb_router_stats(stats);  // set(), not add(): publish twice
+  EXPECT_EQ(Registry::global().counter("router.accepted").value(), 3u);
+  EXPECT_EQ(Registry::global().counter("router.requests_received").value(),
+            5u);
+  proto::RouterStats more = proto::sum(stats, stats);
+  EXPECT_EQ(more.accepted, 6u);
+  proto::absorb_router_stats(more);
+  EXPECT_EQ(Registry::global().counter("router.accepted").value(), 6u);
+}
+
+TEST_F(ObsTest, PooledAndSequentialCountersMatch) {
+  // The deterministic-counter contract: the same batch of peer hellos
+  // verified sequentially and through a 4-thread VerifyPool performs the
+  // same crypto work, so the curve.* registry deltas are identical.
+  constexpr proto::Timestamp kFarFuture = 1000ull * 86400 * 365;
+  proto::NetworkOperator no(crypto::Drbg::from_string("obs-pool-no"));
+  proto::TrustedThirdParty ttp;
+  proto::GroupManager gm = no.register_group("obs-pool-g", 8, ttp);
+  auto provision = no.provision_router(1, kFarFuture);
+  proto::MeshRouter router(1, provision.keypair, provision.certificate,
+                           no.params(),
+                           crypto::Drbg::from_string("obs-pool-router"));
+  router.install_revocation_lists(no.current_crl(), no.current_url());
+  const proto::BeaconMessage beacon = router.make_beacon(1000);
+
+  std::map<std::string, proto::GroupManager::Enrollment> enrollments;
+  const auto make_user = [&](const std::string& uid, unsigned threads) {
+    proto::ProtocolConfig config;
+    config.verify_threads = threads;
+    auto user = std::make_unique<proto::User>(
+        uid, no.params(), crypto::Drbg::from_string(uid), config);
+    if (enrollments.find(uid) == enrollments.end())
+      enrollments.emplace(uid, gm.enroll(uid, ttp));
+    user->complete_enrollment(enrollments.at(uid));
+    return user;
+  };
+
+  // Identical hello batches for both runs: same sender uids => same DRBG
+  // streams => byte-identical hellos.
+  const auto make_hellos = [&] {
+    std::vector<proto::PeerHello> hellos;
+    for (int i = 0; i < 3; ++i) {
+      auto sender = make_user("obs-sender" + std::to_string(i), 1);
+      hellos.push_back(sender->make_peer_hello(beacon.g, 1000 + i));
+    }
+    return hellos;
+  };
+
+  const auto run = [&](unsigned threads) {
+    auto responder = make_user("obs-responder", threads);
+    EXPECT_TRUE(responder->process_beacon(beacon, 1000).has_value());
+    const auto hellos = make_hellos();
+    Registry::global().reset();
+    auto replies = responder->process_peer_hellos(hellos, 1010);
+    std::size_t answered = 0;
+    for (const auto& r : replies) answered += r.has_value() ? 1 : 0;
+    auto& reg = Registry::global();
+    return std::tuple{answered,
+                      reg.counter("curve.pairings").value(),
+                      reg.counter("curve.miller_loops").value(),
+                      reg.counter("curve.final_exps").value(),
+                      reg.counter("curve.g2_prepared_builds").value(),
+                      reg.counter("curve.msm_calls").value(),
+                      reg.counter("curve.msm_terms").value()};
+  };
+
+  const auto seq = run(1);
+  const auto pooled = run(4);
+  EXPECT_EQ(std::get<0>(seq), 3u);
+  EXPECT_EQ(seq, pooled);
+}
+
+}  // namespace
+}  // namespace peace
