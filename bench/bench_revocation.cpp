@@ -4,6 +4,7 @@
 // is independent of |URL|" trades per-epoch linkability for O(1) lookups.
 // This bench regenerates both curves and their crossover.
 #include "bench_common.hpp"
+#include "peace/url_scan.hpp"
 
 namespace peace::bench {
 namespace {
@@ -14,6 +15,22 @@ std::vector<groupsig::RevocationToken> make_url(const groupsig::Issuer& issuer,
   url.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i)
     url.push_back({issuer.issue(curve::random_fr(rng), rng).a});
+  return url;
+}
+
+std::vector<groupsig::RevocationToken> make_url_fast(std::size_t n) {
+  // Distinct small multiples of the generator: well-formed G1 tokens no
+  // bench signer owns, one group add each — cheap enough to build the
+  // 10^5-entry URLs the large-scale scan benches need (make_url's issuer
+  // path pays a scalar multiplication per token).
+  std::vector<groupsig::RevocationToken> url;
+  url.reserve(n);
+  const curve::G1 g = curve::Bn254::get().g1_gen;
+  curve::G1 a = g;
+  for (std::size_t i = 0; i < n; ++i) {
+    a = a + g;
+    url.push_back({a});
+  }
   return url;
 }
 
@@ -49,6 +66,8 @@ BENCHMARK(BM_LinearScanRevocation)
     ->Arg(8)
     ->Arg(16)
     ->Arg(32)
+    ->Arg(1000)
+    ->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 
 void BM_FastEpochRevocation(benchmark::State& state) {
@@ -240,6 +259,78 @@ BENCHMARK(BM_UrlScanPreparedBases)
     ->Arg(16)
     ->Arg(32)
     ->Unit(benchmark::kMillisecond);
+
+void BM_UrlScanBatched(benchmark::State& state) {
+  // The batched scan path (groupsig::scan_tokens): bases prepared once per
+  // scan, ONE Miller factor e(-v, T_hat) shared across the list, one token
+  // Miller loop each, and a single Montgomery-batched easy-part inversion
+  // for the whole scan. Per-verification cost vs |URL| up to 10^5 — compare
+  // per-token with BM_LinearScanRevocation (the seed base-rederiving path)
+  // and BM_UrlScanPreparedBases (the seed cached-v_hat path).
+  World& w = World::instance();
+  crypto::Drbg rng = crypto::Drbg::from_string("e4b", state.range(0));
+  const auto& key = w.user->credential(w.gm.id());
+  const auto sig = groupsig::sign(w.no.params().gpk, key, as_bytes("m"), rng);
+  const auto url = make_url_fast(static_cast<std::size_t>(state.range(0)));
+  groupsig::OpCounters ops;
+  for (auto _ : state) {
+    ops.reset();
+    const groupsig::PreparedBases prepared =
+        groupsig::prepare_bases(w.no.params().gpk, as_bytes("m"), sig, &ops);
+    const std::size_t hit = groupsig::scan_tokens(prepared, sig, url, &ops);
+    if (hit != groupsig::TokenScan::npos)
+      state.SkipWithError("clean URL reported a match");
+    benchmark::DoNotOptimize(hit);
+  }
+  state.counters["url_size"] = static_cast<double>(state.range(0));
+  state.counters["tokens_per_s"] = benchmark::Counter(
+      static_cast<double>(state.range(0)),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["pairings_per_check"] =
+      static_cast<double>(ops.pairings) / static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_UrlScanBatched)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShardedUrlScan(benchmark::State& state) {
+  // One large-URL scan sharded across VerifyPool workers with early exit
+  // (peace::proto::url_scan_revoked) — the router's batch-of-one path for
+  // production URL sizes. Clean list, so every shard runs its full range:
+  // the worst case, and the only deterministic one.
+  World& w = World::instance();
+  crypto::Drbg rng = crypto::Drbg::from_string("e4sh");
+  const auto& key = w.user->credential(w.gm.id());
+  const auto sig = groupsig::sign(w.no.params().gpk, key, as_bytes("m"), rng);
+  const auto url = make_url_fast(static_cast<std::size_t>(state.range(0)));
+  const groupsig::PreparedBases prepared =
+      groupsig::prepare_bases(w.no.params().gpk, as_bytes("m"), sig);
+  proto::VerifyPool pool(static_cast<unsigned>(state.range(1)));
+  for (auto _ : state) {
+    const bool revoked = proto::url_scan_revoked(prepared, sig, url, &pool);
+    if (revoked) state.SkipWithError("clean URL reported a match");
+    benchmark::DoNotOptimize(revoked);
+  }
+  state.counters["url_size"] = static_cast<double>(state.range(0));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  state.counters["tokens_per_s"] = benchmark::Counter(
+      static_cast<double>(state.range(0)),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ShardedUrlScan)
+    ->Args({10000, 1})
+    ->Args({10000, 2})
+    ->Args({10000, 4})
+    ->Args({10000, 8})
+    ->Args({100000, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_PerRouterIndexes(benchmark::State& state) {
   // N routers each maintaining a private epoch index: N full builds per

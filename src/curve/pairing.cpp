@@ -272,20 +272,67 @@ Fp12 miller_loop(const G1& p, const G2Prepared& prepared) {
   return f;
 }
 
+namespace {
+
+/// Easy part: f^((p^6 - 1)(p^2 + 1)). The result is unitary, which the
+/// hard-part chain exploits (inverse == conjugate). Every caller pays one
+/// Fp12 inversion here — the op the batched variant shares across elements.
+Fp12 easy_part(const Fp12& f) {
+  obs::note_fp12_inverse();
+  Fp12 t = f.conjugate() * f.inverse();  // f^(p^6 - 1)
+  return frobenius12(frobenius12(t)) * t;  // ^(p^2 + 1)
+}
+
+/// Hard part: t^((p^4 - p^2 + 1) / r) for unitary t.
+GT hard_part(const Fp12& t) {
+  if (hard_chain_is_valid()) return hard_part_chain(t);
+  return pow_bigint(t, Bn254::get().final_exp_hard);
+}
+
+}  // namespace
+
 GT final_exponentiation(const Fp12& f) {
   obs::note_final_exp();
-  const auto& bn = Bn254::get();
-  // Easy part: f^((p^6 - 1)(p^2 + 1)). The result is unitary, which the
-  // hard-part chain exploits (inverse == conjugate).
-  Fp12 t = f.conjugate() * f.inverse();       // f^(p^6 - 1)
-  t = frobenius12(frobenius12(t)) * t;        // ^(p^2 + 1)
-  // Hard part: ^((p^4 - p^2 + 1) / r).
-  if (hard_chain_is_valid()) return hard_part_chain(t);
-  return pow_bigint(t, bn.final_exp_hard);
+  return hard_part(easy_part(f));
+}
+
+std::vector<Fp12> final_exp_easy_batch(std::span<const Fp12> fs) {
+  std::vector<Fp12> out;
+  if (fs.empty()) return out;
+  // Montgomery batch inversion: prefix[i] = fs[0] * ... * fs[i]; invert the
+  // full product once; walking back, inv(fs[i]) = prefix[i-1] * inv_suffix.
+  // Field inverses are unique, so each recovered inverse is the exact same
+  // element fs[i].inverse() would produce — downstream verdicts are
+  // bit-identical to the unbatched easy part.
+  std::vector<Fp12> prefix(fs.size());
+  prefix[0] = fs[0];
+  for (std::size_t i = 1; i < fs.size(); ++i) prefix[i] = prefix[i - 1] * fs[i];
+  if (prefix.back().is_zero())
+    throw Error("final_exp_easy_batch: zero element has no inverse");
+  obs::note_fp12_inverse();
+  Fp12 suffix_inv = prefix.back().inverse();
+  std::vector<Fp12> inv(fs.size());
+  for (std::size_t i = fs.size() - 1; i > 0; --i) {
+    inv[i] = suffix_inv * prefix[i - 1];
+    suffix_inv *= fs[i];
+  }
+  inv[0] = suffix_inv;
+  out.resize(fs.size());
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    Fp12 t = fs[i].conjugate() * inv[i];
+    out[i] = frobenius12(frobenius12(t)) * t;
+  }
+  return out;
+}
+
+GT final_exp_hard(const Fp12& t) {
+  obs::note_final_exp();
+  return hard_part(t);
 }
 
 GT final_exponentiation_generic(const Fp12& f) {
   obs::note_final_exp();
+  obs::note_fp12_inverse();
   const auto& bn = Bn254::get();
   Fp12 t = f.conjugate() * f.inverse();
   t = frobenius12(frobenius12(t)) * t;
@@ -504,5 +551,7 @@ const GT& gt_generator() {
 std::uint64_t pairing_op_count() { return obs::pairing_count(); }
 
 std::uint64_t g2_prepared_count() { return obs::g2_prepared_build_count(); }
+
+std::uint64_t fp12_inverse_count() { return obs::fp12_inverse_op_count(); }
 
 }  // namespace peace::curve

@@ -132,6 +132,24 @@ GT gt_multi_pow_unitary(std::span<const GT> xs,
 /// silently falls back to generic square-and-multiply).
 GT final_exponentiation(const Fp12& f);
 
+/// Easy part of the final exponentiation, f^((p^6 - 1)(p^2 + 1)), for a
+/// whole batch of unrelated Miller-loop products at once. The per-element
+/// Fp12 inversion — the only non-linear cost of the easy part — is batched
+/// Montgomery-style (prefix products, ONE inversion, suffix walk-back), so
+/// an n-element batch pays exactly 1 Fp12 inversion plus O(n)
+/// multiplications instead of n inversions. Element i of the result equals
+/// the easy part of fs[i] exactly (same field operations modulo
+/// associativity of exact modular arithmetic — bit-identical output).
+/// Outputs are unitary; feed them to final_exp_hard. A zero element (never
+/// produced by a Miller loop) throws Error.
+std::vector<Fp12> final_exp_easy_batch(std::span<const Fp12> fs);
+
+/// Hard part of the final exponentiation, t^((p^4 - p^2 + 1) / r), for a
+/// unitary `t` (an output of the easy part / final_exp_easy_batch). Same
+/// addition chain + generic fallback as final_exponentiation, which is
+/// exactly final_exp_hard composed with the (inversion-counting) easy part.
+GT final_exp_hard(const Fp12& t);
+
 /// The generic square-and-multiply path, kept as an independent oracle for
 /// tests and the ablation bench.
 GT final_exponentiation_generic(const Fp12& f);
@@ -160,5 +178,12 @@ std::uint64_t pairing_op_count();
 /// delta across a call to assert that hot paths reuse cached prepared bases
 /// instead of constructing one-shot tables per message or per token.
 std::uint64_t g2_prepared_count();
+
+/// Total Fp12 inversions paid by final-exponentiation easy parts since
+/// process start (one per final_exponentiation call, one per
+/// final_exp_easy_batch call regardless of batch size). Tests use the delta
+/// across an n-token URL scan to assert the batched easy part shares a
+/// single inversion.
+std::uint64_t fp12_inverse_count();
 
 }  // namespace peace::curve

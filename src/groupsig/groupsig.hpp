@@ -19,6 +19,7 @@
 // preserving the paper's cost shape of 2 pairings per revocation token.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -231,6 +232,68 @@ PreparedBases prepare_bases(const GroupPublicKey& gpk, BytesView message,
 /// mixed multi_pairing, so no G2Prepared is ever built per token.
 bool matches_token(const PreparedBases& prepared, const Signature& sig,
                    const RevocationToken& token, OpCounters* ops = nullptr);
+
+/// Batched Eq.3 scan of one signature against many revocation tokens.
+///
+/// Two costs of the per-token matches_token loop are constant across a scan
+/// and get hoisted here:
+///
+///  * the second Miller factor e(-v, T_hat) depends only on the signature —
+///    the constructor computes it ONCE and every token reuses it, so a scan
+///    pays one Miller loop per token (against the prepared v_hat lines)
+///    instead of two;
+///  * the Fp12 inversion inside each final exponentiation's easy part —
+///    first_match() runs the Montgomery-batched easy part over all
+///    accumulated products, so an n-token scan pays exactly 1 Fp12 inversion
+///    (curve::final_exp_easy_batch) instead of n.
+///
+/// Verdicts are bit-identical to calling matches_token per token: the
+/// factored Miller product equals the fused one as an exact field element,
+/// and the batched easy part reproduces each per-element easy part exactly
+/// (see docs/CRYPTO.md §5). Per-token hard parts still run individually,
+/// with early exit on the first match — the same short-circuit the
+/// sequential loop has.
+///
+/// OpCounters keep the 2-pairings-per-token convention of matches_token so
+/// cost-analysis tests compare like for like across scan implementations.
+class TokenScan {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// `prepared` and `sig` must outlive the scan.
+  TokenScan(const PreparedBases& prepared, const Signature& sig,
+            OpCounters* ops = nullptr);
+
+  /// Accumulates the Miller product for one token (no final exponentiation
+  /// yet). Counts 2 OpCounters pairings, matching matches_token.
+  void add(const RevocationToken& token);
+  std::size_t size() const { return products_.size(); }
+
+  /// Index of the first added token matching the signer, or npos. Pays the
+  /// single batched easy part plus one hard part per token up to and
+  /// including the first match.
+  ///
+  /// `stop` (optional) is a cooperative cancellation flag polled before each
+  /// per-token hard part: when it reads true the scan returns npos without
+  /// examining the remaining tokens. A sharded scan sets it when another
+  /// shard has already found a match — the overall verdict is decided, so a
+  /// cancelled shard's npos is never the final answer.
+  std::size_t first_match(const std::atomic<bool>* stop = nullptr) const;
+
+ private:
+  const Signature& sig_;
+  OpCounters* ops_;
+  curve::Fp12 t_hat_factor_;  // miller_loop(-v, T_hat), shared by all tokens
+  curve::G2Prepared const* v_hat_;
+  std::vector<curve::Fp12> products_;
+};
+
+/// Convenience wrapper: scan `url` in order, return the index of the first
+/// matching token or TokenScan::npos. Equivalent to (and the batched
+/// replacement for) the matches_token loop of the seed scan path.
+std::size_t scan_tokens(const PreparedBases& prepared, const Signature& sig,
+                        std::span<const RevocationToken> url,
+                        OpCounters* ops = nullptr);
 
 /// One element of a verification batch. The message bytes and the
 /// signature must stay alive until the batch is finalized.

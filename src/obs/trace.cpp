@@ -21,6 +21,7 @@ struct CoreCounters {
   Counter& msm_calls = Registry::global().counter("curve.msm_calls");
   Counter& msm_terms = Registry::global().counter("curve.msm_terms");
   Counter& gt_pows = Registry::global().counter("curve.gt_pows");
+  Counter& fp12_inverses = Registry::global().counter("curve.fp12_inverses");
 };
 
 CoreCounters& core() {
@@ -102,10 +103,18 @@ void note_gt_pow(std::uint64_t n) {
   PEACE_OBS_TALLY(gt_pows, n);
 }
 
+void note_fp12_inverse(std::uint64_t n) {
+  core().fp12_inverses.add(n);
+  PEACE_OBS_TALLY(fp12_inverses, n);
+}
+
 #undef PEACE_OBS_TALLY
 
 std::uint64_t pairing_count() { return core().pairings.value(); }
 std::uint64_t g2_prepared_build_count() { return core().g2_prepared.value(); }
+std::uint64_t fp12_inverse_op_count() {
+  return core().fp12_inverses.value();
+}
 
 // --- Tracer ---------------------------------------------------------------
 
@@ -312,6 +321,7 @@ std::uint64_t Span::close() {
   attribute("msm_calls", t.msm_calls, start_tally_.msm_calls);
   attribute("msm_terms", t.msm_terms, start_tally_.msm_terms);
   attribute("gt_pows", t.gt_pows, start_tally_.gt_pows);
+  attribute("fp12_inverses", t.fp12_inverses, start_tally_.fp12_inverses);
   Tracer::global().record(event_);
   if (hist_ != nullptr) hist_->record(dur);
   return dur;

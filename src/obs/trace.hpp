@@ -56,11 +56,13 @@ void note_final_exp(std::uint64_t n = 1);
 void note_g2_prepared(std::uint64_t n = 1);
 void note_msm(std::uint64_t terms);
 void note_gt_pow(std::uint64_t n = 1);
+void note_fp12_inverse(std::uint64_t n = 1);
 
 /// Fast reads of the always-on op counters (what the curve:: op-count API
 /// delegates to after the bare-global migration).
 std::uint64_t pairing_count();
 std::uint64_t g2_prepared_build_count();
+std::uint64_t fp12_inverse_op_count();
 
 /// Per-thread crypto-op tally. Spans snapshot it at open and diff at close;
 /// crypto work and the span observing it share a thread by construction
@@ -73,6 +75,7 @@ struct CryptoTally {
   std::uint64_t msm_calls = 0;
   std::uint64_t msm_terms = 0;
   std::uint64_t gt_pows = 0;
+  std::uint64_t fp12_inverses = 0;
 };
 
 #ifndef PEACE_OBS_DISABLED

@@ -5,6 +5,7 @@
 #include "common/serde.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/trace.hpp"
 
 namespace peace::proto {
 
@@ -176,6 +177,9 @@ GroupManager NetworkOperator::register_group(const std::string& name,
 }
 
 void NetworkOperator::rotate_master_key(Timestamp now) {
+  obs::Span span("no.rotate_master_key", "peace");
+  span.arg("archived_tokens", grt_.size());
+  span.arg("era", past_eras_.size() + 1);
   past_eras_.push_back({issuer_.gpk(), std::move(grt_)});
   grt_.clear();
   issuer_ = groupsig::Issuer::create(rng_);
@@ -297,24 +301,45 @@ std::optional<AuditResult> NetworkOperator::audit(
   // Paper IV.D: for each revocation token A in grt, test Eq.3 against the
   // logged authentication message. Archived eras are scanned with their
   // own gpk so sessions that predate a key rotation remain auditable.
+  //
+  // The signature bases depend on (gpk, message), not on the token, so each
+  // era derives its PreparedBases exactly ONCE and runs the batched
+  // TokenScan over its whole grt — one Miller loop per token and one shared
+  // easy-part inversion per era, instead of re-hashing the bases and
+  // re-walking v_hat's twist arithmetic for every entry.
+  obs::Span span("no.audit", "peace");
   const Bytes payload = m2.signed_payload();
   std::size_t scanned = 0;
+  std::size_t eras = 0;
   const auto scan = [&](const GroupPublicKey& gpk,
                         const std::vector<GrtEntry>& grt)
       -> std::optional<AuditResult> {
-    for (const GrtEntry& e : grt) {
-      ++scanned;
-      if (groupsig::matches_token(gpk, payload, m2.signature, e.token)) {
-        return AuditResult{e.token, e.group_id, e.index, scanned};
-      }
+    if (grt.empty()) return std::nullopt;
+    ++eras;
+    const groupsig::PreparedBases prepared =
+        groupsig::prepare_bases(gpk, payload, m2.signature);
+    groupsig::TokenScan era_scan(prepared, m2.signature);
+    for (const GrtEntry& e : grt) era_scan.add(e.token);
+    const std::size_t hit = era_scan.first_match();
+    if (hit == groupsig::TokenScan::npos) {
+      scanned += grt.size();
+      return std::nullopt;
     }
-    return std::nullopt;
+    scanned += hit + 1;
+    return AuditResult{grt[hit].token, grt[hit].group_id, grt[hit].index,
+                       scanned};
   };
-  if (auto hit = scan(issuer_.gpk(), grt_)) return hit;
+  const auto finish = [&](std::optional<AuditResult> hit) {
+    span.arg("eras_scanned", eras);
+    span.arg("tokens_scanned", scanned);
+    span.arg("hit", hit.has_value() ? 1 : 0);
+    return hit;
+  };
+  if (auto hit = scan(issuer_.gpk(), grt_)) return finish(std::move(hit));
   for (auto it = past_eras_.rbegin(); it != past_eras_.rend(); ++it) {
-    if (auto hit = scan(it->gpk, it->grt)) return hit;
+    if (auto hit = scan(it->gpk, it->grt)) return finish(std::move(hit));
   }
-  return std::nullopt;
+  return finish(std::nullopt);
 }
 
 std::optional<KeyIndex> NetworkOperator::index_of_token(const G1& a) const {

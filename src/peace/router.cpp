@@ -4,6 +4,7 @@
 #include "crypto/sha256.hpp"
 #include "curve/hash_to_curve.hpp"
 #include "obs/trace.hpp"
+#include "peace/url_scan.hpp"
 
 namespace peace::proto {
 
@@ -249,12 +250,41 @@ MeshRouter::handle_access_requests(std::span<const AccessRequest> batch,
   jobs.reserve(pending.size());
   for (PendingVerify& pv : pending)
     if (!pv.deferred) jobs.push_back(&pv);
-  const auto verify_one = [this, &revocation](PendingVerify& pv) {
+
+  // Cross-request scan batching (still sequential — the pool has not been
+  // fed yet): every epoch-mode request whose epoch the snapshot index does
+  // NOT cover will fall back to a URL scan, and its bases depend only on
+  // (gpk, epoch). Derive each distinct such epoch's PreparedBases once,
+  // here, so the pooled revocation checks share them read-only instead of
+  // re-deriving per message. Epoch-0 requests keep per-message bases by
+  // design (that is what makes them unlinkable), derived on the worker.
+  if (!revocation->url_tokens.empty()) {
+    for (PendingVerify& pv : pending) {
+      const groupsig::Epoch epoch = pv.m2->signature.epoch;
+      if (epoch == 0) continue;
+      if (revocation->index != nullptr &&
+          revocation->index->epoch() == epoch)
+        continue;  // answered in O(1); no scan bases needed
+      if (epoch_bases_.contains(epoch)) continue;
+      if (epoch_bases_.size() >= kEpochBasesCacheCap) epoch_bases_.clear();
+      // Epoch-mode bases ignore the message (bases_seed binds only
+      // (gpk, epoch) when epoch != 0), so any request of the epoch works
+      // as the derivation template. Attributed to the request that
+      // triggered the fill, like every other first-toucher cost.
+      epoch_bases_.emplace(
+          epoch, groupsig::prepare_bases(params_.gpk, {}, pv.m2->signature,
+                                         &pv.ops));
+    }
+  }
+
+  const auto verify_one = [this, &revocation](PendingVerify& pv,
+                                              VerifyPool* scan_pool =
+                                                  nullptr) {
     const Bytes payload = pv.m2->signed_payload();
     pv.sig_ok =
         groupsig::verify_proof(pgpk_, payload, pv.m2->signature, &pv.ops);
     if (!pv.sig_ok) return;
-    revocation_check(pv, *revocation);
+    revocation_check(pv, *revocation, scan_pool);
   };
   const auto run_jobs = [this](std::size_t count, auto&& body) {
     if (pool_ != nullptr && count > 1) {
@@ -296,15 +326,20 @@ MeshRouter::handle_access_requests(std::span<const AccessRequest> batch,
       jobs[i]->sig_ok = static_cast<bool>(ok[i]);
       if (jobs[i]->sig_ok) rev_jobs.push_back(jobs[i]);
     }
+    // A single surviving scan job leaves the pool idle on this (sequential)
+    // thread — shard its URL scan instead of running one-core.
+    VerifyPool* scan_pool = rev_jobs.size() <= 1 ? pool_.get() : nullptr;
     run_jobs(rev_jobs.size(), [&](std::size_t i) {
-      revocation_check(*rev_jobs[i], *revocation);
+      revocation_check(*rev_jobs[i], *revocation, scan_pool);
     });
   } else if (pool_ != nullptr && jobs.size() > 1) {
     stats_.verify_batches += 1;
     stats_.batched_requests += jobs.size();
     pool_->run(jobs.size(), [&](std::size_t i) { verify_one(*jobs[i]); });
   } else {
-    for (PendingVerify* pv : jobs) verify_one(*pv);
+    // Sequential path (batch of one, or no pool): the pool — when present —
+    // is idle, so a large-URL scan may fan out over it.
+    for (PendingVerify* pv : jobs) verify_one(*pv, pool_.get());
   }
 
   // Pass 3 (sequential, input order): apply verdicts, re-checking the
@@ -323,7 +358,9 @@ MeshRouter::handle_access_requests(std::span<const AccessRequest> batch,
       ++stats_.rejected_replay;
       continue;
     }
-    if (pv.deferred) verify_one(pv);  // earlier same-sid entry was rejected
+    // Earlier same-sid entry was rejected: verify now (sequential context,
+    // pool idle, so the URL scan may shard).
+    if (pv.deferred) verify_one(pv, pool_.get());
     ++stats_.signature_verifications;
     verify_ops_.merge(pv.ops);
     if (!pv.sig_ok) {
@@ -350,28 +387,39 @@ MeshRouter::handle_access_requests(std::span<const AccessRequest> batch,
 }
 
 void MeshRouter::revocation_check(PendingVerify& pv,
-                                  const revoke::RevocationSnapshot& snapshot) {
+                                  const revoke::RevocationSnapshot& snapshot,
+                                  VerifyPool* scan_pool) {
   // Step 3.3: the revocation check. Epoch mode answers from the shared
-  // index in O(1) against its epoch-lived prepared v_hat; otherwise the
-  // bases are derived (and v_hat prepared) once per message and the whole
-  // |URL| scan reuses them — matches_token itself never builds a
-  // G2Prepared. Always per-signature: Eq.3 cannot be batched without
-  // losing the per-token attribution.
+  // index in O(1) against its epoch-lived prepared v_hat. An epoch
+  // mismatch — an in-flight M.2 signed before a roll the snapshot already
+  // reflects — falls through to the scan rather than misclassifying
+  // against the wrong epoch's tags (is_revoked would throw).
   if (snapshot.index != nullptr &&
       pv.m2->signature.epoch == snapshot.index->epoch()) {
     pv.revoked = snapshot.index->is_revoked(pv.m2->signature, &pv.ops);
     return;
   }
   if (snapshot.url_tokens.empty()) return;
-  const Bytes payload = pv.m2->signed_payload();
-  const groupsig::PreparedBases prepared =
-      groupsig::prepare_bases(params_.gpk, payload, pv.m2->signature, &pv.ops);
-  for (const RevocationToken& token : snapshot.url_tokens) {
-    if (groupsig::matches_token(prepared, pv.m2->signature, token, &pv.ops)) {
-      pv.revoked = true;
-      return;
-    }
+  // Scan path: epoch-mode signatures share the per-epoch bases the
+  // sequential precheck phase cached (read-only here — workers run this
+  // concurrently); epoch-0 signatures derive their per-message bases now.
+  // The scan itself is the batched TokenScan — one Miller loop per token,
+  // one shared easy-part inversion — sharded over the pool when the caller
+  // is sequential and the URL is large.
+  const groupsig::PreparedBases* prepared = nullptr;
+  groupsig::PreparedBases local;
+  if (pv.m2->signature.epoch != 0) {
+    const auto it = epoch_bases_.find(pv.m2->signature.epoch);
+    if (it != epoch_bases_.end()) prepared = &it->second;
   }
+  if (prepared == nullptr) {
+    const Bytes payload = pv.m2->signed_payload();
+    local = groupsig::prepare_bases(params_.gpk, payload, pv.m2->signature,
+                                    &pv.ops);
+    prepared = &local;
+  }
+  pv.revoked = url_scan_revoked(*prepared, pv.m2->signature,
+                                snapshot.url_tokens, scan_pool, &pv.ops);
 }
 
 MeshRouter::AccessOutcome MeshRouter::accept_request(const AccessRequest& m2,

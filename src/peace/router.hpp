@@ -85,6 +85,7 @@ class MeshRouter {
   void install_params(const SystemParams& params) {
     params_ = params;
     pgpk_ = groupsig::PreparedGroupPublicKey(params_.gpk);
+    epoch_bases_.clear();  // bases are derived from (gpk, epoch)
   }
 
   /// Enables the client-puzzle defence (Sec. V.A) at the given difficulty.
@@ -146,8 +147,12 @@ class MeshRouter {
                                const BeaconState& beacon, const Bytes& sid,
                                const std::string& sid_hex);
   /// Step 3.3 for one verified request, against a batch-wide snapshot.
+  /// `scan_pool` non-null shards a large-URL scan over the pool and must
+  /// only be passed from a sequential context (pool batches do not nest);
+  /// pooled callers pass nullptr and scan on their own worker.
   void revocation_check(PendingVerify& pv,
-                        const revoke::RevocationSnapshot& snapshot);
+                        const revoke::RevocationSnapshot& snapshot,
+                        VerifyPool* scan_pool = nullptr);
 
   RouterId id_;
   curve::EcdsaKeyPair keypair_;
@@ -165,6 +170,18 @@ class MeshRouter {
   Bytes batch_salt_;
 
   std::shared_ptr<revoke::SharedRevocationState> revocation_;  // never null
+
+  /// Cross-request scan batching: epoch-mode bases depend only on
+  /// (gpk, epoch), so every verification in a batch — and across batches —
+  /// shares one PreparedBases per epoch instead of deriving its own.
+  /// Mutated ONLY in the sequential precheck phase of
+  /// handle_access_requests (and cleared in install_params); pool workers
+  /// read it concurrently via find(), never insert. Bounded by
+  /// kEpochBasesCacheCap with whole-cache eviction — epochs advance
+  /// monotonically, so at steady state the cache holds the live epoch plus
+  /// a few stragglers from an in-flight roll.
+  static constexpr std::size_t kEpochBasesCacheCap = 8;
+  std::unordered_map<groupsig::Epoch, groupsig::PreparedBases> epoch_bases_;
 
   std::deque<BeaconState> recent_beacons_;
   std::uint8_t puzzle_difficulty_ = 0;

@@ -1,0 +1,62 @@
+#include "peace/url_scan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+namespace peace::proto {
+
+namespace {
+
+/// Tokens per TokenScan block inside one shard. Each block pays one shared
+/// e(-v, T_hat) Miller loop and one batched easy-part inversion on top of
+/// its per-token work (~2 ms/token), so at 64 the block overhead is under
+/// 2%, while the first-hit flag still gets polled at block boundaries —
+/// and between individual Miller loops and hard parts within a block — so
+/// a worker abandons a decided scan within a couple of milliseconds.
+constexpr std::size_t kScanBlock = 64;
+
+}  // namespace
+
+bool url_scan_revoked(const groupsig::PreparedBases& prepared,
+                      const groupsig::Signature& sig,
+                      std::span<const groupsig::RevocationToken> url,
+                      VerifyPool* pool, groupsig::OpCounters* ops) {
+  if (pool == nullptr || pool->threads() <= 1 ||
+      url.size() < kMinShardedUrlScan) {
+    return groupsig::scan_tokens(prepared, sig, url, ops) !=
+           groupsig::TokenScan::npos;
+  }
+
+  const std::size_t shards =
+      std::min<std::size_t>(pool->threads(),
+                            (url.size() + kScanBlock - 1) / kScanBlock);
+  std::atomic<bool> hit{false};
+  // Per-shard counters, merged in shard order after the batch: the merge
+  // order is deterministic, though on a revoked signature the counts
+  // themselves depend on how quickly the other shards observed the flag.
+  std::vector<groupsig::OpCounters> shard_ops(shards);
+  pool->run(shards, [&](std::size_t s) {
+    const std::size_t begin = url.size() * s / shards;
+    const std::size_t end = url.size() * (s + 1) / shards;
+    groupsig::OpCounters* local = ops != nullptr ? &shard_ops[s] : nullptr;
+    for (std::size_t b = begin; b < end; b += kScanBlock) {
+      groupsig::TokenScan scan(prepared, sig, local);
+      const std::size_t block_end = std::min(end, b + kScanBlock);
+      for (std::size_t i = b; i < block_end; ++i) {
+        if (hit.load(std::memory_order_relaxed)) return;
+        scan.add(url[i]);
+      }
+      if (scan.first_match(&hit) != groupsig::TokenScan::npos) {
+        hit.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (hit.load(std::memory_order_relaxed)) return;
+    }
+  });
+  if (ops != nullptr)
+    for (const groupsig::OpCounters& so : shard_ops) ops->merge(so);
+  return hit.load(std::memory_order_relaxed);
+}
+
+}  // namespace peace::proto

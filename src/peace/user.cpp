@@ -223,13 +223,13 @@ bool User::peer_not_revoked(BytesView payload,
                             const groupsig::Signature& sig) {
   if (url_tokens_.empty()) return true;
   // One base derivation (and one v_hat preparation) amortised over the
-  // whole URL scan — matches_token never builds a per-token G2Prepared.
+  // whole URL scan, and the batched TokenScan underneath: one Miller loop
+  // per token, one shared e(-v, T_hat) factor, one easy-part inversion for
+  // the whole hello check.
   const groupsig::PreparedBases prepared =
       groupsig::prepare_bases(params_.gpk, payload, sig);
-  for (const RevocationToken& token : url_tokens_) {
-    if (groupsig::matches_token(prepared, sig, token)) return false;
-  }
-  return true;
+  return groupsig::scan_tokens(prepared, sig, url_tokens_) ==
+         groupsig::TokenScan::npos;
 }
 
 PeerHello User::make_peer_hello(const G1& g, Timestamp now,

@@ -193,5 +193,30 @@ TEST_F(AuditTest, AuditScansGrtLinearly) {
   EXPECT_LE(result->tokens_scanned, no_.grt_size());
 }
 
+TEST_F(AuditTest, AuditDerivesBasesOncePerEra) {
+  // The signature bases depend on (gpk, message), never on the token, so
+  // the audit derives PreparedBases once per scanned era — not once per
+  // grt entry as the seed implementation did.
+  User alice = enroll("alice@company", *gm_company_);
+  const AccessRequest m2 = logged_m2(alice, 1000);
+
+  // Rotate: alice's session now lives in an archived era. Repopulate the
+  // current era so the audit walks TWO non-empty grts before hitting.
+  no_.rotate_master_key(2000);
+  no_.reissue_group(*gm_company_, 4, ttp_);
+  ASSERT_EQ(no_.era_count(), 2u);
+
+  const std::uint64_t before = curve::g2_prepared_count();
+  const auto result = no_.audit(m2);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->group_id, gm_company_->id());
+  // One G2Prepared (the era's v_hat) per scanned era, independent of how
+  // many tokens each era holds.
+  EXPECT_EQ(curve::g2_prepared_count() - before, 2u);
+  // The current (post-rotation) era was scanned in full and missed before
+  // the archived era produced the hit.
+  EXPECT_GT(result->tokens_scanned, no_.grt_size());
+}
+
 }  // namespace
 }  // namespace peace::proto

@@ -466,6 +466,56 @@ TEST_F(RevokeSystemTest, EpochRollEdgeCases) {
   EXPECT_EQ(router->stats().rejected_revoked, 1u);
 }
 
+TEST_F(RevokeSystemTest, EpochRollRaceFallsBackToSharedPreparedScan) {
+  // Requests signed while epoch 4 was live race a roll to epoch 5: by the
+  // time the router handles them, the snapshot index answers only epoch 5.
+  // The mismatch must fall back to the prepared-bases URL scan (not throw,
+  // not misclassify against the wrong epoch's tags) — and since epoch-mode
+  // bases depend only on (gpk, epoch), the whole batch shares ONE base
+  // derivation.
+  auto router = make_router(1);
+  auto alice = make_user("alice");
+  auto mallory = make_user("mallory");
+  no_.revoke_user_key(enrollments_["mallory"].index, 100);
+  router->install_revocation_lists(no_.current_crl(), no_.current_url());
+  router->set_revocation_epoch(4);
+
+  const auto beacon = router->make_beacon(1000);
+  const auto epoch_m2 = [&](proto::User& u, const std::string& uid) {
+    auto m2 = u.process_beacon(beacon, 1000);
+    EXPECT_TRUE(m2.has_value());
+    crypto::Drbg rng = crypto::Drbg::from_string("race-" + uid);
+    m2->signature =
+        groupsig::sign(no_.params().gpk,
+                       u.credential(enrollments_[uid].index.group),
+                       m2->signed_payload(), rng, 4);
+    return *m2;
+  };
+  const std::vector<proto::AccessRequest> batch{epoch_m2(*alice, "alice"),
+                                                epoch_m2(*mallory, "mallory")};
+
+  router->set_revocation_epoch(5);  // the roll lands before the batch
+  const std::uint64_t before = curve::g2_prepared_count();
+  const auto outcomes = router->handle_access_requests(batch, 1001);
+  EXPECT_EQ(curve::g2_prepared_count() - before, 1u);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].has_value());
+  EXPECT_FALSE(outcomes[1].has_value());
+  EXPECT_EQ(router->stats().rejected_revoked, 1u);
+
+  // Steady state is untouched by the race handling: a current-epoch request
+  // still answers from the O(1) index with no new base derivations.
+  auto live = alice->process_beacon(beacon, 1000);
+  ASSERT_TRUE(live.has_value());
+  crypto::Drbg rng = crypto::Drbg::from_string("race-live");
+  live->signature = groupsig::sign(
+      no_.params().gpk, alice->credential(enrollments_["alice"].index.group),
+      live->signed_payload(), rng, 5);
+  const std::uint64_t steady = curve::g2_prepared_count();
+  EXPECT_TRUE(router->handle_access_request(*live, 1001).has_value());
+  EXPECT_EQ(curve::g2_prepared_count() - steady, 0u);
+}
+
 TEST_F(RevokeSystemTest, SnapshotSwapIsSafeUnderConcurrentReaders) {
   // RCU discipline under instrumentation (run in the ASan/UBSan CI job):
   // a VerifyPool's worth of readers hammer snapshot() — touching the token
