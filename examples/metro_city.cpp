@@ -1,0 +1,173 @@
+// metro_city — one simulated day of a sharded metropolitan deployment at
+// populations up to (and beyond) 100k users: per-segment shards with their
+// own event queues, commute waves roaming users between segments, a
+// stadium flash crowd, and rolling revocation waves from the operator.
+// See mesh/metro_scenario.hpp for the hybrid population model (a real
+// BN254-crypto cohort over a synthetic background population).
+//
+// Run: ./build/examples/metro_city [--users=N] [--cohort=N] [--shards=N]
+//        [--day-ms=N] [--budget=N] [--waves=N] [--no-flash-crowd]
+//        [--trace=out.jsonl] [--metrics=out.json] [--bench-json=out.json]
+//
+// --trace streams events through the bounded-memory JSONL sink
+// (obs::Tracer::stream_to) — memory stays flat however long the day; the
+// file is valid input for tools/trace_report.py. --bench-json writes the
+// throughput summary (users×sim-s/wall-s) as a small JSON report.
+#include <cstdio>
+#include <string>
+
+#include "mesh/metro_scenario.hpp"
+#include "obs/trace.hpp"
+
+using namespace peace;
+
+namespace {
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::string bench_json(const mesh::MetroCityReport& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"benchmark\": \"metro_city\", \"users\": %llu, \"shards\": %zu, "
+      "\"sim_ms\": %llu, \"wall_seconds\": %.3f, \"events\": %llu, "
+      "\"users_sim_s_per_wall_s\": %.0f}\n",
+      static_cast<unsigned long long>(r.total_users), r.shards,
+      static_cast<unsigned long long>(r.sim_ms), r.wall_seconds,
+      static_cast<unsigned long long>(r.events),
+      r.users_sim_seconds_per_wall_second);
+  return buf;
+}
+
+bool parse_u64(const std::string& arg, const char* prefix, std::uint64_t& out) {
+  const std::string p = prefix;
+  if (arg.rfind(p, 0) != 0) return false;
+  out = std::stoull(arg.substr(p.size()));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  curve::Bn254::init();
+  mesh::MetroCityConfig config;
+  std::uint64_t total_users = 100'000;
+  std::string trace_path, metrics_path, bench_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::uint64_t v = 0;
+    if (parse_u64(arg, "--users=", total_users)) {
+    } else if (parse_u64(arg, "--cohort=", v)) {
+      config.cohort_users = static_cast<std::size_t>(v);
+    } else if (parse_u64(arg, "--shards=", v)) {
+      config.shards = static_cast<std::size_t>(v);
+    } else if (parse_u64(arg, "--day-ms=", v)) {
+      config.day_ms = v;
+    } else if (parse_u64(arg, "--budget=", v)) {
+      config.shard_event_budget = v;
+    } else if (parse_u64(arg, "--waves=", v)) {
+      config.revocation_waves = static_cast<unsigned>(v);
+    } else if (arg == "--no-flash-crowd") {
+      config.flash_crowd = false;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
+    } else if (arg.rfind("--bench-json=", 0) == 0) {
+      bench_path = arg.substr(13);
+    } else {
+      std::fprintf(stderr,
+                   "usage: metro_city [--users=N] [--cohort=N] [--shards=N] "
+                   "[--day-ms=N] [--budget=N] [--waves=N] [--no-flash-crowd] "
+                   "[--trace=out.jsonl] [--metrics=out.json] "
+                   "[--bench-json=out.json]\n");
+      return 2;
+    }
+  }
+  if (config.shards == 0 || config.cohort_users > total_users) {
+    std::fprintf(stderr, "metro_city: need shards >= 1, cohort <= users\n");
+    return 2;
+  }
+  config.synthetic_users = total_users - config.cohort_users;
+
+  if (!trace_path.empty()) {
+    obs::enable(true);
+    if (!obs::Tracer::global().stream_to(trace_path)) {
+      std::fprintf(stderr, "metro_city: cannot open %s\n", trace_path.c_str());
+      return 1;
+    }
+  } else if (!metrics_path.empty()) {
+    obs::enable(true);
+  }
+
+  std::printf("metro_city: %llu users (%zu real-crypto cohort) across %zu "
+              "shards, %llu ms simulated day\n",
+              static_cast<unsigned long long>(total_users), config.cohort_users,
+              config.shards, static_cast<unsigned long long>(config.day_ms));
+
+  mesh::MetroCityReport report;
+  try {
+    report = mesh::run_metro_city(config);
+  } catch (const Error& e) {
+    // e.g. a shard exhausting its event budget — the message names it.
+    std::fprintf(stderr, "metro_city: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf(
+      "day complete: %llu sim-ms in %.1f s wall — %.0f users x sim-s / "
+      "wall-s\n",
+      static_cast<unsigned long long>(report.sim_ms), report.wall_seconds,
+      report.users_sim_seconds_per_wall_second);
+  std::printf("  events ............ %llu across %zu shards\n",
+              static_cast<unsigned long long>(report.events), report.shards);
+  std::printf("  cohort ............ %zu/%zu connected at day end, "
+              "%llu cross-shard roams\n",
+              report.cohort_connected, report.cohort_users,
+              static_cast<unsigned long long>(report.cohort_roams));
+  std::printf("  mailboxes ......... %llu msgs routed, %llu handoffs parked, "
+              "%llu dropped\n",
+              static_cast<unsigned long long>(report.metro.msgs_routed),
+              static_cast<unsigned long long>(report.metro.handoffs_parked),
+              static_cast<unsigned long long>(report.metro.handoffs_dropped));
+  std::printf("  backbone .......... %llu relays delivered, %llu dropped\n",
+              static_cast<unsigned long long>(report.metro.relay_delivered),
+              static_cast<unsigned long long>(report.metro.relay_dropped));
+  std::printf("  synthetic load .... %llu modeled associations, %llu data "
+              "frames, %llu moved\n",
+              static_cast<unsigned long long>(report.synthetic.associations),
+              static_cast<unsigned long long>(report.synthetic.data_frames),
+              static_cast<unsigned long long>(report.synthetic.moved));
+  std::printf("  revocation ........ %u waves pushed, URL v%llu\n",
+              report.revocation_waves,
+              static_cast<unsigned long long>(report.url_version));
+
+  bool ok = report.cohort_connected == report.cohort_users;
+  if (!ok)
+    std::fprintf(stderr, "metro_city: cohort did not fully reconnect\n");
+  if (!trace_path.empty()) {
+    const std::uint64_t streamed = obs::Tracer::global().streamed_event_count();
+    if (!obs::Tracer::global().stop_streaming()) {
+      std::fprintf(stderr, "metro_city: trace stream write failed\n");
+      ok = false;
+    }
+    std::printf("trace: %llu events streamed -> %s\n",
+                static_cast<unsigned long long>(streamed), trace_path.c_str());
+  }
+  if (!metrics_path.empty() &&
+      !write_text_file(metrics_path, obs::Registry::global().to_json())) {
+    std::fprintf(stderr, "metro_city: cannot write %s\n", metrics_path.c_str());
+    ok = false;
+  }
+  if (!bench_path.empty() && !write_text_file(bench_path, bench_json(report))) {
+    std::fprintf(stderr, "metro_city: cannot write %s\n", bench_path.c_str());
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,382 @@
+#include "mesh/metro.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "peace/metrics_export.hpp"
+
+namespace peace::mesh {
+
+ShardId MetroSimulation::add_shard(std::string name, const std::string& seed,
+                                   RadioConfig radio,
+                                   proto::ProtocolConfig proto_config,
+                                   ReliabilityConfig reliability) {
+  const ShardId id = static_cast<ShardId>(shards_.size());
+  ShardConfig sc;
+  sc.inbox_cap = config_.shard_inbox_cap;
+  sc.frame_cap = config_.shard_frame_cap;
+  sc.event_budget = config_.shard_event_budget;
+  // The seed is used verbatim: a shard's DRBG stream depends only on its
+  // own seed string, never on shard count or creation order — and a
+  // single-shard metro seeded like a plain MeshNetwork draws the identical
+  // stream (the bit-identity contract). Callers give each shard a distinct
+  // seed (e.g. "metro/shard-3").
+  shards_.push_back(std::make_unique<Shard>(id, std::move(name), sc,
+                                            crypto::Drbg::from_string(seed),
+                                            radio, proto_config, reliability));
+  shard_links_.emplace_back();
+  return id;
+}
+
+void MetroSimulation::connect_shards(ShardId a, ShardId b) {
+  if (a == b || a >= shards_.size() || b >= shards_.size())
+    throw Error("metro: bad shard link");
+  auto link = [&](ShardId x, ShardId y) {
+    auto& adj = shard_links_[x];
+    // Sorted adjacency keeps the relay BFS deterministic.
+    auto it = std::lower_bound(adj.begin(), adj.end(), y);
+    if (it == adj.end() || *it != y) adj.insert(it, y);
+  };
+  link(a, b);
+  link(b, a);
+}
+
+void MetroSimulation::set_shard_link_blocked(ShardId a, ShardId b,
+                                             bool blocked) {
+  if (blocked)
+    blocked_shard_links_.insert(ordered(a, b));
+  else
+    blocked_shard_links_.erase(ordered(a, b));
+}
+
+bool MetroSimulation::shard_link_blocked(ShardId a, ShardId b) const {
+  return blocked_shard_links_.contains(ordered(a, b));
+}
+
+MetroUserId MetroSimulation::add_user(ShardId shard_id, Vec2 pos,
+                                      std::unique_ptr<proto::User> user) {
+  const NodeId node = shard(shard_id).net().add_user(pos, std::move(user));
+  const MetroUserId id = next_user_id_++;
+  users_[id] = UserRecord{shard_id, node, false};
+  return id;
+}
+
+void MetroSimulation::roam_user(MetroUserId id, ShardId dest, Vec2 pos) {
+  auto it = users_.find(id);
+  if (it == users_.end()) throw Error("metro: unknown user");
+  UserRecord& rec = it->second;
+  if (rec.in_transit) throw Error("metro: user already in transit");
+  if (rec.shard == dest) {
+    // Intra-segment roaming: the ordinary move + reassociate path; the
+    // next beacon re-authenticates to the best router at the new position.
+    Shard& s = shard(dest);
+    s.net().move_user(rec.node, pos);
+    s.net().reassociate(rec.node);
+    return;
+  }
+  Shard& src = shard(rec.shard);
+  CrossShardMsg msg;
+  msg.kind = CrossShardMsg::Kind::kUserHandoff;
+  msg.from = rec.shard;
+  msg.to = dest;
+  msg.seq = stamp();
+  msg.user = id;
+  msg.pos = pos;
+  msg.carried = src.net().remove_user(rec.node);
+  src.emit(std::move(msg));
+  rec.in_transit = true;
+}
+
+std::optional<MetroSimulation::UserLocation> MetroSimulation::locate_user(
+    MetroUserId id) const {
+  auto it = users_.find(id);
+  if (it == users_.end() || it->second.in_transit) return std::nullopt;
+  return UserLocation{it->second.shard, it->second.node};
+}
+
+bool MetroSimulation::user_in_transit(MetroUserId id) const {
+  auto it = users_.find(id);
+  return it != users_.end() && it->second.in_transit;
+}
+
+bool MetroSimulation::post_frame(ShardId from, ShardId to, BytesView payload,
+                                 std::uint32_t tag) {
+  Shard& src = shard(from);
+  auto frame = src.arena().acquire_copy(payload);
+  if (!frame) {
+    ++stats_.frames_shed;
+    return false;
+  }
+  CrossShardMsg msg;
+  msg.kind = CrossShardMsg::Kind::kFrame;
+  msg.from = from;
+  msg.to = to;
+  msg.seq = stamp();
+  msg.tag = tag;
+  msg.frame = std::move(*frame);
+  src.emit(std::move(msg));
+  ++stats_.frames_posted;
+  return true;
+}
+
+bool MetroSimulation::relay_to_internet(ShardId from, BytesView payload) {
+  Shard& src = shard(from);
+  if (src.net().access_point_count() > 0) {
+    // The segment has its own wired exit — no inter-shard hop needed. The
+    // in-segment backbone path (send_to_internet) is the caller's business;
+    // the metro layer only counts the delivery.
+    ++stats_.relay_delivered;
+    return true;
+  }
+  const auto hop = next_hop_to_ap(from);
+  if (!hop) {
+    ++stats_.relay_dropped;
+    return false;
+  }
+  auto frame = src.arena().acquire_copy(payload);
+  if (!frame) {
+    ++stats_.frames_shed;
+    return false;
+  }
+  CrossShardMsg msg;
+  msg.kind = CrossShardMsg::Kind::kInternetRelay;
+  msg.from = from;
+  msg.to = *hop;
+  msg.seq = stamp();
+  msg.frame = std::move(*frame);
+  src.emit(std::move(msg));
+  return true;
+}
+
+void MetroSimulation::announce_rl_deltas(const proto::RLDeltaAnnounce& announce,
+                                         proto::NetworkOperator& no) {
+  // Every segment holds its own RCU revocation state; the operator's
+  // distribution channel reaches them all (paper III.A), each over its own
+  // lossy radio draw.
+  for (auto& s : shards_) s->net().announce_rl_deltas(announce, no);
+}
+
+void MetroSimulation::run_until(SimTime end) {
+  while (now_ < end) {
+    const SimTime barrier = std::min(now_ + config_.tick_ms, end);
+    // Shards run one at a time, in id order, each to the same barrier.
+    // Nothing a shard does here can observe another shard (mailboxes move
+    // only below), so this loop could run its iterations on N threads
+    // without changing one result — the contract docs/ARCHITECTURE.md §7
+    // documents and the determinism tests pin down.
+    for (auto& s : shards_) s->sim().run_until(barrier);
+    now_ = barrier;
+    ++stats_.barriers;
+
+    // Barrier phase 1 — route. Collect every outbox and replay it in
+    // global emission (seq) order, so routing decisions (parking, cap
+    // drops) are independent of shard visit order.
+    std::vector<CrossShardMsg> moving;
+    for (auto& s : shards_) {
+      auto out = s->take_outbox();
+      std::move(out.begin(), out.end(), std::back_inserter(moving));
+    }
+    std::sort(moving.begin(), moving.end(),
+              [](const CrossShardMsg& a, const CrossShardMsg& b) {
+                return a.seq < b.seq;
+              });
+    retry_parked();  // older (parked) handoffs re-offer before new traffic
+    for (auto& msg : moving) route(std::move(msg));
+
+    // Barrier phase 2 — apply, shard by shard in id order, arrival order
+    // within a shard. All shard clocks sit exactly at the barrier, so
+    // everything a message schedules lands in the next tick.
+    for (auto& s : shards_) {
+      while (!s->inbox().empty()) {
+        CrossShardMsg msg = std::move(s->inbox().front());
+        s->inbox().pop_front();
+        apply(*s, std::move(msg));
+      }
+    }
+  }
+}
+
+void MetroSimulation::route(CrossShardMsg msg) {
+  ++stats_.msgs_routed;
+  const bool blocked = shard_link_blocked(msg.from, msg.to);
+  if (msg.kind == CrossShardMsg::Kind::kUserHandoff) {
+    Shard& dest = shard(msg.to);
+    if (!blocked && !dest.inbox_full()) {
+      dest.enqueue(std::move(msg));
+      return;
+    }
+    // A handoff carries a live proto::User — park it rather than lose it.
+    if (parked_.size() >= config_.pending_handoff_cap) {
+      // Drop the OLDEST parked user: it has waited longest with no healed
+      // path, and bounded memory beats unbounded queues. The user leaves
+      // the metro (churn); its record disappears.
+      users_.erase(parked_.front().msg.user);
+      parked_.pop_front();
+      ++stats_.handoffs_dropped;
+    }
+    parked_.push_back(ParkedHandoff{std::move(msg)});
+    ++stats_.handoffs_parked;
+    return;
+  }
+  if (blocked) {
+    // Frames shed on a partitioned backbone link; the pooled buffer
+    // returns to its origin arena as the message dies.
+    if (msg.kind == CrossShardMsg::Kind::kInternetRelay)
+      ++stats_.relay_dropped;
+    else
+      ++stats_.frames_dropped;
+    return;
+  }
+  shard(msg.to).enqueue(std::move(msg));
+}
+
+void MetroSimulation::apply(Shard& dest, CrossShardMsg msg) {
+  dest.count_applied(msg);
+  switch (msg.kind) {
+    case CrossShardMsg::Kind::kUserHandoff: {
+      const NodeId node = dest.net().add_user(msg.pos, std::move(msg.carried));
+      auto it = users_.find(msg.user);
+      if (it != users_.end()) it->second = UserRecord{dest.id(), node, false};
+      break;
+    }
+    case CrossShardMsg::Kind::kFrame: {
+      if (frame_handler_) frame_handler_(dest.id(), msg.tag, msg.frame.bytes());
+      break;
+    }
+    case CrossShardMsg::Kind::kInternetRelay: {
+      if (dest.net().access_point_count() > 0) {
+        ++stats_.relay_delivered;
+        break;
+      }
+      const auto hop = next_hop_to_ap(dest.id());
+      if (!hop) {
+        ++stats_.relay_dropped;
+        break;
+      }
+      // One shard hop per tick: forward at the NEXT barrier.
+      msg.from = dest.id();
+      msg.to = *hop;
+      msg.seq = stamp();
+      dest.emit(std::move(msg));
+      break;
+    }
+  }
+}
+
+void MetroSimulation::retry_parked() {
+  // One pass over the parked FIFO in arrival order; survivors keep their
+  // relative order for the next barrier.
+  for (std::size_t n = parked_.size(); n-- > 0;) {
+    ParkedHandoff p = std::move(parked_.front());
+    parked_.pop_front();
+    Shard& dest = shard(p.msg.to);
+    if (!shard_link_blocked(p.msg.from, p.msg.to) && !dest.inbox_full())
+      dest.enqueue(std::move(p.msg));
+    else
+      parked_.push_back(std::move(p));
+  }
+}
+
+std::optional<ShardId> MetroSimulation::next_hop_to_ap(ShardId from) const {
+  // BFS over the inter-shard backbone (sorted adjacency, blocked links
+  // skipped) to the nearest shard owning an access point; returns the
+  // first hop of that shortest path. Deterministic by construction.
+  std::vector<ShardId> first_hop(shards_.size(), from);
+  std::vector<bool> seen(shards_.size(), false);
+  std::deque<ShardId> frontier;
+  seen[from] = true;
+  frontier.push_back(from);
+  while (!frontier.empty()) {
+    const ShardId at = frontier.front();
+    frontier.pop_front();
+    for (const ShardId next : shard_links_[at]) {
+      if (seen[next] || shard_link_blocked(at, next)) continue;
+      seen[next] = true;
+      first_hop[next] = at == from ? next : first_hop[at];
+      if (shards_[next]->net().access_point_count() > 0)
+        return first_hop[next];
+      frontier.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+NetworkStats MetroSimulation::network_stats_total() const {
+  NetworkStats totals;
+  for (const auto& s : shards_) totals = sum(totals, s->net().stats());
+  return totals;
+}
+
+std::uint64_t MetroSimulation::sim_events_total() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->sim().events_processed();
+  return total;
+}
+
+void MetroSimulation::publish_metrics() const {
+  // Merge every per-shard stats struct with its field-wise sum, then
+  // absorb the totals exactly as a single MeshNetwork would. Every merge
+  // is commutative and associative, so shard visit order cannot leak into
+  // the exported values (MetroTest.StatsMergeOrderIndependence).
+  proto::RouterStats routers;
+  proto::UserStats users;
+  groupsig::OpCounters ops;
+  revoke::SharedRevocationStats revocation;
+  bool any_revocation = false;
+  for (const auto& s : shards_) {
+    routers = proto::sum(routers, s->net().router_stats_total());
+    users = proto::sum(users, s->net().user_stats_total());
+    ops.merge(s->net().verify_ops_total());
+    if (s->net().revocation() != nullptr) {
+      revocation = revoke::sum(revocation, s->net().revocation()->stats());
+      any_revocation = true;
+    }
+  }
+  proto::absorb_router_stats(routers);
+  proto::absorb_user_stats(users);
+  proto::absorb_verify_ops(ops);
+  if (any_revocation) proto::absorb_revocation_stats(revocation);
+  absorb_network_stats(network_stats_total(), sim_events_total());
+
+  ShardStats shard_totals;
+  FrameArenaStats arena_totals;
+  for (const auto& s : shards_) {
+    const ShardStats& st = s->stats();
+    shard_totals.msgs_out += st.msgs_out;
+    shard_totals.msgs_in += st.msgs_in;
+    shard_totals.inbox_dropped += st.inbox_dropped;
+    shard_totals.handoffs_in += st.handoffs_in;
+    shard_totals.handoffs_out += st.handoffs_out;
+    const FrameArenaStats& ar = s->arena().stats();
+    arena_totals.acquired += ar.acquired;
+    arena_totals.reused += ar.reused;
+    arena_totals.allocated += ar.allocated;
+    arena_totals.cap_rejections += ar.cap_rejections;
+    arena_totals.outstanding += ar.outstanding;
+  }
+
+  auto& reg = obs::Registry::global();
+  reg.gauge("metro.shards").set(static_cast<std::int64_t>(shards_.size()));
+  reg.gauge("metro.users").set(static_cast<std::int64_t>(users_.size()));
+  reg.gauge("metro.handoffs_pending")
+      .set(static_cast<std::int64_t>(parked_.size()));
+  reg.counter("metro.barriers").set(stats_.barriers);
+  reg.counter("metro.msgs_routed").set(stats_.msgs_routed);
+  reg.counter("metro.frames_posted").set(stats_.frames_posted);
+  reg.counter("metro.frames_shed").set(stats_.frames_shed);
+  reg.counter("metro.frames_dropped").set(stats_.frames_dropped);
+  reg.counter("metro.relay_delivered").set(stats_.relay_delivered);
+  reg.counter("metro.relay_dropped").set(stats_.relay_dropped);
+  reg.counter("metro.handoffs_parked").set(stats_.handoffs_parked);
+  reg.counter("metro.handoffs_dropped").set(stats_.handoffs_dropped);
+  reg.counter("metro.handoffs_completed").set(shard_totals.handoffs_in);
+  reg.counter("metro.inbox_dropped").set(shard_totals.inbox_dropped);
+  reg.counter("metro.arena.acquired").set(arena_totals.acquired);
+  reg.counter("metro.arena.reused").set(arena_totals.reused);
+  reg.counter("metro.arena.allocated").set(arena_totals.allocated);
+  reg.counter("metro.arena.cap_rejections").set(arena_totals.cap_rejections);
+  reg.gauge("metro.arena.outstanding")
+      .set(static_cast<std::int64_t>(arena_totals.outstanding));
+}
+
+}  // namespace peace::mesh

@@ -1,0 +1,201 @@
+// Metro-scale sharded simulation driver. A metropolitan deployment is too
+// large for one event queue — and one segment's flash crowd must not be
+// able to exhaust the whole city's memory — so MetroSimulation splits the
+// mesh into per-segment Shards (each owning its own Simulator, MeshNetwork
+// with VerifyPools and RCU revocation snapshot, and FrameArena) and drives
+// them in lockstep over tick barriers:
+//
+//   while now < end:
+//     barrier = min(now + tick_ms, end)
+//     for shard in id order:    shard.sim().run_until(barrier)
+//     route every outbox message to its destination inbox   (global seq order)
+//     for shard in id order:    apply the shard's inbox      (arrival order)
+//
+// Within a tick, shards never touch each other — all interaction funnels
+// through CrossShardMsgs stamped with a global emission sequence number, so
+// the schedule is fully deterministic regardless of how shards are later
+// parallelized (today they run sequentially on one core; the barrier
+// contract is exactly what makes a thread-per-shard driver legal without
+// changing a single result). A single-shard metro is bit-identical to the
+// plain single-loop MeshNetwork run: no mailbox traffic exists and chunked
+// run_until calls visit events in the same order as one call.
+//
+// Cross-shard traffic:
+//   * roam_user — a user leaves its segment (MeshNetwork::remove_user) and
+//     rides a kUserHandoff to the destination, re-authenticating there on
+//     the next beacon. Handoffs across a blocked inter-shard link are
+//     parked in a bounded FIFO and retried each barrier until the
+//     partition heals; overflow drops the OLDEST parked user (metro churn
+//     — the user left the city), counted in MetroStats.
+//   * post_frame — scenario-defined opaque payloads in arena-pooled
+//     buffers, dispatched to the frame handler at the destination barrier.
+//   * kInternetRelay — frames relayed over the wired inter-shard backbone
+//     toward the nearest shard that has an access point, one shard hop per
+//     tick (BFS over connect_shards topology).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "mesh/shard.hpp"
+
+namespace peace::mesh {
+
+struct MetroConfig {
+  /// Barrier spacing. Smaller ticks tighten cross-shard latency; larger
+  /// ticks amortize barrier overhead. Cross-shard messages always take at
+  /// least one tick.
+  SimTime tick_ms = 100;
+  /// Per-shard lifetime event budget (0 = unlimited). Exhaustion throws an
+  /// Error naming the offending shard (Simulator::set_event_budget).
+  std::uint64_t shard_event_budget = 10'000'000;
+  /// Per-shard inbox / arena caps (ShardConfig).
+  std::size_t shard_inbox_cap = 1 << 16;
+  std::size_t shard_frame_cap = 1 << 16;
+  /// Cap on handoffs parked across blocked shard links; overflow drops the
+  /// oldest parked user.
+  std::size_t pending_handoff_cap = 4096;
+};
+
+struct MetroStats {
+  std::uint64_t barriers = 0;          // tick barriers crossed
+  std::uint64_t msgs_routed = 0;       // mailbox messages moved at barriers
+  std::uint64_t frames_posted = 0;     // post_frame calls that got a buffer
+  std::uint64_t frames_shed = 0;       // post_frame refused at the arena cap
+  std::uint64_t frames_dropped = 0;    // kFrames lost to a blocked link
+  std::uint64_t relay_delivered = 0;   // internet relays that reached an AP
+  std::uint64_t relay_dropped = 0;     // relays dropped: no path to any AP
+  std::uint64_t handoffs_parked = 0;   // handoffs waiting out a partition
+  std::uint64_t handoffs_dropped = 0;  // parked users lost to the FIFO cap
+};
+
+class MetroSimulation {
+ public:
+  explicit MetroSimulation(MetroConfig config = {}) : config_(config) {}
+  MetroSimulation(const MetroSimulation&) = delete;
+  MetroSimulation& operator=(const MetroSimulation&) = delete;
+
+  // --- topology -----------------------------------------------------------
+  /// Creates the next shard (ids are dense, in creation order). Each shard
+  /// seeds its own DRBG from `seed`, so per-shard randomness is independent
+  /// of shard count and visit order.
+  ShardId add_shard(std::string name, const std::string& seed,
+                    RadioConfig radio = {},
+                    proto::ProtocolConfig proto_config = {},
+                    ReliabilityConfig reliability = {});
+  /// Declares a wired inter-shard backbone edge (roaming + relay route).
+  void connect_shards(ShardId a, ShardId b);
+  /// Partitions (or heals) an inter-shard link. Handoffs across a blocked
+  /// link park; frames and relays across it drop (frames_partitioned-style
+  /// shedding, counted in MetroStats::relay_dropped for relays).
+  void set_shard_link_blocked(ShardId a, ShardId b, bool blocked);
+  bool shard_link_blocked(ShardId a, ShardId b) const;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  Shard& shard(ShardId id) { return *shards_.at(id); }
+  const Shard& shard(ShardId id) const { return *shards_.at(id); }
+
+  // --- users --------------------------------------------------------------
+  /// Registers `user` in `shard` and returns its metro-wide id (stable
+  /// across roaming; the per-shard NodeId changes with every handoff).
+  MetroUserId add_user(ShardId shard, Vec2 pos,
+                       std::unique_ptr<proto::User> user);
+  /// Moves a user to `dest` at `pos`. Same shard: move + reassociate (the
+  /// ordinary roaming path). Different shard: the user is extracted now and
+  /// arrives at the next tick barrier (in transit until then), where the
+  /// next beacon re-authenticates it.
+  void roam_user(MetroUserId id, ShardId dest, Vec2 pos);
+  /// Current placement, or nullopt while the user is in transit between
+  /// shards (or was dropped by the parked-handoff cap).
+  struct UserLocation {
+    ShardId shard;
+    NodeId node;
+  };
+  std::optional<UserLocation> locate_user(MetroUserId id) const;
+  bool user_in_transit(MetroUserId id) const;
+  std::size_t user_count() const { return users_.size(); }
+
+  // --- cross-shard traffic ------------------------------------------------
+  /// Posts an opaque scenario frame from `from`'s arena to `to`'s handler
+  /// at the next barrier. Returns false (shedding, counted) when the
+  /// origin arena is at its cap or the payload finds no buffer.
+  bool post_frame(ShardId from, ShardId to, BytesView payload,
+                  std::uint32_t tag);
+  /// Called at the destination barrier for every arriving kFrame.
+  using FrameHandler =
+      std::function<void(ShardId at, std::uint32_t tag, BytesView payload)>;
+  void set_frame_handler(FrameHandler handler) {
+    frame_handler_ = std::move(handler);
+  }
+  /// Hands an internet-bound frame to the inter-shard backbone at `from`:
+  /// it hops one shard per tick toward the nearest shard owning an access
+  /// point (where it counts as delivered). Returns false when no AP shard
+  /// is reachable at all or the arena sheds the frame.
+  bool relay_to_internet(ShardId from, BytesView payload);
+
+  // --- metro-wide operations ---------------------------------------------
+  /// Delivers a revocation delta announcement to every shard's segment
+  /// (each over its own lossy radio; see MeshNetwork::announce_rl_deltas).
+  /// `no` must outlive the scheduled events.
+  void announce_rl_deltas(const proto::RLDeltaAnnounce& announce,
+                          proto::NetworkOperator& no);
+
+  /// Runs every shard to `end` in tick-barrier lockstep (see file header).
+  void run_until(SimTime end);
+  SimTime now() const { return now_; }
+  const MetroConfig& config() const { return config_; }
+  const MetroStats& stats() const { return stats_; }
+
+  /// Cross-shard totals. Field-wise sums of per-shard stats — commutative
+  /// merges, so the result is independent of shard visit order (asserted by
+  /// MetroTest.StatsMergeOrderIndependence).
+  NetworkStats network_stats_total() const;
+  std::uint64_t sim_events_total() const;
+
+  /// One aggregate publish of the whole metro into the obs registry:
+  /// merged mesh.*/sim.*/router.*/user.*/groupsig.verify.*/revocation.*
+  /// totals plus the metro.* counters below. Idempotent.
+  void publish_metrics() const;
+
+ private:
+  struct UserRecord {
+    ShardId shard = 0;
+    NodeId node = 0;
+    bool in_transit = false;
+  };
+  /// A handoff waiting out a blocked shard link.
+  struct ParkedHandoff {
+    CrossShardMsg msg;
+  };
+
+  std::uint64_t stamp() { return next_msg_seq_++; }
+  /// Routes one outbox message to its destination inbox (or parks/drops).
+  void route(CrossShardMsg msg);
+  /// Applies one arrived message inside `dest` at barrier time.
+  void apply(Shard& dest, CrossShardMsg msg);
+  /// Re-offers parked handoffs whose link healed.
+  void retry_parked();
+  /// Next hop from `from` toward the nearest shard with an access point,
+  /// skipping blocked links. nullopt = unreachable.
+  std::optional<ShardId> next_hop_to_ap(ShardId from) const;
+  static std::pair<ShardId, ShardId> ordered(ShardId a, ShardId b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  }
+
+  MetroConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::vector<ShardId>> shard_links_;  // adjacency, id-sorted
+  std::set<std::pair<ShardId, ShardId>> blocked_shard_links_;
+  std::map<MetroUserId, UserRecord> users_;
+  MetroUserId next_user_id_ = 1;
+  std::uint64_t next_msg_seq_ = 0;
+  std::deque<ParkedHandoff> parked_;
+  FrameHandler frame_handler_;
+  SimTime now_ = 0;
+  MetroStats stats_;
+};
+
+}  // namespace peace::mesh

@@ -130,6 +130,41 @@ NodeId MeshNetwork::add_user(Vec2 pos, std::unique_ptr<proto::User> user) {
   return id;
 }
 
+std::unique_ptr<proto::User> MeshNetwork::remove_user(NodeId id) {
+  const auto it = users_.find(id);
+  if (it == users_.end()) throw Error("mesh: no such user");
+  UserNode& node = it->second;
+  // Close the router half of the uplink (and of a draining rekey) so the
+  // departed user's session state does not linger on this segment.
+  if (node.serving_node.has_value()) {
+    if (const auto r = routers_.find(*node.serving_node);
+        r != routers_.end() && r->second.router != nullptr) {
+      if (!node.uplink_session_id.empty())
+        r->second.router->close_session(node.uplink_session_id);
+      if (!node.old_uplink_session_id.empty())
+        r->second.router->close_session(node.old_uplink_session_id);
+    }
+  }
+  // Peer sessions and in-flight peer handshakes die on both ends.
+  for (auto& [other_id, other] : users_) {
+    if (other_id != id) other.peer_sessions.erase(id);
+  }
+  std::erase_if(peer_attempts_, [id](const auto& kv) {
+    return kv.first.first == id || kv.first.second == id;
+  });
+  // Queued M.2s from this user vanish before the batch drains.
+  for (auto& [rid, pending] : pending_auth_)
+    std::erase_if(pending,
+                  [id](const PendingAuth& p) { return p.user_node == id; });
+  std::erase_if(blocked_links_, [id](const auto& link) {
+    return link.first == id || link.second == id;
+  });
+  std::unique_ptr<proto::User> user = std::move(node.user);
+  users_.erase(it);
+  ++stats_.users_removed;
+  return user;
+}
+
 proto::MeshRouter& MeshNetwork::router(NodeId id) {
   const auto it = routers_.find(id);
   if (it == routers_.end()) throw Error("mesh: no such router");
@@ -298,7 +333,9 @@ void MeshNetwork::deliver_beacon(NodeId router_node,
 
 void MeshNetwork::user_hears_beacon(NodeId user_node, NodeId router_node,
                                     const BeaconMessage& beacon) {
-  UserNode& unode = users_.at(user_node);
+  const auto uit = users_.find(user_node);
+  if (uit == users_.end()) return;  // roamed away while the beacon flew
+  UserNode& unode = uit->second;
   if (!auto_connect_ || unode.uplink.has_value() || unode.attempt.has_value())
     return;
   // Failover: a router whose handshake budget ran out recently is skipped,
@@ -331,7 +368,9 @@ SimTime MeshNetwork::rto_for(unsigned tries) const {
 }
 
 void MeshNetwork::send_m2(NodeId user_node) {
-  UserNode& unode = users_.at(user_node);
+  const auto uit = users_.find(user_node);
+  if (uit == users_.end()) return;
+  UserNode& unode = uit->second;
   if (!unode.attempt.has_value()) return;
   UserNode::Attempt& attempt = *unode.attempt;
   ++attempt.tries;
@@ -412,7 +451,9 @@ void MeshNetwork::on_m3(NodeId user_node, NodeId router_node,
                         const Bytes& wire) {
   const auto m3 = parse<proto::AccessConfirm>(wire);
   if (!m3.has_value()) return;
-  UserNode& unode = users_.at(user_node);
+  const auto uit = users_.find(user_node);
+  if (uit == users_.end()) return;  // roamed away while the M.3 flew
+  UserNode& unode = uit->second;
   // A duplicate M.3 after completion is a no-op: the pending-handshake
   // entry was consumed, so process_access_confirm returns nullopt.
   auto session = unode.user->process_access_confirm(*m3);
@@ -477,7 +518,9 @@ void MeshNetwork::establish_peer_links() {
 }
 
 void MeshNetwork::start_peer_handshake(NodeId a, NodeId b) {
-  UserNode& na = users_.at(a);
+  const auto ait = users_.find(a);
+  if (ait == users_.end() || !users_.contains(b)) return;
+  UserNode& na = ait->second;
   if (na.peer_sessions.contains(b)) return;
   if (peer_attempts_.contains({a, b})) return;  // already in flight
 
@@ -524,7 +567,12 @@ void MeshNetwork::on_peer_timeout(NodeId from, NodeId to,
     return;
   // The sender's half of the session existing is completion for both
   // frames: the initiator holds it after M~.2, the responder after M~.3.
-  if (users_.at(from).peer_sessions.contains(to)) {
+  const auto fit = users_.find(from);
+  if (fit == users_.end()) {  // roamed away mid-handshake
+    peer_attempts_.erase(it);
+    return;
+  }
+  if (fit->second.peer_sessions.contains(to)) {
     peer_attempts_.erase(it);
     return;
   }
@@ -549,7 +597,9 @@ void MeshNetwork::on_peer_timeout(NodeId from, NodeId to,
 void MeshNetwork::on_peer_hello(NodeId me, NodeId from, const Bytes& wire) {
   const auto hello = parse<proto::PeerHello>(wire);
   if (!hello.has_value()) return;
-  UserNode& nb = users_.at(me);
+  const auto mit = users_.find(me);
+  if (mit == users_.end()) return;
+  UserNode& nb = mit->second;
   // With idempotent resend on, a duplicate hello is answered from the
   // user's reply cache (byte-identical M~.2, no new DH share); otherwise
   // the strict endpoint mints a fresh reply per delivery.
@@ -576,7 +626,9 @@ void MeshNetwork::on_peer_hello(NodeId me, NodeId from, const Bytes& wire) {
 void MeshNetwork::on_peer_reply(NodeId me, NodeId from, const Bytes& wire) {
   const auto reply = parse<proto::PeerReply>(wire);
   if (!reply.has_value()) return;
-  UserNode& na = users_.at(me);
+  const auto mit = users_.find(me);
+  if (mit == users_.end()) return;
+  UserNode& na = mit->second;
   auto established = na.user->process_peer_reply(*reply, sim_.now());
   if (established.has_value()) {
     na.peer_sessions.emplace(from, std::move(established->session));
@@ -601,7 +653,9 @@ void MeshNetwork::on_peer_reply(NodeId me, NodeId from, const Bytes& wire) {
 void MeshNetwork::on_peer_confirm(NodeId me, NodeId from, const Bytes& wire) {
   const auto confirm = parse<proto::PeerConfirm>(wire);
   if (!confirm.has_value()) return;
-  UserNode& nb = users_.at(me);
+  const auto mit = users_.find(me);
+  if (mit == users_.end()) return;
+  UserNode& nb = mit->second;
   // A duplicate M~.3 is a no-op: the pending-responder entry was consumed.
   auto session = nb.user->process_peer_confirm(*confirm);
   if (!session.has_value()) return;
@@ -930,45 +984,94 @@ std::vector<NodeId> MeshNetwork::user_ids() const {
   return out;
 }
 
-void MeshNetwork::publish_metrics() const {
-  // Mirror the deterministic stats structs into the registry (idempotent —
-  // Counter::set of totals; see metrics_export.hpp). Crashed routers have
-  // no live MeshRouter, so their since-restart stats are gone, exactly as
-  // stats() reporting always worked.
-  proto::RouterStats router_totals;
-  groupsig::OpCounters verify_totals;
+NetworkStats sum(const NetworkStats& a, const NetworkStats& b) {
+  // Counter audit (the PR 5 convention): every field must be a uint64_t
+  // event count so this merge is commutative — a field that is not a plain
+  // sum (a high-water mark, a ratio) must NOT be added to NetworkStats but
+  // to a dedicated struct with its own merge rule.
+  static_assert(sizeof(NetworkStats) == 17 * sizeof(std::uint64_t),
+                "NetworkStats gained a field: add it to sum() and confirm "
+                "it is an order-independent uint64_t event count");
+  NetworkStats out = a;
+  out.frames_transmitted += b.frames_transmitted;
+  out.users_removed += b.users_removed;
+  out.frames_lost += b.frames_lost;
+  out.data_delivered += b.data_delivered;
+  out.data_undeliverable += b.data_undeliverable;
+  out.relay_hops_total += b.relay_hops_total;
+  out.internet_delivered += b.internet_delivered;
+  out.backbone_hops_total += b.backbone_hops_total;
+  out.backbone_mac_failures += b.backbone_mac_failures;
+  out.retransmissions += b.retransmissions;
+  out.handshake_timeouts += b.handshake_timeouts;
+  out.rekeys += b.rekeys;
+  out.failovers += b.failovers;
+  out.corrupted_rejected += b.corrupted_rejected;
+  out.frames_duplicated += b.frames_duplicated;
+  out.frames_delayed += b.frames_delayed;
+  out.frames_partitioned += b.frames_partitioned;
+  return out;
+}
+
+void absorb_network_stats(const NetworkStats& totals,
+                          std::uint64_t sim_events_processed) {
+  auto& reg = obs::Registry::global();
+  reg.counter("mesh.frames_transmitted").set(totals.frames_transmitted);
+  reg.counter("mesh.users_removed").set(totals.users_removed);
+  reg.counter("mesh.frames_lost").set(totals.frames_lost);
+  reg.counter("mesh.data_delivered").set(totals.data_delivered);
+  reg.counter("mesh.data_undeliverable").set(totals.data_undeliverable);
+  reg.counter("mesh.relay_hops_total").set(totals.relay_hops_total);
+  reg.counter("mesh.internet_delivered").set(totals.internet_delivered);
+  reg.counter("mesh.backbone_hops_total").set(totals.backbone_hops_total);
+  reg.counter("mesh.backbone_mac_failures").set(totals.backbone_mac_failures);
+  reg.counter("mesh.retransmissions").set(totals.retransmissions);
+  reg.counter("mesh.handshake_timeouts").set(totals.handshake_timeouts);
+  reg.counter("mesh.rekeys").set(totals.rekeys);
+  reg.counter("mesh.failovers").set(totals.failovers);
+  reg.counter("mesh.corrupted_rejected").set(totals.corrupted_rejected);
+  reg.counter("mesh.frames_duplicated").set(totals.frames_duplicated);
+  reg.counter("mesh.frames_delayed").set(totals.frames_delayed);
+  reg.counter("mesh.frames_partitioned").set(totals.frames_partitioned);
+  reg.counter("sim.events_processed").set(sim_events_processed);
+}
+
+proto::RouterStats MeshNetwork::router_stats_total() const {
+  // Crashed routers have no live MeshRouter, so their since-restart stats
+  // are gone, exactly as stats() reporting always worked.
+  proto::RouterStats totals;
   for (const auto& [id, node] : routers_) {
     if (node.router == nullptr) continue;
-    router_totals = proto::sum(router_totals, node.router->stats());
-    verify_totals.merge(node.router->verify_ops());
+    totals = proto::sum(totals, node.router->stats());
   }
-  proto::UserStats user_totals;
+  return totals;
+}
+
+proto::UserStats MeshNetwork::user_stats_total() const {
+  proto::UserStats totals;
   for (const auto& [id, node] : users_)
-    user_totals = proto::sum(user_totals, node.user->stats());
-  proto::absorb_router_stats(router_totals);
-  proto::absorb_user_stats(user_totals);
-  proto::absorb_verify_ops(verify_totals);
+    totals = proto::sum(totals, node.user->stats());
+  return totals;
+}
+
+groupsig::OpCounters MeshNetwork::verify_ops_total() const {
+  groupsig::OpCounters totals;
+  for (const auto& [id, node] : routers_) {
+    if (node.router == nullptr) continue;
+    totals.merge(node.router->verify_ops());
+  }
+  return totals;
+}
+
+void MeshNetwork::publish_metrics() const {
+  // Mirror the deterministic stats structs into the registry (idempotent —
+  // Counter::set of totals; see metrics_export.hpp).
+  proto::absorb_router_stats(router_stats_total());
+  proto::absorb_user_stats(user_stats_total());
+  proto::absorb_verify_ops(verify_ops_total());
   if (revocation_ != nullptr)
     proto::absorb_revocation_stats(revocation_->stats());
-
-  auto& reg = obs::Registry::global();
-  reg.counter("mesh.frames_transmitted").set(stats_.frames_transmitted);
-  reg.counter("mesh.frames_lost").set(stats_.frames_lost);
-  reg.counter("mesh.data_delivered").set(stats_.data_delivered);
-  reg.counter("mesh.data_undeliverable").set(stats_.data_undeliverable);
-  reg.counter("mesh.relay_hops_total").set(stats_.relay_hops_total);
-  reg.counter("mesh.internet_delivered").set(stats_.internet_delivered);
-  reg.counter("mesh.backbone_hops_total").set(stats_.backbone_hops_total);
-  reg.counter("mesh.backbone_mac_failures").set(stats_.backbone_mac_failures);
-  reg.counter("mesh.retransmissions").set(stats_.retransmissions);
-  reg.counter("mesh.handshake_timeouts").set(stats_.handshake_timeouts);
-  reg.counter("mesh.rekeys").set(stats_.rekeys);
-  reg.counter("mesh.failovers").set(stats_.failovers);
-  reg.counter("mesh.corrupted_rejected").set(stats_.corrupted_rejected);
-  reg.counter("mesh.frames_duplicated").set(stats_.frames_duplicated);
-  reg.counter("mesh.frames_delayed").set(stats_.frames_delayed);
-  reg.counter("mesh.frames_partitioned").set(stats_.frames_partitioned);
-  reg.counter("sim.events_processed").set(sim_.events_processed());
+  absorb_network_stats(stats_, sim_.events_processed());
 }
 
 }  // namespace peace::mesh

@@ -83,6 +83,7 @@ struct WireObservation {
 
 struct NetworkStats {
   std::uint64_t frames_transmitted = 0;
+  std::uint64_t users_removed = 0;  // roaming handoffs out of this segment
   std::uint64_t frames_lost = 0;
   std::uint64_t data_delivered = 0;
   std::uint64_t data_undeliverable = 0;  // no route / no session
@@ -101,6 +102,19 @@ struct NetworkStats {
   std::uint64_t frames_partitioned = 0;   // dropped on a blocked/dead link
 };
 
+/// Field-wise sum. Every field is a uint64_t event count, so the merge is
+/// commutative and associative — cross-shard aggregation is input-order
+/// independent whatever order the metro layer visits its shards in
+/// (asserted, with a field-count audit, by tests/metro_test.cpp).
+NetworkStats sum(const NetworkStats& a, const NetworkStats& b);
+
+/// Mirrors a (possibly multi-shard) NetworkStats total plus the summed
+/// simulator event count into the obs registry (mesh.* / sim.*), exactly as
+/// MeshNetwork::publish_metrics always did for a single network. Idempotent
+/// (Counter::set).
+void absorb_network_stats(const NetworkStats& totals,
+                          std::uint64_t sim_events_processed);
+
 class MeshNetwork {
  public:
   /// `proto_config` is handed to every router this network creates — in
@@ -114,9 +128,21 @@ class MeshNetwork {
   NodeId add_router(Vec2 pos, proto::NetworkOperator& no,
                     proto::Timestamp cert_expires_at);
   NodeId add_user(Vec2 pos, std::unique_ptr<proto::User> user);
+  /// Extracts a user from this segment for a cross-shard roaming handoff:
+  /// drops its uplink (router side closed when the router is alive), peer
+  /// sessions on both ends, pending handshake state and queued M.2s, and
+  /// returns the proto::User so the destination shard can re-add it. Any
+  /// in-flight timers or frames addressed to the departed node become
+  /// no-ops (every delivery callback tolerates a vanished node). Sessions
+  /// are never carried across segments — the privacy model mandates a
+  /// fresh anonymous handshake after roaming anyway.
+  std::unique_ptr<proto::User> remove_user(NodeId id);
+  bool has_user(NodeId id) const { return users_.contains(id); }
+  std::size_t user_count() const { return users_.size(); }
   /// Layer-1 of Fig. 1: a wired Internet entry point, reachable from
   /// routers within backbone_range over a secure channel.
   NodeId add_access_point(Vec2 pos);
+  std::size_t access_point_count() const { return access_points_.size(); }
 
   proto::MeshRouter& router(NodeId id);
   proto::User& user(NodeId id);
@@ -218,6 +244,14 @@ class MeshNetwork {
   /// catalogued in docs/OBSERVABILITY.md. Idempotent; call before
   /// Registry::to_json().
   void publish_metrics() const;
+
+  /// Endpoint-stat totals over this segment's live routers/users — the
+  /// inputs publish_metrics() absorbs, exposed so the metro layer can merge
+  /// them across shards before one aggregate publish (docs/OBSERVABILITY.md
+  /// §2). Sum-merges only, so shard visit order cannot matter.
+  proto::RouterStats router_stats_total() const;
+  proto::UserStats user_stats_total() const;
+  groupsig::OpCounters verify_ops_total() const;
 
   /// All router node ids / user node ids, for sweeps.
   std::vector<NodeId> router_ids() const;

@@ -7,8 +7,17 @@ void Simulator::schedule(SimTime at, EventFn fn) {
   queue_.push(Event{at, next_seq_++, std::move(fn)});
 }
 
+void Simulator::throw_budget_exhausted(std::uint64_t budget) const {
+  std::string who = name_.empty() ? std::string("simulator")
+                                  : "simulator [" + name_ + "]";
+  throw Error(who + ": event budget exhausted (" +
+              std::to_string(processed_) + " events, budget " +
+              std::to_string(budget) + ") — runaway load, or raise the budget");
+}
+
 void Simulator::run_until(SimTime end) {
   while (!queue_.empty() && queue_.top().at <= end) {
+    if (budget_ != 0 && processed_ >= budget_) throw_budget_exhausted(budget_);
     // priority_queue::top() is const; move out via const_cast on pop pattern.
     Event ev = queue_.top();
     queue_.pop();
@@ -20,9 +29,9 @@ void Simulator::run_until(SimTime end) {
 }
 
 void Simulator::run_all(std::uint64_t max_events) {
+  const std::uint64_t budget = budget_ != 0 ? budget_ : max_events;
   while (!queue_.empty()) {
-    if (processed_ >= max_events)
-      throw Error("simulator: event budget exhausted (runaway?)");
+    if (processed_ >= budget) throw_budget_exhausted(budget);
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.at;

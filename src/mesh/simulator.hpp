@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -21,6 +22,19 @@ class Simulator {
   std::uint64_t events_processed() const { return processed_; }
   std::size_t pending() const { return queue_.size(); }
 
+  /// Names this simulator in diagnostics — a metro shard sets its shard
+  /// label here so a budget exhaustion names the shard that tripped it.
+  void set_name(std::string name) { name_ = std::move(name); }
+  const std::string& name() const { return name_; }
+
+  /// Lifetime event budget enforced by run_until AND run_all; 0 (the
+  /// default) leaves run_until unbounded and run_all on its `max_events`
+  /// argument — the pre-sharding behaviour. Metro shards set an explicit
+  /// per-shard budget (MetroConfig::shard_event_budget) so runaway load in
+  /// one segment fails loudly, naming the shard, instead of spinning.
+  void set_event_budget(std::uint64_t budget) { budget_ = budget; }
+  std::uint64_t event_budget() const { return budget_; }
+
   /// Schedules `fn` at absolute time `at` (must not be in the past).
   void schedule(SimTime at, EventFn fn);
   /// Convenience: `delay` from now.
@@ -30,7 +44,8 @@ class Simulator {
 
   /// Runs events up to and including `end`; the clock then rests at `end`.
   void run_until(SimTime end);
-  /// Runs until the queue drains (or `max_events` as a runaway guard).
+  /// Runs until the queue drains (or `max_events` as a runaway guard; an
+  /// explicit set_event_budget overrides the argument).
   void run_all(std::uint64_t max_events = 10'000'000);
 
  private:
@@ -45,10 +60,14 @@ class Simulator {
     }
   };
 
+  [[noreturn]] void throw_budget_exhausted(std::uint64_t budget) const;
+
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t budget_ = 0;
+  std::string name_;
 };
 
 }  // namespace peace::mesh

@@ -136,7 +136,40 @@ void Tracer::record(TraceEvent event) {
   if (!enabled()) return;
   std::lock_guard lock(mutex_);
   if (event.tid == 0) event.tid = tid_for_current_thread();
+  if (sink_ != nullptr && sink_->is_open()) {
+    // Streaming mode: write through, retain nothing (bounded memory).
+    sink_->write(event);
+    ++streamed_events_;
+    return;
+  }
   events_.push_back(event);
+}
+
+bool Tracer::stream_to(const std::string& path, StreamSinkOptions options) {
+  std::lock_guard lock(mutex_);
+  auto sink = std::make_unique<JsonlStreamSink>();
+  if (!sink->open(path, options)) return false;
+  sink_ = std::move(sink);
+  streamed_events_ = 0;
+  return true;
+}
+
+bool Tracer::stop_streaming() {
+  std::lock_guard lock(mutex_);
+  if (sink_ == nullptr) return true;
+  const bool ok = sink_->close();
+  sink_.reset();
+  return ok;
+}
+
+bool Tracer::streaming() const {
+  std::lock_guard lock(mutex_);
+  return sink_ != nullptr && sink_->is_open();
+}
+
+std::uint64_t Tracer::streamed_event_count() const {
+  std::lock_guard lock(mutex_);
+  return streamed_events_;
 }
 
 void Tracer::instant(const char* name, const char* cat) {
@@ -219,7 +252,9 @@ void append(std::string& out, const char* fmt, auto... args) {
   out += big;
 }
 
-void append_event_body(std::string& out, const TraceEvent& e) {
+}  // namespace
+
+void append_event_json(std::string& out, const TraceEvent& e) {
   append(out, "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%c\"", e.name,
          e.cat, e.ph);
   append(out, ", \"ts\": %llu", static_cast<unsigned long long>(e.ts_us));
@@ -239,8 +274,6 @@ void append_event_body(std::string& out, const TraceEvent& e) {
   out += "}";
 }
 
-}  // namespace
-
 std::string Tracer::chrome_json() const {
   std::lock_guard lock(mutex_);
   std::string out = "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
@@ -251,7 +284,7 @@ std::string Tracer::chrome_json() const {
          "\"args\": {\"name\": \"sim-time\"}}";
   for (const TraceEvent& e : events_) {
     out += ",\n";
-    append_event_body(out, e);
+    append_event_json(out, e);
   }
   out += "\n]}\n";
   return out;
@@ -261,7 +294,7 @@ std::string Tracer::jsonl() const {
   std::lock_guard lock(mutex_);
   std::string out;
   for (const TraceEvent& e : events_) {
-    append_event_body(out, e);
+    append_event_json(out, e);
     out += "\n";
   }
   return out;

@@ -22,11 +22,13 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/stream_sink.hpp"
 
 namespace peace::obs {
 
@@ -109,6 +111,10 @@ struct TraceEvent {
   }
 };
 
+/// Appends one event as a JSON object (no trailing newline) — the shared
+/// serializer behind chrome_json(), jsonl(), and the streaming sink.
+void append_event_json(std::string& out, const TraceEvent& e);
+
 /// Collects events from every thread; export at end of run. Recording is a
 /// short mutex-guarded vector push per completed span — spans close at the
 /// granularity of pairing work (milliseconds), so contention is noise.
@@ -146,11 +152,26 @@ class Tracer {
   bool write_chrome(const std::string& path) const;
   bool write_jsonl(const std::string& path) const;
 
+  // --- streaming (bounded memory; docs/OBSERVABILITY.md §3.4) -------------
+  /// Streams every SUBSEQUENT event to `path` as JSONL instead of
+  /// retaining it: event_count()/events()/the batch exporters see only
+  /// events recorded outside the streaming window, so trace memory stays
+  /// bounded however long the run. Events already retained are untouched.
+  /// Returns false if the file cannot be opened.
+  bool stream_to(const std::string& path, StreamSinkOptions options = {});
+  /// Flushes and closes the stream; returns false if any write failed.
+  bool stop_streaming();
+  bool streaming() const;
+  /// Events written through the active (or last) stream.
+  std::uint64_t streamed_event_count() const;
+
  private:
   std::uint32_t tid_for_current_thread();
 
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
+  std::unique_ptr<JsonlStreamSink> sink_;
+  std::uint64_t streamed_events_ = 0;
   std::uint32_t next_tid_ = 1;
 };
 

@@ -50,6 +50,11 @@ struct SharedRevocationStats {
   std::uint64_t tokens_retagged = 0;  // pairings spent updating the index
 };
 
+/// Field-wise sum, for aggregating per-segment states across metro shards
+/// (every field is a uint64_t event count, so merges commute).
+SharedRevocationStats sum(const SharedRevocationStats& a,
+                          const SharedRevocationStats& b);
+
 class SharedRevocationState {
  public:
   /// `authority` is the NO public key (NPK) all lists must verify under.

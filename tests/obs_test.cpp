@@ -5,6 +5,8 @@
 // pooled-vs-sequential determinism contracts telemetry must keep.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "curve/bn254.hpp"
 #include "curve/pairing.hpp"
 #include "obs/metrics.hpp"
@@ -189,6 +191,82 @@ TEST_F(ObsTest, SpanHistogramReceivesDuration) {
   { obs::Span span("test.hist", "test", &hist); }
   obs::enable(false);
   EXPECT_EQ(hist.count(), 1u);
+}
+
+TEST_F(ObsTest, StreamingWritesThroughAndRetainsNothing) {
+  // Satellite: the bounded-memory streaming mode. Events recorded while a
+  // sink is attached go straight to disk and are NOT retained in memory —
+  // the property that keeps a metro-scale day's trace memory flat.
+  obs::enable(true);
+  auto& tracer = obs::Tracer::global();
+  tracer.clear();
+  const std::string path = ::testing::TempDir() + "peace_stream_test.jsonl";
+  ASSERT_TRUE(tracer.stream_to(path));
+  EXPECT_TRUE(tracer.streaming());
+  for (std::uint64_t i = 0; i < 10; ++i)
+    tracer.instant_at("test.stream", "test", 1000 + i, {{"i", i}});
+  EXPECT_EQ(tracer.streamed_event_count(), 10u);
+  EXPECT_EQ(tracer.event_count(), 0u);  // nothing retained
+  ASSERT_TRUE(tracer.stop_streaming());
+  EXPECT_FALSE(tracer.streaming());
+  // After the sink detaches, recording retains in memory again.
+  tracer.instant_at("test.retained", "test", 2000, {});
+  EXPECT_EQ(tracer.event_count(), 1u);
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content(1 << 16, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  std::size_t lines = 0;
+  for (const char c : content) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 10u);
+  EXPECT_NE(content.find("\"name\": \"test.stream\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, StreamSinkRotatesAtFlushBoundaries) {
+  // Rotation contract (stream_sink.hpp): completed files become
+  // "<path>.<n>", <path> is always the newest data, and lines never split
+  // across files.
+  const std::string path = ::testing::TempDir() + "peace_rotate_test.jsonl";
+  obs::StreamSinkOptions options;
+  options.flush_bytes = 64;    // flush almost every line
+  options.rotate_bytes = 256;  // rotate every few lines
+  obs::JsonlStreamSink sink;
+  ASSERT_TRUE(sink.open(path, options));
+  obs::TraceEvent e;
+  e.name = "test.rotate";
+  e.cat = "test";
+  e.ph = 'i';
+  for (int i = 0; i < 40; ++i) {
+    e.ts_us = static_cast<std::uint64_t>(i);
+    sink.write(e);
+  }
+  ASSERT_TRUE(sink.close());
+  EXPECT_EQ(sink.events_written(), 40u);
+  EXPECT_GE(sink.rotations(), 1u);
+
+  // Every segment (rotated + current) holds only whole lines; together
+  // they hold all 40 events.
+  std::size_t total_lines = 0;
+  std::vector<std::string> files;
+  for (std::uint64_t n = 1; n <= sink.rotations(); ++n)
+    files.push_back(path + "." + std::to_string(n));
+  files.push_back(path);
+  for (const std::string& file : files) {
+    std::FILE* f = std::fopen(file.c_str(), "rb");
+    ASSERT_NE(f, nullptr) << file;
+    std::string content(1 << 16, '\0');
+    content.resize(std::fread(content.data(), 1, content.size(), f));
+    std::fclose(f);
+    if (!content.empty()) {
+      EXPECT_EQ(content.back(), '\n') << file;
+    }
+    for (const char c : content) total_lines += c == '\n' ? 1 : 0;
+    std::remove(file.c_str());
+  }
+  EXPECT_EQ(total_lines, 40u);
 }
 
 #endif  // PEACE_OBS_DISABLED

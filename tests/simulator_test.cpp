@@ -63,6 +63,46 @@ TEST(Simulator, RunawayGuard) {
   EXPECT_THROW(sim.run_all(/*max_events=*/100), Error);
 }
 
+TEST(Simulator, EventBudgetEnforcedInRunUntilAndNamesSimulator) {
+  Simulator sim;
+  sim.set_name("segment-7");
+  sim.set_event_budget(10);
+  EXPECT_EQ(sim.event_budget(), 10u);
+  std::function<void()> forever = [&] { sim.schedule_in(1, forever); };
+  sim.schedule(0, forever);
+  try {
+    sim.run_until(1000);
+    FAIL() << "expected the event budget to throw";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("segment-7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("event budget exhausted"), std::string::npos) << msg;
+  }
+  EXPECT_EQ(sim.events_processed(), 10u);
+}
+
+TEST(Simulator, EventBudgetOverridesRunAllArgument) {
+  Simulator sim;
+  sim.set_event_budget(5);
+  std::function<void()> forever = [&] { sim.schedule_in(1, forever); };
+  sim.schedule(0, forever);
+  // The explicit budget wins over run_all's (larger) runaway-guard arg.
+  EXPECT_THROW(sim.run_all(/*max_events=*/1000), Error);
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST(Simulator, ZeroBudgetLeavesRunUntilUnbounded) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 200) sim.schedule_in(1, chain);
+  };
+  sim.schedule(0, chain);
+  // The pre-sharding default: run_until never trips a budget.
+  EXPECT_NO_THROW(sim.run_until(1000));
+  EXPECT_EQ(fired, 200);
+}
+
 TEST(Simulator, ClockVisibleInsideEvents) {
   Simulator sim;
   SimTime seen = 0;

@@ -6,7 +6,10 @@ Usage:
 
 TRACE.json is the Chrome trace_event file written by
 `metro_mesh_day --trace=...` (or any harness draining obs::Tracer);
-METRICS.json is the registry snapshot from `--metrics=...`.
+a ".jsonl" path is instead read as the streaming/JSONL format (one event
+object per line — `metro_city --trace=...` or `--jsonl=...` output, and
+any rotated `.jsonl.N` segment). METRICS.json is the registry snapshot
+from `--metrics=...`.
 
 Default mode prints a human summary: per-span-name durations and crypto-op
 attribution (pairings, Miller loops, final exponentiations, G2Prepared
@@ -131,16 +134,43 @@ def async_latencies(events):
     return latencies
 
 
+def is_jsonl_path(path):
+    # A rotated streaming segment is "<base>.jsonl.<n>".
+    parts = path.rsplit(".", 2)
+    return path.endswith(".jsonl") or (
+        len(parts) == 3 and parts[1] == "jsonl" and parts[2].isdigit())
+
+
+def load_jsonl(path):
+    """Reads a streamed JSONL trace into the Chrome-format dict shape."""
+    events = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                fail(f"jsonl line {lineno}: {exc}")
+    return {"traceEvents": events}
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("trace", help="Chrome trace_event JSON (--trace output)")
+    ap.add_argument("trace",
+                    help="Chrome trace_event JSON (--trace output), or a "
+                         ".jsonl streaming trace (one event per line)")
     ap.add_argument("--metrics", help="metrics registry JSON (--metrics output)")
     ap.add_argument("--validate", action="store_true",
                     help="schema-check the files; non-zero exit on violation")
     args = ap.parse_args()
 
-    with open(args.trace) as f:
-        trace = json.load(f)
+    if is_jsonl_path(args.trace):
+        trace = load_jsonl(args.trace)
+    else:
+        with open(args.trace) as f:
+            trace = json.load(f)
     metrics = None
     if args.metrics:
         with open(args.metrics) as f:
@@ -187,7 +217,8 @@ def main():
         print("\n== metrics")
         interesting = [k for k in metrics["counters"]
                        if k.split(".")[0] in ("curve", "router", "user",
-                                              "mesh", "revocation", "pool")]
+                                              "mesh", "revocation", "pool",
+                                              "metro", "metro_city")]
         for name in interesting:
             print(f"{name:<32}{metrics['counters'][name]:>12}")
         for name, h in metrics["histograms"].items():
