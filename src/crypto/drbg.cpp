@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/serde.hpp"
 #include "crypto/chacha20.hpp"
 #include "crypto/sha256.hpp"
 
@@ -84,6 +85,31 @@ Drbg Drbg::fork(std::string_view label) {
   Bytes seed = bytes(32);
   append(seed, as_bytes(label));
   return Drbg(seed);
+}
+
+Bytes Drbg::export_state() const {
+  Writer w;
+  w.str("peace/drbg-state-v1");
+  w.bytes(key_);
+  w.u64(block_counter_);
+  w.bytes(cache_);
+  w.u64(cache_pos_);
+  return w.take();
+}
+
+Drbg Drbg::import_state(BytesView data) {
+  Reader r(data);
+  if (r.str() != "peace/drbg-state-v1")
+    throw Error("drbg: bad state encoding");
+  Drbg d;
+  d.key_ = r.bytes();
+  d.block_counter_ = r.u64();
+  d.cache_ = r.bytes();
+  d.cache_pos_ = r.u64();
+  r.expect_end();
+  if (d.key_.size() != 32 || d.cache_pos_ > d.cache_.size())
+    throw Error("drbg: malformed state");
+  return d;
 }
 
 }  // namespace peace::crypto

@@ -30,7 +30,17 @@ class Drbg {
   /// Forks an independent child generator (parent state advances).
   Drbg fork(std::string_view label);
 
+  /// Serializes the full generator state (key, counter, output cache) so a
+  /// restored generator continues the exact output stream. Intended for the
+  /// operator persistence layer's durable store only: the exported bytes
+  /// include the unconsumed keystream cache, so the forward-secrecy
+  /// guarantee of the ratchet does not extend to captured state exports.
+  Bytes export_state() const;
+  static Drbg import_state(BytesView data);
+
  private:
+  Drbg() = default;  // used by import_state
+
   void ratchet();
 
   Bytes key_;            // 32 bytes

@@ -29,14 +29,18 @@ G1 unblind_credential(BytesView blinded, const Fr& x) {
 
 // --- TrustedThirdParty -------------------------------------------------------
 
-EcdsaSignature TrustedThirdParty::deposit(const KeyIndex& idx,
-                                          Bytes blinded_credential,
-                                          const EcdsaSignature& no_signature,
-                                          const G1& npk, crypto::Drbg& rng) {
+void TrustedThirdParty::ensure_signing_key(crypto::Drbg& rng) {
   if (!has_key_) {
     signing_key_ = EcdsaKeyPair::generate(rng);
     has_key_ = true;
   }
+}
+
+EcdsaSignature TrustedThirdParty::deposit(const KeyIndex& idx,
+                                          Bytes blinded_credential,
+                                          const EcdsaSignature& no_signature,
+                                          const G1& npk, crypto::Drbg& rng) {
+  ensure_signing_key(rng);
   Writer w;
   w.str("peace/ttp-deposit");
   w.u32(idx.group);
@@ -61,6 +65,58 @@ std::optional<std::string> TrustedThirdParty::uid_for_index(
   const auto it = delivered_to_.find({idx.group, idx.member});
   if (it == delivered_to_.end()) return std::nullopt;
   return it->second;
+}
+
+void TrustedThirdParty::replay_deposit(const KeyIndex& idx, Bytes blinded) {
+  store_[{idx.group, idx.member}] = std::move(blinded);
+}
+
+void TrustedThirdParty::replay_deliver(const KeyIndex& idx,
+                                       const std::string& uid) {
+  delivered_to_[{idx.group, idx.member}] = uid;
+}
+
+Bytes TrustedThirdParty::state_bytes() const {
+  Writer w;
+  w.str("peace/ttp-state-v1");
+  w.u8(has_key_ ? 1 : 0);
+  if (has_key_) w.raw(curve::fr_to_bytes(signing_key_.secret_key()));
+  w.u64(store_.size());
+  for (const auto& [key, blinded] : store_) {
+    w.u32(key.first);
+    w.u32(key.second);
+    w.bytes(blinded);
+  }
+  w.u64(delivered_to_.size());
+  for (const auto& [key, uid] : delivered_to_) {
+    w.u32(key.first);
+    w.u32(key.second);
+    w.str(uid);
+  }
+  return w.take();
+}
+
+TrustedThirdParty TrustedThirdParty::from_state(BytesView data) {
+  Reader r(data);
+  if (r.str() != "peace/ttp-state-v1")
+    throw Error("ttp: bad state image");
+  TrustedThirdParty ttp;
+  ttp.has_key_ = r.u8() != 0;
+  if (ttp.has_key_)
+    ttp.signing_key_ =
+        EcdsaKeyPair::from_secret(curve::fr_from_bytes(r.raw(curve::kFrSize)));
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+    const std::uint32_t g = r.u32();
+    const std::uint32_t m = r.u32();
+    ttp.store_[{g, m}] = r.bytes();
+  }
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+    const std::uint32_t g = r.u32();
+    const std::uint32_t m = r.u32();
+    ttp.delivered_to_[{g, m}] = r.str();
+  }
+  r.expect_end();
+  return ttp;
 }
 
 // --- GroupManager ------------------------------------------------------------
@@ -114,8 +170,35 @@ void GroupManager::record_receipt(const Enrollment& enrollment,
   if (!curve::ecdsa_verify(user_public_key,
                            enrollment_receipt_payload(enrollment), signature))
     throw Error("gm: invalid enrollment receipt");
-  receipts_[{enrollment.index.group, enrollment.index.member}] = {
-      user_public_key, signature};
+  store_receipt(enrollment.index, {user_public_key, signature});
+}
+
+void GroupManager::replay_enroll(const KeyIndex& idx, const std::string& uid) {
+  const auto it =
+      std::find_if(unassigned_.begin(), unassigned_.end(),
+                   [&](const auto& k) { return k.first == idx; });
+  if (it == unassigned_.end())
+    throw Error("gm: replayed enrollment for unknown key index");
+  assigned_[{idx.group, idx.member}] = uid;
+  assigned_x_[{idx.group, idx.member}] = it->second;
+  unassigned_.erase(it);
+}
+
+void GroupManager::store_receipt(const KeyIndex& idx,
+                                 EnrollmentReceipt receipt) {
+  const std::pair<GroupId, std::uint32_t> key{idx.group, idx.member};
+  if (receipts_.emplace(key, std::move(receipt)).second)
+    receipt_order_.push_back(key);
+}
+
+std::size_t GroupManager::evict_receipts_over(std::size_t cap) {
+  std::size_t evicted = 0;
+  while (receipts_.size() > cap && !receipt_order_.empty()) {
+    receipts_.erase(receipt_order_.front());
+    receipt_order_.erase(receipt_order_.begin());
+    ++evicted;
+  }
+  return evicted;
 }
 
 std::optional<GroupManager::EnrollmentReceipt> GroupManager::receipt_for(
@@ -126,6 +209,84 @@ std::optional<GroupManager::EnrollmentReceipt> GroupManager::receipt_for(
 }
 
 std::size_t GroupManager::keys_remaining() const { return unassigned_.size(); }
+
+Bytes GroupManager::state_bytes() const {
+  Writer w;
+  w.str("peace/gm-state-v1");
+  w.u32(id_);
+  w.str(name_);
+  w.raw(curve::fr_to_bytes(grp_));
+  w.u64(unassigned_.size());
+  for (const auto& [idx, x] : unassigned_) {
+    w.u32(idx.group);
+    w.u32(idx.member);
+    w.raw(curve::fr_to_bytes(x));
+  }
+  w.u64(assigned_.size());
+  for (const auto& [key, uid] : assigned_) {
+    w.u32(key.first);
+    w.u32(key.second);
+    w.str(uid);
+  }
+  w.u64(assigned_x_.size());
+  for (const auto& [key, x] : assigned_x_) {
+    w.u32(key.first);
+    w.u32(key.second);
+    w.raw(curve::fr_to_bytes(x));
+  }
+  w.u64(receipts_.size());
+  for (const auto& [key, receipt] : receipts_) {
+    w.u32(key.first);
+    w.u32(key.second);
+    w.bytes(g1_to_bytes(receipt.user_public_key));
+    w.bytes(receipt.signature.to_bytes());
+  }
+  w.u64(receipt_order_.size());
+  for (const auto& [g, m] : receipt_order_) {
+    w.u32(g);
+    w.u32(m);
+  }
+  return w.take();
+}
+
+GroupManager GroupManager::from_state(BytesView data) {
+  Reader r(data);
+  if (r.str() != "peace/gm-state-v1")
+    throw Error("gm: bad state image");
+  const GroupId id = r.u32();
+  GroupManager gm(id, r.str());
+  gm.grp_ = curve::fr_from_bytes(r.raw(curve::kFrSize));
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+    KeyIndex idx{r.u32(), r.u32()};
+    gm.unassigned_.emplace_back(idx,
+                                curve::fr_from_bytes(r.raw(curve::kFrSize)));
+  }
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+    const std::uint32_t g = r.u32();
+    const std::uint32_t m = r.u32();
+    gm.assigned_[{g, m}] = r.str();
+  }
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+    const std::uint32_t g = r.u32();
+    const std::uint32_t m = r.u32();
+    gm.assigned_x_[{g, m}] = curve::fr_from_bytes(r.raw(curve::kFrSize));
+  }
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+    const std::uint32_t g = r.u32();
+    const std::uint32_t m = r.u32();
+    EnrollmentReceipt receipt;
+    receipt.user_public_key = g1_from_bytes(r.bytes());
+    receipt.signature = EcdsaSignature::from_bytes(r.bytes());
+    gm.receipts_[{g, m}] = std::move(receipt);
+  }
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+    const std::uint32_t g = r.u32();
+    const std::uint32_t m = r.u32();
+    gm.receipt_order_.emplace_back(g, m);
+  }
+  r.expect_end();
+  return gm;
+}
 
 // --- NetworkOperator ----------------------------------------------------------
 
@@ -180,7 +341,8 @@ void NetworkOperator::rotate_master_key(Timestamp now) {
   obs::Span span("no.rotate_master_key", "peace");
   span.arg("archived_tokens", grt_.size());
   span.arg("era", past_eras_.size() + 1);
-  past_eras_.push_back({issuer_.gpk(), std::move(grt_)});
+  const std::size_t archived = grt_.size();
+  past_eras_.push_back({issuer_.gpk(), std::move(grt_), false, archived});
   grt_.clear();
   issuer_ = groupsig::Issuer::create(rng_);
   group_secrets_.clear();
@@ -340,6 +502,183 @@ std::optional<AuditResult> NetworkOperator::audit(
     if (auto hit = scan(it->gpk, it->grt)) return finish(std::move(hit));
   }
   return finish(std::nullopt);
+}
+
+const GroupPublicKey& NetworkOperator::archived_gpk(std::size_t era) const {
+  if (era >= past_eras_.size()) throw Error("no: unknown archived era");
+  return past_eras_[era].gpk;
+}
+
+bool NetworkOperator::era_spilled(std::size_t era) const {
+  if (era >= past_eras_.size()) throw Error("no: unknown archived era");
+  return past_eras_[era].spilled;
+}
+
+std::size_t NetworkOperator::era_token_count(std::size_t era) const {
+  if (era >= past_eras_.size()) throw Error("no: unknown archived era");
+  return past_eras_[era].total;
+}
+
+std::size_t NetworkOperator::spill_archived_era(std::size_t era) {
+  if (era >= past_eras_.size()) throw Error("no: unknown archived era");
+  Era& e = past_eras_[era];
+  if (e.spilled) return 0;
+  const std::size_t freed = e.grt.size();
+  e.grt.clear();
+  e.grt.shrink_to_fit();
+  e.spilled = true;
+  return freed;
+}
+
+void NetworkOperator::replay_issue(GroupId gid, const Fr& grp,
+                                   std::uint32_t next_member_after,
+                                   std::vector<GrtEntry> entries) {
+  group_secrets_[gid] = grp;
+  next_member_[gid] = next_member_after;
+  if (gid >= next_group_id_) next_group_id_ = gid + 1;
+  for (GrtEntry& e : entries) grt_.push_back(std::move(e));
+}
+
+void NetworkOperator::replay_rotation(const Fr& new_gamma) {
+  const std::size_t archived = grt_.size();
+  past_eras_.push_back({issuer_.gpk(), std::move(grt_), false, archived});
+  grt_.clear();
+  issuer_ = groupsig::Issuer::from_secret(new_gamma);
+  group_secrets_.clear();
+}
+
+void NetworkOperator::replay_revocation(const RLDelta& delta) {
+  const bool crl = delta.kind == ListKind::kCrl;
+  std::vector<Bytes>& entries = crl ? crl_entries_ : url_entries_;
+  SignedRevocationList& list = crl ? crl_ : url_;
+  std::vector<RLDelta>& log = crl ? crl_deltas_ : url_deltas_;
+  for (const Bytes& gone : delta.removed)
+    entries.erase(std::remove(entries.begin(), entries.end(), gone),
+                  entries.end());
+  for (const Bytes& added : delta.added) entries.push_back(added);
+  // Reconstruct the successor list bit-identically: full_signature IS the
+  // successor's own NO signature (see emit_delta), so no re-signing — and
+  // no randomness — is needed.
+  list.version = delta.version;
+  list.issued_at = delta.issued_at;
+  list.entries = entries;
+  list.signature = delta.full_signature;
+  log.push_back(delta);
+}
+
+void NetworkOperator::restore_rng(BytesView state) {
+  rng_ = crypto::Drbg::import_state(state);
+}
+
+Bytes NetworkOperator::state_bytes() const {
+  Writer w;
+  w.str("peace/no-state-v1");
+  w.bytes(rng_.export_state());
+  w.raw(curve::fr_to_bytes(issuer_.gamma()));
+  w.raw(curve::fr_to_bytes(nsk_.secret_key()));
+  const auto write_grt = [&w](const std::vector<GrtEntry>& grt) {
+    w.u64(grt.size());
+    for (const GrtEntry& e : grt) {
+      w.bytes(e.token.to_bytes());
+      w.u32(e.group_id);
+      w.u32(e.index.group);
+      w.u32(e.index.member);
+    }
+  };
+  write_grt(grt_);
+  w.u64(past_eras_.size());
+  for (const Era& era : past_eras_) {
+    w.bytes(era.gpk.to_bytes());
+    w.u8(era.spilled ? 1 : 0);
+    w.u64(era.total);
+    write_grt(era.grt);
+  }
+  // unordered maps go out sorted so the image is canonical: equal state
+  // must serialize to equal bytes (the differential tests compare images).
+  std::vector<std::pair<GroupId, Fr>> secrets(group_secrets_.begin(),
+                                              group_secrets_.end());
+  std::sort(secrets.begin(), secrets.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(secrets.size());
+  for (const auto& [gid, grp] : secrets) {
+    w.u32(gid);
+    w.raw(curve::fr_to_bytes(grp));
+  }
+  std::vector<std::pair<GroupId, std::uint32_t>> next(next_member_.begin(),
+                                                      next_member_.end());
+  std::sort(next.begin(), next.end());
+  w.u64(next.size());
+  for (const auto& [gid, n] : next) {
+    w.u32(gid);
+    w.u32(n);
+  }
+  w.u32(next_group_id_);
+  // url_entries_/crl_entries_ are not written: they equal the entries of
+  // the signed lists and are restored from there.
+  w.bytes(url_.to_bytes());
+  w.bytes(crl_.to_bytes());
+  const auto write_deltas = [&w](const std::vector<RLDelta>& deltas) {
+    w.u64(deltas.size());
+    for (const RLDelta& d : deltas) w.bytes(d.to_bytes());
+  };
+  write_deltas(url_deltas_);
+  write_deltas(crl_deltas_);
+  return w.take();
+}
+
+NetworkOperator NetworkOperator::from_state(BytesView data) {
+  Reader r(data);
+  if (r.str() != "peace/no-state-v1")
+    throw Error("no: bad state image");
+  crypto::Drbg rng = crypto::Drbg::import_state(r.bytes());
+  const Fr gamma = curve::fr_from_bytes(r.raw(curve::kFrSize));
+  const Fr nsk = curve::fr_from_bytes(r.raw(curve::kFrSize));
+  NetworkOperator no(std::move(rng), groupsig::Issuer::from_secret(gamma),
+                     EcdsaKeyPair::from_secret(nsk));
+  const auto read_grt = [&r]() {
+    std::vector<GrtEntry> grt;
+    for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+      GrtEntry e;
+      e.token = RevocationToken::from_bytes(r.bytes());
+      e.group_id = r.u32();
+      e.index.group = r.u32();
+      e.index.member = r.u32();
+      grt.push_back(std::move(e));
+    }
+    return grt;
+  };
+  no.grt_ = read_grt();
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+    Era era;
+    era.gpk = GroupPublicKey::from_bytes(r.bytes());
+    era.spilled = r.u8() != 0;
+    era.total = r.u64();
+    era.grt = read_grt();
+    no.past_eras_.push_back(std::move(era));
+  }
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+    const GroupId gid = r.u32();
+    no.group_secrets_[gid] = curve::fr_from_bytes(r.raw(curve::kFrSize));
+  }
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+    const GroupId gid = r.u32();
+    no.next_member_[gid] = r.u32();
+  }
+  no.next_group_id_ = r.u32();
+  no.url_ = SignedRevocationList::from_bytes(r.bytes());
+  no.crl_ = SignedRevocationList::from_bytes(r.bytes());
+  no.url_entries_ = no.url_.entries;
+  no.crl_entries_ = no.crl_.entries;
+  const auto read_deltas = [&r]() {
+    std::vector<RLDelta> deltas;
+    for (std::uint64_t i = 0, n = r.u64(); i < n; ++i)
+      deltas.push_back(RLDelta::from_bytes(r.bytes()));
+    return deltas;
+  };
+  no.url_deltas_ = read_deltas();
+  no.crl_deltas_ = read_deltas();
+  r.expect_end();
+  return no;
 }
 
 std::optional<KeyIndex> NetworkOperator::index_of_token(const G1& a) const {

@@ -23,6 +23,10 @@
 
 #include "peace/messages.hpp"
 
+namespace peace::persist {
+class ControlPlane;
+}  // namespace peace::persist
+
 namespace peace::proto {
 
 using groupsig::GroupPublicKey;
@@ -55,6 +59,15 @@ class TrustedThirdParty {
   /// credential for `idx` to user `uid` (recording the uid mapping).
   Bytes deliver(const KeyIndex& idx, const std::string& uid);
 
+  /// Creates the receipt-signing key up front (normally lazy on the first
+  /// deposit). The durable control plane calls this at create time so the
+  /// key lands in the genesis snapshot and replay never draws randomness.
+  void ensure_signing_key(crypto::Drbg& rng);
+
+  /// Full-state image for operator snapshots (docs/ARCHITECTURE.md §8).
+  Bytes state_bytes() const;
+  static TrustedThirdParty from_state(BytesView data);
+
   // --- knowledge introspection (used by the privacy tests) ---
   std::size_t stored_credentials() const { return store_.size(); }
   /// TTP knows which uid received which blinded blob...
@@ -67,6 +80,12 @@ class TrustedThirdParty {
   }
 
  private:
+  friend class persist::ControlPlane;
+  /// WAL replay: re-inserts a deposit whose verification already happened
+  /// when the record was first written.
+  void replay_deposit(const KeyIndex& idx, Bytes blinded);
+  void replay_deliver(const KeyIndex& idx, const std::string& uid);
+
   curve::EcdsaKeyPair signing_key_;  // for receipts
   bool has_key_ = false;
   std::map<std::pair<GroupId, std::uint32_t>, Bytes> store_;
@@ -124,7 +143,25 @@ class GroupManager {
   // this class.
   const Fr& group_secret() const { return grp_; }
 
+  /// Receipts currently resident in memory (evicted ones stay in the
+  /// operator's durable log and are fetched back on demand by the control
+  /// plane — see DurableControlPlane::receipt_for).
+  std::size_t receipts_in_memory() const { return receipts_.size(); }
+
+  /// Full-state image for operator snapshots (docs/ARCHITECTURE.md §8).
+  Bytes state_bytes() const;
+  static GroupManager from_state(BytesView data);
+
  private:
+  friend class persist::ControlPlane;
+  /// WAL replay: re-assigns `idx` to `uid` without re-drawing anything.
+  void replay_enroll(const KeyIndex& idx, const std::string& uid);
+  /// Inserts a receipt that was signature-checked when first recorded.
+  void store_receipt(const KeyIndex& idx, EnrollmentReceipt receipt);
+  /// Evicts oldest-first until at most `cap` receipts stay resident;
+  /// returns how many were dropped (they remain in the durable log).
+  std::size_t evict_receipts_over(std::size_t cap);
+
   GroupId id_;
   std::string name_;
   Fr grp_;
@@ -132,6 +169,8 @@ class GroupManager {
   std::map<std::pair<GroupId, std::uint32_t>, std::string> assigned_;
   std::map<std::pair<GroupId, std::uint32_t>, Fr> assigned_x_;
   std::map<std::pair<GroupId, std::uint32_t>, EnrollmentReceipt> receipts_;
+  /// Insertion order of receipts_, oldest first — the spill policy.
+  std::vector<std::pair<GroupId, std::uint32_t>> receipt_order_;
 };
 
 /// What NO's audit of a session yields (paper IV.D): the credential and the
@@ -225,7 +264,47 @@ class NetworkOperator {
 
   std::size_t grt_size() const { return grt_.size(); }
 
+  struct GrtEntry {
+    RevocationToken token;
+    GroupId group_id;
+    KeyIndex index;
+  };
+  const std::vector<GrtEntry>& grt_entries() const { return grt_; }
+
+  // --- archived-era introspection (spill / audit-index path) -------------
+  std::size_t archived_era_count() const { return past_eras_.size(); }
+  const GroupPublicKey& archived_gpk(std::size_t era) const;
+  bool era_spilled(std::size_t era) const;
+  /// GRT entries the era holds (resident + spilled).
+  std::size_t era_token_count(std::size_t era) const;
+  /// Drops the in-memory GRT of archived era `era` (the control plane
+  /// spills oldest rotations first); the tokens stay recoverable from the
+  /// durable log. Returns the number of entries freed.
+  std::size_t spill_archived_era(std::size_t era);
+
+  /// Full-state image for operator snapshots (docs/ARCHITECTURE.md §8).
+  Bytes state_bytes() const;
+  static NetworkOperator from_state(BytesView data);
+
  private:
+  friend class persist::ControlPlane;
+  NetworkOperator(crypto::Drbg rng, groupsig::Issuer issuer,
+                  curve::EcdsaKeyPair nsk)
+      : rng_(std::move(rng)), issuer_(std::move(issuer)), nsk_(std::move(nsk)) {}
+
+  // --- WAL replay (results were logged; nothing is re-drawn) -------------
+  /// Registration and reissue both reduce to: install the group secret,
+  /// advance member numbering, and append the recorded GRT entries.
+  void replay_issue(GroupId gid, const Fr& grp, std::uint32_t next_member_after,
+                    std::vector<GrtEntry> entries);
+  /// Archives the current era under the recorded successor gamma; the
+  /// recorded remove-all URL delta then lands via replay_revocation.
+  void replay_rotation(const Fr& new_gamma);
+  /// Re-applies a recorded revocation delta (URL or CRL) bit-identically:
+  /// the reconstructed list reuses the delta's full_signature.
+  void replay_revocation(const RLDelta& delta);
+  void restore_rng(BytesView state);
+
   SignedRevocationList sign_list(std::vector<Bytes> entries,
                                  std::uint64_t version, Timestamp now) const;
   /// Chains one delta from `prev` to the just-installed successor of
@@ -240,11 +319,6 @@ class NetworkOperator {
   groupsig::Issuer issuer_;
   curve::EcdsaKeyPair nsk_;
 
-  struct GrtEntry {
-    RevocationToken token;
-    GroupId group_id;
-    KeyIndex index;
-  };
   /// Issues `num_keys` credentials for `gid` under the current master key,
   /// distributing shares to the GM batch and the TTP.
   std::vector<std::pair<KeyIndex, Fr>> issue_batch(GroupId gid, const Fr& grp,
@@ -255,6 +329,10 @@ class NetworkOperator {
   struct Era {
     GroupPublicKey gpk;
     std::vector<GrtEntry> grt;
+    /// True once the entries were dropped from memory; the durable log
+    /// still holds them and the control plane scans them from disk.
+    bool spilled = false;
+    std::size_t total = 0;  // entry count including spilled ones
   };
   std::vector<Era> past_eras_;
   std::unordered_map<GroupId, Fr> group_secrets_;
@@ -267,7 +345,6 @@ class NetworkOperator {
   SignedRevocationList crl_;
   std::vector<RLDelta> url_deltas_;  // complete chains, oldest first
   std::vector<RLDelta> crl_deltas_;
-  Timestamp list_time_ = 0;
 };
 
 /// The trace of paper IV.D ("revocable user anonymity against law

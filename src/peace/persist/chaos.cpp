@@ -1,0 +1,142 @@
+#include "peace/persist/chaos.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <vector>
+
+#include "peace/persist/wal.hpp"
+
+namespace peace::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Mirrors the store's file naming: wal-<20 digits>.wal / snap-<...>.snap.
+std::optional<std::uint64_t> parse_numbered(const std::string& name,
+                                            const std::string& pre,
+                                            const std::string& suf) {
+  if (name.size() != pre.size() + 20 + suf.size()) return std::nullopt;
+  if (name.compare(0, pre.size(), pre) != 0) return std::nullopt;
+  if (name.compare(name.size() - suf.size(), suf.size(), suf) != 0)
+    return std::nullopt;
+  std::uint64_t v = 0;
+  for (std::size_t i = pre.size(); i < pre.size() + 20; ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return v;
+}
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("chaos: cannot read " + path);
+  return Bytes(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, BytesView data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("chaos: cannot write " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw Error("chaos: short write to " + path);
+}
+
+/// Path of the segment with the highest base_seq.
+std::string newest_segment(const std::string& dir) {
+  std::string best;
+  std::uint64_t best_base = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (auto base = parse_numbered(name, "wal-", ".wal")) {
+      if (best.empty() || *base >= best_base) {
+        best = entry.path().string();
+        best_base = *base;
+      }
+    }
+  }
+  if (best.empty()) throw Error("chaos: no wal segments in " + dir);
+  return best;
+}
+
+/// Total frame size of a record: fixed prefix + payload + chain + crc.
+std::uint64_t frame_size(const WalRecord& rec) {
+  return 17 + rec.payload.size() + 32 + 4;
+}
+
+}  // namespace
+
+void crash_copy(const std::string& src, const std::string& dst,
+                std::uint64_t seq) {
+  if (fs::exists(dst)) throw Error("chaos: crash_copy target exists: " + dst);
+  fs::create_directories(dst);
+  for (const auto& entry : fs::directory_iterator(src)) {
+    const std::string name = entry.path().filename().string();
+    const std::string out = dst + "/" + name;
+    if (auto base = parse_numbered(name, "wal-", ".wal")) {
+      if (*base > seq) continue;  // rotated into existence after the crash
+      std::uint64_t end = WalSegment::kHeaderSize;
+      WalSegment::scan_file(entry.path().string(),
+                            [&](const WalRecord& rec, std::uint64_t offset) {
+                              if (rec.seq <= seq)
+                                end = offset + frame_size(rec);
+                            });
+      Bytes data = read_file(entry.path().string());
+      data.resize(std::min<std::uint64_t>(end, data.size()));
+      write_file(out, data);
+    } else if (auto snap = parse_numbered(name, "snap-", ".snap")) {
+      if (*snap > seq) continue;  // cut after the crash point
+      write_file(out, read_file(entry.path().string()));
+    }
+    // anything else (orphans, temp files) died with the process
+  }
+}
+
+std::uint64_t max_seq(const std::string& dir) {
+  std::uint64_t best = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (!parse_numbered(name, "wal-", ".wal")) continue;
+    const WalScanResult scan = WalSegment::scan_file(entry.path().string());
+    if (scan.records > 0 && scan.last_seq > best) best = scan.last_seq;
+  }
+  return best;
+}
+
+void truncate_tail(const std::string& dir, std::uint64_t bytes) {
+  const std::string path = newest_segment(dir);
+  Bytes data = read_file(path);
+  const std::uint64_t floor = WalSegment::kHeaderSize;
+  const std::uint64_t size = data.size();
+  data.resize(size > bytes + floor ? size - bytes : floor);
+  write_file(path, data);
+}
+
+void corrupt_byte(const std::string& dir, std::uint64_t offset_from_end,
+                  std::uint8_t mask) {
+  const std::string path = newest_segment(dir);
+  Bytes data = read_file(path);
+  if (offset_from_end >= data.size())
+    throw Error("chaos: corrupt offset past start of file");
+  data[data.size() - 1 - offset_from_end] ^= mask;
+  write_file(path, data);
+}
+
+void duplicate_last_record(const std::string& dir) {
+  const std::string path = newest_segment(dir);
+  std::uint64_t last_off = 0;
+  std::uint64_t last_size = 0;
+  WalSegment::scan_file(path, [&](const WalRecord& rec, std::uint64_t offset) {
+    last_off = offset;
+    last_size = frame_size(rec);
+  });
+  if (last_size == 0) throw Error("chaos: no record to duplicate");
+  Bytes data = read_file(path);
+  data.insert(data.end(), data.begin() + static_cast<std::ptrdiff_t>(last_off),
+              data.begin() + static_cast<std::ptrdiff_t>(last_off + last_size));
+  write_file(path, data);
+}
+
+}  // namespace peace::persist

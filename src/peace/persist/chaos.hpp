@@ -1,0 +1,39 @@
+// Crash- and corruption-injection helpers for the recovery chaos suite.
+//
+// crash_copy() materializes "the process died right after record `seq`
+// became durable": it copies a live store directory, truncating every
+// segment at that record boundary and omitting snapshots cut after it.
+// The damage helpers then model the messier failure modes — torn tails,
+// bit rot, forked history — against which recovery must either restore to
+// the last good record or fail clean (never surface partial state).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace peace::persist {
+
+/// Copies store `src` to `dst` as it would look had the process crashed
+/// immediately after record `seq` hit the disk: segments are truncated to
+/// records <= seq and snapshots with wal_seq > seq are omitted. `dst` must
+/// not exist yet.
+void crash_copy(const std::string& src, const std::string& dst,
+                std::uint64_t seq);
+
+/// Highest record sequence durable in `dir` (0 when only headers exist).
+std::uint64_t max_seq(const std::string& dir);
+
+/// Chops `bytes` off the end of the newest segment (torn tail / partial
+/// frame). Chopping more than the file holds empties it to the header.
+void truncate_tail(const std::string& dir, std::uint64_t bytes);
+
+/// XORs `mask` into the byte `offset_from_end` before the end of the
+/// newest segment (bit rot, or — aimed at a chain/seq field — a fork).
+void corrupt_byte(const std::string& dir, std::uint64_t offset_from_end,
+                  std::uint8_t mask);
+
+/// Re-appends a copy of the newest segment's last frame after itself (a
+/// duplicated splice; the scan must reject it as a sequence break).
+void duplicate_last_record(const std::string& dir);
+
+}  // namespace peace::persist

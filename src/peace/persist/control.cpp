@@ -1,0 +1,475 @@
+#include "peace/persist/control.hpp"
+
+#include <algorithm>
+
+#include "common/serde.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace peace::persist {
+
+using proto::GroupManager;
+using proto::NetworkOperator;
+using proto::TrustedThirdParty;
+
+namespace {
+
+std::pair<proto::GroupId, std::uint32_t> key_of(const proto::KeyIndex& idx) {
+  return {idx.group, idx.member};
+}
+
+void write_ref(Writer& w, const RecordRef& ref) {
+  w.u64(ref.seq);
+  w.u64(ref.segment_base);
+  w.u64(ref.offset);
+  w.u8(ref.type);
+}
+
+RecordRef read_ref(Reader& r) {
+  RecordRef ref;
+  ref.seq = r.u64();
+  ref.segment_base = r.u64();
+  ref.offset = r.u64();
+  ref.type = r.u8();
+  return ref;
+}
+
+}  // namespace
+
+ControlPlane::ControlPlane(DurableStore store, ControlPlaneOptions opts)
+    : store_(std::move(store)), opts_(opts) {
+  era_issue_refs_.push_back({});
+}
+
+ControlPlane ControlPlane::create(const std::string& dir, crypto::Drbg rng,
+                                  ControlPlaneOptions opts) {
+  ControlPlane cp(DurableStore::create(dir, opts.store), opts);
+  cp.no_ = std::make_unique<NetworkOperator>(std::move(rng));
+  // Eager TTP key: lazily creating it during the first deposit would draw
+  // randomness replay cannot reproduce. Here it lands in the genesis
+  // snapshot instead.
+  cp.ttp_.ensure_signing_key(cp.no_->rng_);
+  cp.snapshot();
+  return cp;
+}
+
+ControlPlane ControlPlane::recover(const std::string& dir,
+                                   ControlPlaneOptions opts) {
+  obs::Span span("control.recover", "persist");
+  StoreRecovery rec = DurableStore::open(dir, opts.store);
+  ControlPlane cp(std::move(rec.store), opts);
+  cp.report_ = std::move(rec.report);
+  if (rec.snapshot.empty())
+    throw Error("persist: control plane requires a genesis snapshot");
+  cp.load_state(rec.snapshot);
+  for (const TailRecord& t : rec.tail) cp.apply_record(t.ref, t.record);
+  cp.records_since_snapshot_ = rec.tail.size();
+  span.arg("tail_records", rec.tail.size());
+  obs::Registry::global().counter("persist.control_recoveries").add(1);
+  return cp;
+}
+
+// --- state image -------------------------------------------------------------
+
+Bytes ControlPlane::state_bytes() const {
+  Writer w;
+  w.str("peace/control-state-v1");
+  w.bytes(no_->state_bytes());
+  w.bytes(ttp_.state_bytes());
+  w.u64(gms_.size());
+  for (const auto& [gid, gm] : gms_) w.bytes(gm.state_bytes());
+  w.u64(era_issue_refs_.size());
+  for (const auto& era : era_issue_refs_) {
+    w.u64(era.size());
+    for (const RecordRef& ref : era) write_ref(w, ref);
+  }
+  w.u64(receipt_refs_.size());
+  for (const auto& [key, ref] : receipt_refs_) {
+    w.u32(key.first);
+    w.u32(key.second);
+    write_ref(w, ref);
+  }
+  return w.take();
+}
+
+void ControlPlane::load_state(BytesView payload) {
+  Reader r(payload);
+  if (r.str() != "peace/control-state-v1")
+    throw Error("persist: bad control-plane snapshot");
+  no_ = std::make_unique<NetworkOperator>(
+      NetworkOperator::from_state(r.bytes()));
+  ttp_ = TrustedThirdParty::from_state(r.bytes());
+  gms_.clear();
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+    GroupManager gm = GroupManager::from_state(r.bytes());
+    const proto::GroupId gid = gm.id();
+    gms_.emplace(gid, std::move(gm));
+  }
+  era_issue_refs_.clear();
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+    std::vector<RecordRef> era;
+    for (std::uint64_t j = 0, m = r.u64(); j < m; ++j)
+      era.push_back(read_ref(r));
+    era_issue_refs_.push_back(std::move(era));
+  }
+  receipt_refs_.clear();
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+    const proto::GroupId g = r.u32();
+    const std::uint32_t m = r.u32();
+    receipt_refs_[{g, m}] = read_ref(r);
+  }
+  r.expect_end();
+  if (era_issue_refs_.empty()) era_issue_refs_.push_back({});
+}
+
+// --- write path --------------------------------------------------------------
+
+RecordRef ControlPlane::append(RecordType type, BytesView payload) {
+  const RecordRef ref =
+      store_.append(static_cast<std::uint8_t>(type), payload);
+  ++records_since_snapshot_;
+  return ref;
+}
+
+void ControlPlane::maybe_snapshot() {
+  if (opts_.snapshot_every != 0 &&
+      records_since_snapshot_ >= opts_.snapshot_every)
+    snapshot();
+}
+
+void ControlPlane::snapshot() {
+  store_.write_snapshot(state_bytes());
+  records_since_snapshot_ = 0;
+}
+
+void ControlPlane::enforce_caps() {
+  auto& reg = obs::Registry::global();
+  if (opts_.gm_receipt_cache_cap != std::size_t(-1)) {
+    for (auto& [gid, gm] : gms_) {
+      const std::size_t evicted =
+          gm.evict_receipts_over(opts_.gm_receipt_cache_cap);
+      if (evicted != 0) {
+        receipts_spilled_ += evicted;
+        reg.counter("persist.receipts_spilled").add(evicted);
+      }
+    }
+  }
+  if (opts_.archived_era_cache_cap != std::size_t(-1)) {
+    std::size_t resident = 0;
+    for (std::size_t i = 0; i < no_->archived_era_count(); ++i)
+      if (!no_->era_spilled(i)) ++resident;
+    for (std::size_t i = 0; i < no_->archived_era_count() &&
+                            resident > opts_.archived_era_cache_cap;
+         ++i) {
+      if (no_->era_spilled(i)) continue;
+      const std::size_t freed = no_->spill_archived_era(i);
+      grt_spilled_ += freed;
+      reg.counter("persist.grt_spilled").add(freed);
+      --resident;
+    }
+  }
+}
+
+// Builds the issue record for the batch the GM currently holds unassigned
+// (exactly the freshly minted one: register starts empty, reissue cleared
+// the previous era's leftovers).
+GroupIssueRecord ControlPlane::build_issue_record(
+    const GroupManager& gm, const std::string& name) const {
+  GroupIssueRecord rec;
+  rec.gid = gm.id();
+  rec.name = name;
+  rec.grp = gm.group_secret();
+  rec.next_member_after = no_->next_member_.at(gm.id());
+  for (const auto& [idx, x] : gm.unassigned_) {
+    IssuedKey k;
+    k.index = idx;
+    k.x = x;
+    k.blinded = ttp_.blinded_store().at(key_of(idx));
+    const auto& grt = no_->grt_entries();
+    const auto it = std::find_if(
+        grt.rbegin(), grt.rend(),
+        [idx = idx](const NetworkOperator::GrtEntry& e) {
+          return e.index == idx;
+        });
+    if (it == grt.rend())
+      throw Error("persist: minted key missing from grt");
+    k.token = it->token.to_bytes();
+    rec.keys.push_back(std::move(k));
+  }
+  rec.rng_state = no_->rng_.export_state();
+  return rec;
+}
+
+proto::GroupId ControlPlane::register_group(const std::string& name,
+                                            std::size_t num_keys) {
+  obs::Span span("control.register_group", "persist");
+  GroupManager gm = no_->register_group(name, num_keys, ttp_);
+  const proto::GroupId gid = gm.id();
+  const GroupIssueRecord rec = build_issue_record(gm, name);
+  gms_.emplace(gid, std::move(gm));
+  const RecordRef ref =
+      append(RecordType::kGroupRegistered, rec.to_bytes());
+  era_issue_refs_.back().push_back(ref);
+  enforce_caps();
+  maybe_snapshot();
+  span.arg("gid", gid);
+  span.arg("keys", num_keys);
+  return gid;
+}
+
+void ControlPlane::reissue_group(proto::GroupId gid, std::size_t num_keys) {
+  obs::Span span("control.reissue_group", "persist");
+  GroupManager& gm = this->gm(gid);
+  no_->reissue_group(gm, num_keys, ttp_);
+  const GroupIssueRecord rec = build_issue_record(gm, "");
+  const RecordRef ref = append(RecordType::kGroupReissued, rec.to_bytes());
+  era_issue_refs_.back().push_back(ref);
+  enforce_caps();
+  maybe_snapshot();
+  span.arg("gid", gid);
+  span.arg("keys", num_keys);
+}
+
+void ControlPlane::rotate_master_key(proto::Timestamp now) {
+  obs::Span span("control.rotate_master_key", "persist");
+  no_->rotate_master_key(now);
+  MasterRotatedRecord rec;
+  rec.new_gamma = no_->issuer_.gamma();
+  rec.url_delta = no_->url_deltas_.back().to_bytes();
+  rec.rng_state = no_->rng_.export_state();
+  append(RecordType::kMasterRotated, rec.to_bytes());
+  era_issue_refs_.push_back({});
+  enforce_caps();
+  maybe_snapshot();
+}
+
+bool ControlPlane::revoke_user_key(const proto::KeyIndex& idx,
+                                   proto::Timestamp now) {
+  const std::uint64_t before = no_->current_url().version;
+  no_->revoke_user_key(idx, now);
+  if (no_->current_url().version == before) return false;  // already revoked
+  RevocationRecord rec;
+  rec.delta = no_->url_deltas_.back().to_bytes();
+  rec.rng_state = no_->rng_.export_state();
+  append(RecordType::kUserRevoked, rec.to_bytes());
+  enforce_caps();
+  maybe_snapshot();
+  return true;
+}
+
+bool ControlPlane::revoke_router(proto::RouterId id, proto::Timestamp now) {
+  const std::uint64_t before = no_->current_crl().version;
+  no_->revoke_router(id, now);
+  if (no_->current_crl().version == before) return false;
+  RevocationRecord rec;
+  rec.delta = no_->crl_deltas_.back().to_bytes();
+  rec.rng_state = no_->rng_.export_state();
+  append(RecordType::kRouterRevoked, rec.to_bytes());
+  enforce_caps();
+  maybe_snapshot();
+  return true;
+}
+
+NetworkOperator::RouterProvision ControlPlane::provision_router(
+    proto::RouterId id, proto::Timestamp expires_at) {
+  NetworkOperator::RouterProvision p = no_->provision_router(id, expires_at);
+  RouterProvisionedRecord rec;
+  rec.certificate = p.certificate.to_bytes();
+  rec.rng_state = no_->rng_.export_state();
+  append(RecordType::kRouterProvisioned, rec.to_bytes());
+  maybe_snapshot();
+  return p;
+}
+
+GroupManager::Enrollment ControlPlane::enroll(proto::GroupId gid,
+                                              const std::string& uid) {
+  GroupManager::Enrollment e = gm(gid).enroll(uid, ttp_);
+  EnrolledRecord rec;
+  rec.index = e.index;
+  rec.uid = uid;
+  append(RecordType::kEnrolled, rec.to_bytes());
+  maybe_snapshot();
+  return e;
+}
+
+void ControlPlane::record_receipt(const GroupManager::Enrollment& enrollment,
+                                  const proto::G1& user_public_key,
+                                  const curve::EcdsaSignature& signature) {
+  gm(enrollment.index.group)
+      .record_receipt(enrollment, user_public_key, signature);
+  ReceiptArchivedRecord rec;
+  rec.index = enrollment.index;
+  rec.user_public_key = curve::g1_to_bytes(user_public_key);
+  rec.signature = signature.to_bytes();
+  const RecordRef ref =
+      append(RecordType::kReceiptArchived, rec.to_bytes());
+  receipt_refs_[key_of(enrollment.index)] = ref;
+  enforce_caps();
+  maybe_snapshot();
+}
+
+// --- replay ------------------------------------------------------------------
+
+void ControlPlane::apply_record(const RecordRef& ref, const WalRecord& rec) {
+  switch (static_cast<RecordType>(rec.type)) {
+    case RecordType::kGroupRegistered:
+    case RecordType::kGroupReissued: {
+      const GroupIssueRecord r = GroupIssueRecord::from_bytes(rec.payload);
+      std::vector<NetworkOperator::GrtEntry> entries;
+      std::vector<std::pair<proto::KeyIndex, Fr>> keys;
+      for (const IssuedKey& k : r.keys) {
+        entries.push_back({groupsig::RevocationToken::from_bytes(k.token),
+                           r.gid, k.index});
+        keys.emplace_back(k.index, k.x);
+        ttp_.replay_deposit(k.index, k.blinded);
+      }
+      no_->replay_issue(r.gid, r.grp, r.next_member_after, std::move(entries));
+      no_->restore_rng(r.rng_state);
+      if (static_cast<RecordType>(rec.type) == RecordType::kGroupRegistered) {
+        GroupManager gm(r.gid, r.name);
+        gm.receive_allocation(r.grp, std::move(keys));
+        gms_.emplace(r.gid, std::move(gm));
+      } else {
+        gm(r.gid).rekey(r.grp, std::move(keys));
+      }
+      era_issue_refs_.back().push_back(ref);
+      break;
+    }
+    case RecordType::kMasterRotated: {
+      const MasterRotatedRecord r = MasterRotatedRecord::from_bytes(rec.payload);
+      no_->replay_rotation(r.new_gamma);
+      no_->replay_revocation(proto::RLDelta::from_bytes(r.url_delta));
+      no_->restore_rng(r.rng_state);
+      era_issue_refs_.push_back({});
+      break;
+    }
+    case RecordType::kUserRevoked:
+    case RecordType::kRouterRevoked: {
+      const RevocationRecord r = RevocationRecord::from_bytes(rec.payload);
+      no_->replay_revocation(proto::RLDelta::from_bytes(r.delta));
+      no_->restore_rng(r.rng_state);
+      break;
+    }
+    case RecordType::kRouterProvisioned: {
+      const RouterProvisionedRecord r =
+          RouterProvisionedRecord::from_bytes(rec.payload);
+      no_->restore_rng(r.rng_state);
+      break;
+    }
+    case RecordType::kEnrolled: {
+      const EnrolledRecord r = EnrolledRecord::from_bytes(rec.payload);
+      gm(r.index.group).replay_enroll(r.index, r.uid);
+      ttp_.replay_deliver(r.index, r.uid);
+      break;
+    }
+    case RecordType::kReceiptArchived: {
+      const ReceiptArchivedRecord r =
+          ReceiptArchivedRecord::from_bytes(rec.payload);
+      GroupManager::EnrollmentReceipt receipt;
+      receipt.user_public_key = curve::g1_from_bytes(r.user_public_key);
+      receipt.signature = curve::EcdsaSignature::from_bytes(r.signature);
+      gm(r.index.group).store_receipt(r.index, std::move(receipt));
+      receipt_refs_[key_of(r.index)] = ref;
+      break;
+    }
+    default:
+      throw Error("persist: unknown record type in wal");
+  }
+  // Mirror the live write path: caps are enforced after every operation,
+  // so the recovered trajectory matches the uninterrupted one exactly.
+  enforce_caps();
+}
+
+// --- entity access -----------------------------------------------------------
+
+GroupManager& ControlPlane::gm(proto::GroupId gid) {
+  const auto it = gms_.find(gid);
+  if (it == gms_.end()) throw Error("persist: unknown group manager");
+  return it->second;
+}
+
+const GroupManager& ControlPlane::gm(proto::GroupId gid) const {
+  const auto it = gms_.find(gid);
+  if (it == gms_.end()) throw Error("persist: unknown group manager");
+  return it->second;
+}
+
+std::vector<const GroupManager*> ControlPlane::group_managers() const {
+  std::vector<const GroupManager*> out;
+  out.reserve(gms_.size());
+  for (const auto& [gid, gm] : gms_) out.push_back(&gm);
+  return out;
+}
+
+// --- spill-aware reads -------------------------------------------------------
+
+std::optional<GroupManager::EnrollmentReceipt> ControlPlane::receipt_for(
+    const proto::KeyIndex& idx) const {
+  const auto it = gms_.find(idx.group);
+  if (it != gms_.end()) {
+    if (auto receipt = it->second.receipt_for(idx)) return receipt;
+  }
+  const auto rit = receipt_refs_.find(key_of(idx));
+  if (rit == receipt_refs_.end()) return std::nullopt;
+  const auto rec = store_.read(rit->second);
+  if (!rec.has_value()) return std::nullopt;
+  const ReceiptArchivedRecord r = ReceiptArchivedRecord::from_bytes(rec->payload);
+  GroupManager::EnrollmentReceipt receipt;
+  receipt.user_public_key = curve::g1_from_bytes(r.user_public_key);
+  receipt.signature = curve::EcdsaSignature::from_bytes(r.signature);
+  return receipt;
+}
+
+std::vector<NetworkOperator::GrtEntry> ControlPlane::spilled_era_entries(
+    std::size_t era) const {
+  std::vector<NetworkOperator::GrtEntry> entries;
+  if (era >= era_issue_refs_.size()) return entries;
+  for (const RecordRef& ref : era_issue_refs_[era]) {
+    const auto rec = store_.read(ref);
+    if (!rec.has_value()) continue;  // archive damage: reported at recovery
+    const GroupIssueRecord r = GroupIssueRecord::from_bytes(rec->payload);
+    for (const IssuedKey& k : r.keys)
+      entries.push_back({groupsig::RevocationToken::from_bytes(k.token),
+                         r.gid, k.index});
+  }
+  return entries;
+}
+
+std::optional<proto::AuditResult> ControlPlane::audit(
+    const proto::AccessRequest& m2) const {
+  if (auto hit = no_->audit(m2)) return hit;
+  // Spilled archived eras: stream their GRT back from the log and scan
+  // with that era's gpk — newest rotation first, like the resident path.
+  const Bytes payload = m2.signed_payload();
+  for (std::size_t era = no_->archived_era_count(); era-- > 0;) {
+    if (!no_->era_spilled(era)) continue;
+    const auto entries = spilled_era_entries(era);
+    if (entries.empty()) continue;
+    obs::Span span("control.audit_spilled_era", "persist");
+    span.arg("era", era);
+    span.arg("tokens", entries.size());
+    const groupsig::PreparedBases prepared =
+        groupsig::prepare_bases(no_->archived_gpk(era), payload, m2.signature);
+    groupsig::TokenScan scan(prepared, m2.signature);
+    for (const auto& e : entries) scan.add(e.token);
+    const std::size_t hit = scan.first_match();
+    if (hit != groupsig::TokenScan::npos)
+      return proto::AuditResult{entries[hit].token, entries[hit].group_id,
+                                entries[hit].index, hit + 1};
+  }
+  return std::nullopt;
+}
+
+std::optional<proto::LawAuthority::TraceResult> ControlPlane::trace(
+    const proto::AccessRequest& m2) const {
+  const auto hit = audit(m2);
+  if (!hit.has_value()) return std::nullopt;
+  const auto it = gms_.find(hit->group_id);
+  if (it == gms_.end()) return std::nullopt;
+  const auto uid = it->second.uid_for_index(hit->index);
+  if (!uid.has_value()) return std::nullopt;
+  return proto::LawAuthority::TraceResult{
+      *uid, hit->group_id, hit->index, receipt_for(hit->index).has_value()};
+}
+
+}  // namespace peace::persist

@@ -1,0 +1,98 @@
+#include "peace/persist/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+#include "peace/persist/wal.hpp"
+
+namespace peace::persist {
+
+namespace {
+
+constexpr std::uint32_t kSnapMagic = 0x50534E50u;  // 'PSNP'
+constexpr std::uint8_t kSnapVersion = 1;
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} << 24 | std::uint32_t{p[1]} << 16 |
+         std::uint32_t{p[2]} << 8 | std::uint32_t{p[3]};
+}
+
+}  // namespace
+
+void write_snapshot_file(const std::string& path, std::uint64_t wal_seq,
+                         BytesView wal_chain, BytesView payload) {
+  if (wal_chain.size() != 32) throw Error("persist: bad snapshot chain");
+  Bytes frame;
+  frame.reserve(53 + payload.size());
+  put_u32(frame, kSnapMagic);
+  frame.push_back(kSnapVersion);
+  put_u64(frame, wal_seq);
+  frame.insert(frame.end(), wal_chain.begin(), wal_chain.end());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  put_u32(frame, crc32(frame));
+
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) throw Error("persist: cannot create " + tmp);
+  std::size_t done = 0;
+  while (done < frame.size()) {
+    const ssize_t n = ::write(fd, frame.data() + done, frame.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw Error("persist: write failed for " + tmp);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw Error("persist: fsync failed for " + tmp);
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw Error("persist: cannot rename snapshot into place: " + path);
+}
+
+std::optional<SnapshotData> read_snapshot_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return std::nullopt;
+  Bytes data;
+  std::uint8_t buf[1 << 16];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0)
+    data.insert(data.end(), buf, buf + n);
+  ::close(fd);
+  if (n < 0) return std::nullopt;
+
+  constexpr std::size_t kFixed = 4 + 1 + 8 + 32 + 4;  // magic..payload_len
+  if (data.size() < kFixed + 4) return std::nullopt;
+  if (get_u32(data.data()) != kSnapMagic) return std::nullopt;
+  if (data[4] != kSnapVersion) return std::nullopt;
+  const std::uint32_t len = get_u32(data.data() + 45);
+  if (data.size() != kFixed + len + 4) return std::nullopt;
+  if (crc32({data.data(), kFixed + len}) != get_u32(data.data() + kFixed + len))
+    return std::nullopt;
+  SnapshotData snap;
+  snap.wal_seq = std::uint64_t{get_u32(data.data() + 5)} << 32 |
+                 get_u32(data.data() + 9);
+  snap.wal_chain.assign(data.begin() + 13, data.begin() + 45);
+  snap.payload.assign(data.begin() + 49, data.begin() + 49 + len);
+  return snap;
+}
+
+}  // namespace peace::persist

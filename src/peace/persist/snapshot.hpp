@@ -1,0 +1,37 @@
+// Snapshot files for the operator persistence layer: a CRC-framed full
+// state image bound to a position of the WAL hash chain. A snapshot names
+// (wal_seq, wal_chain) — the exact record it was cut after — so recovery
+// can verify that the segment it replays from continues the same history
+// the snapshot captured (docs/ARCHITECTURE.md §8).
+//
+//   magic 'PSNP' | u8 version | u64 wal_seq | wal_chain[32]
+//   | u32 payload_len | payload | crc32
+//
+// Snapshots are written to a temp file, fsynced, then renamed into place,
+// so a crash mid-snapshot leaves either the old set or the new file — never
+// a half-written image that parses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace peace::persist {
+
+struct SnapshotData {
+  std::uint64_t wal_seq = 0;
+  Bytes wal_chain;  // 32 bytes
+  Bytes payload;
+};
+
+/// Atomically writes a snapshot file (temp + rename + fsync).
+void write_snapshot_file(const std::string& path, std::uint64_t wal_seq,
+                         BytesView wal_chain, BytesView payload);
+
+/// Reads and validates a snapshot; nullopt on any framing/CRC damage (the
+/// store then falls back to an older snapshot).
+std::optional<SnapshotData> read_snapshot_file(const std::string& path);
+
+}  // namespace peace::persist

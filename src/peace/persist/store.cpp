@@ -1,0 +1,312 @@
+#include "peace/persist/store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace peace::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string padded(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%020llu",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+struct DirListing {
+  // (base_seq, path), ascending by base_seq
+  std::vector<std::pair<std::uint64_t, std::string>> segments;
+  // (wal_seq, path), descending by wal_seq
+  std::vector<std::pair<std::uint64_t, std::string>> snapshots;
+};
+
+std::optional<std::uint64_t> parse_numbered(const std::string& name,
+                                            const char* prefix,
+                                            const char* suffix) {
+  const std::string pre(prefix), suf(suffix);
+  if (name.size() != pre.size() + 20 + suf.size()) return std::nullopt;
+  if (name.compare(0, pre.size(), pre) != 0) return std::nullopt;
+  if (name.compare(name.size() - suf.size(), suf.size(), suf) != 0)
+    return std::nullopt;
+  std::uint64_t v = 0;
+  for (std::size_t i = pre.size(); i < pre.size() + 20; ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return v;
+}
+
+DirListing list_dir(const std::string& dir) {
+  DirListing out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (auto base = parse_numbered(name, "wal-", ".wal"))
+      out.segments.emplace_back(*base, entry.path().string());
+    else if (auto seq = parse_numbered(name, "snap-", ".snap"))
+      out.snapshots.emplace_back(*seq, entry.path().string());
+  }
+  std::sort(out.segments.begin(), out.segments.end());
+  std::sort(out.snapshots.begin(), out.snapshots.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return out;
+}
+
+/// Moves a dead-branch segment aside so a future rotation can never collide
+/// with its name; the bytes stay on disk for forensics.
+void orphan_segment(const std::string& path) {
+  std::string target = path + ".orphan";
+  for (int i = 1; fs::exists(target); ++i)
+    target = path + ".orphan" + std::to_string(i);
+  fs::rename(path, target);
+}
+
+}  // namespace
+
+std::string DurableStore::segment_path(std::uint64_t base_seq) const {
+  return dir_ + "/wal-" + padded(base_seq) + ".wal";
+}
+
+std::string DurableStore::snapshot_path(std::uint64_t seq) const {
+  return dir_ + "/snap-" + padded(seq) + ".snap";
+}
+
+DurableStore DurableStore::create(const std::string& dir, StoreOptions opts) {
+  fs::create_directories(dir);
+  const DirListing listing = list_dir(dir);
+  if (!listing.segments.empty() || !listing.snapshots.empty())
+    throw Error("persist: directory already contains a store: " + dir);
+  WalSegment active =
+      WalSegment::create(dir + "/wal-" + padded(0) + ".wal", 0,
+                         genesis_chain());
+  return DurableStore(dir, opts, std::move(active));
+}
+
+DurableStore::Recovered DurableStore::open(
+    const std::string& dir, StoreOptions opts,
+    const std::function<void(const RecordRef&, const WalRecord&)>& on_record) {
+  obs::Span span("persist.recover", "persist");
+  auto& reg = obs::Registry::global();
+  const DirListing listing = list_dir(dir);
+  if (listing.segments.empty())
+    throw Error("persist: no wal segments in " + dir);
+
+  RecoveryReport report;
+  report.segments = listing.segments.size();
+
+  // Parse every snapshot up front (there are at most keep_snapshots + 1);
+  // damaged ones are skipped, older intact ones remain candidates.
+  std::vector<SnapshotData> snaps;
+  for (const auto& [seq, path] : listing.snapshots) {
+    if (auto s = read_snapshot_file(path)) {
+      snaps.push_back(std::move(*s));
+    } else {
+      ++report.snapshots_discarded;
+    }
+  }
+  const std::uint64_t min_snap_seq = snaps.empty() ? 0 : snaps.back().wal_seq;
+
+  // Scan every segment. Each is internally verified from its own header;
+  // linkage between consecutive segments is verified separately so damage
+  // in an old archive segment cannot silently corrupt newer state.
+  struct SegState {
+    std::uint64_t base = 0;
+    std::string path;
+    WalScanResult scan;
+    bool linked = false;  // chains from the previous segment (or genesis)
+    std::vector<TailRecord> records;  // kept only for base >= min_snap_seq
+  };
+  std::vector<SegState> segs;
+  for (const auto& [base, path] : listing.segments) {
+    SegState s;
+    s.base = base;
+    s.path = path;
+    const bool keep_payloads = base >= min_snap_seq;
+    try {
+      s.scan = WalSegment::scan_file(
+          path, [&](const WalRecord& rec, std::uint64_t offset) {
+            RecordRef ref{rec.seq, base, offset, rec.type};
+            if (on_record) on_record(ref, rec);
+            if (keep_payloads) s.records.push_back({ref, rec});
+          });
+    } catch (const Error&) {
+      // Unreadable header: the segment contributes nothing.
+      s.scan.damage = WalDamage::kBadMagic;
+      s.scan.base_seq = base;
+    }
+    report.records_scanned += s.scan.records;
+    if (s.scan.damage != WalDamage::kNone && report.damage.empty())
+      report.damage = wal_damage_name(s.scan.damage);
+    segs.push_back(std::move(s));
+  }
+  // Linkage: segment i chains from segment i-1 iff its header anchor equals
+  // the predecessor's end-of-scan position; the first segment must anchor
+  // at genesis.
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    if (i == 0) {
+      segs[i].linked = segs[i].scan.base_seq == 0 &&
+                       segs[i].scan.base_chain == genesis_chain();
+    } else {
+      segs[i].linked = segs[i - 1].scan.damage == WalDamage::kNone &&
+                       segs[i].scan.base_seq == segs[i - 1].scan.last_seq &&
+                       segs[i].scan.base_chain == segs[i - 1].scan.last_chain;
+    }
+  }
+
+  // Choose the newest snapshot that anchors into the scanned history:
+  // either a segment rotation begins exactly at its (seq, chain), or it was
+  // cut at the very end of a segment (crash between snapshot and rotation).
+  const SnapshotData* chosen = nullptr;
+  std::size_t anchor_idx = 0;  // segment the replay starts in
+  bool anchor_at_end = false;
+  for (const SnapshotData& s : snaps) {
+    bool found = false;
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      if (segs[i].scan.base_seq == s.wal_seq &&
+          segs[i].scan.base_chain == s.wal_chain) {
+        chosen = &s;
+        anchor_idx = i;
+        anchor_at_end = false;
+        found = true;
+        break;
+      }
+      if (segs[i].scan.damage == WalDamage::kNone &&
+          segs[i].scan.last_seq == s.wal_seq &&
+          segs[i].scan.last_chain == s.wal_chain) {
+        chosen = &s;
+        anchor_idx = i;
+        anchor_at_end = true;
+        found = true;
+        break;
+      }
+    }
+    if (found) break;
+    ++report.snapshots_discarded;
+  }
+
+  Bytes snapshot_payload;
+  std::uint64_t snapshot_seq = 0;
+  if (chosen != nullptr) {
+    snapshot_payload = chosen->payload;
+    snapshot_seq = chosen->wal_seq;
+  } else if (snaps.empty() && segs[0].linked) {
+    // No intact snapshot file at all: implicit empty state at genesis
+    // (bare stores and unit tests; ControlPlane always writes a genesis
+    // snapshot at create).
+    anchor_idx = 0;
+  } else {
+    // Snapshots exist but none anchors into the scanned history (or the
+    // genesis segment is gone): refusing is the only safe move — guessing
+    // would surface partial or forked state.
+    throw Error("persist: no usable snapshot or genesis segment in " + dir);
+  }
+  report.snapshot_seq = snapshot_seq;
+
+  // Walk forward from the anchor while segments stay linked; collect the
+  // replay tail and find the segment that becomes the active one.
+  std::vector<TailRecord> tail;
+  std::size_t active_idx = anchor_idx;
+  for (std::size_t i = anchor_idx; i < segs.size(); ++i) {
+    if (i > anchor_idx && !segs[i].linked) break;
+    active_idx = i;
+    for (const TailRecord& rec : segs[i].records)
+      if (rec.record.seq > snapshot_seq) tail.push_back(rec);
+    if (segs[i].scan.damage != WalDamage::kNone) break;  // truncated tail
+  }
+  (void)anchor_at_end;
+
+  // Damage before the replay region is archive damage: spilled records in
+  // that area are unreadable, but recovered state is unaffected.
+  for (std::size_t i = 0; i < active_idx; ++i) {
+    if (segs[i].scan.damage != WalDamage::kNone || !segs[i].linked)
+      report.archive_damage = true;
+  }
+
+  // Orphan dead-branch segments past the active one so future rotations
+  // cannot collide with their names.
+  for (std::size_t i = active_idx + 1; i < segs.size(); ++i) {
+    orphan_segment(segs[i].path);
+    report.bytes_truncated +=
+        segs[i].scan.good_bytes + segs[i].scan.dropped_bytes;
+    report.archive_damage = true;
+  }
+  if (segs.size() > active_idx + 1 && report.damage.empty())
+    report.damage = "segment_chain_break";
+
+  // Re-open the active segment for appending (this truncates its damaged
+  // tail, if any).
+  WalScanResult active_scan;
+  WalSegment active = WalSegment::open(segs[active_idx].path, active_scan);
+  report.bytes_truncated += active_scan.dropped_bytes;
+
+  report.tail_records = tail.size();
+  span.arg("snapshot_seq", snapshot_seq);
+  span.arg("tail_records", report.tail_records);
+  span.arg("bytes_truncated", report.bytes_truncated);
+  reg.counter("persist.records_recovered").add(report.tail_records);
+  reg.counter("persist.bytes_truncated").add(report.bytes_truncated);
+  reg.counter("persist.snapshots_discarded").add(report.snapshots_discarded);
+  if (report.archive_damage) reg.counter("persist.archive_damage").add(1);
+
+  DurableStore store(dir, opts, std::move(active));
+  store.last_snapshot_seq_ = snapshot_seq;
+  return Recovered{std::move(store), std::move(snapshot_payload),
+                   std::move(tail), std::move(report)};
+}
+
+RecordRef DurableStore::append(std::uint8_t type, BytesView payload) {
+  const std::uint64_t seq = active_.append(type, payload);
+  if (opts_.sync_each_append) sync();
+  auto& reg = obs::Registry::global();
+  reg.counter("persist.wal_appends").add(1);
+  reg.counter("persist.wal_bytes").add(payload.size() + 53);
+  return RecordRef{seq, active_.base_seq(), active_.last_offset(), type};
+}
+
+void DurableStore::sync() {
+  active_.sync();
+  obs::Registry::global().counter("persist.wal_syncs").add(1);
+}
+
+void DurableStore::write_snapshot(BytesView payload) {
+  obs::Span span("persist.snapshot", "persist");
+  // Make every record the snapshot covers durable before the snapshot
+  // itself can claim to cover it.
+  sync();
+  const std::uint64_t seq = active_.last_seq();
+  const Bytes chain = active_.chain();
+  write_snapshot_file(snapshot_path(seq), seq, chain, payload);
+  // Rotate: subsequent records land in a fresh segment anchored at the
+  // cut. An empty active segment is already that segment (e.g. the genesis
+  // snapshot, or back-to-back snapshots) — rotating would collide with its
+  // own file name.
+  if (seq != active_.base_seq())
+    active_ = WalSegment::create(segment_path(seq), seq, chain);
+  last_snapshot_seq_ = seq;
+  span.arg("seq", seq);
+  span.arg("bytes", payload.size());
+  auto& reg = obs::Registry::global();
+  reg.counter("persist.snapshots_written").add(1);
+  reg.counter("persist.snapshot_bytes").add(payload.size());
+  // Prune old snapshot files (segments are the permanent archive).
+  DirListing listing = list_dir(dir_);
+  for (std::size_t i = opts_.keep_snapshots; i < listing.snapshots.size(); ++i)
+    fs::remove(listing.snapshots[i].second);
+}
+
+std::optional<WalRecord> DurableStore::read(const RecordRef& ref) const {
+  const std::string path = segment_path(ref.segment_base);
+  auto rec = WalSegment::read_at(path, ref.offset);
+  if (!rec.has_value() || rec->seq != ref.seq || rec->type != ref.type)
+    return std::nullopt;
+  obs::Registry::global().counter("persist.spill_reads").add(1);
+  return rec;
+}
+
+}  // namespace peace::persist

@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Independent validator/inspector for PEACE operator store directories.
+
+Parses the WAL segment and snapshot framing of src/peace/persist/ with
+nothing but the Python standard library (zlib.crc32 matches the C++ CRC-32,
+hashlib.sha256 the chain), so a CI job can check what the operator wrote
+without trusting the operator's own code.
+
+Usage:
+  tools/log_inspect.py <store-dir>             # table + summary
+  tools/log_inspect.py --validate <store-dir>  # exit 1 on any damage
+"""
+
+import argparse
+import hashlib
+import os
+import re
+import struct
+import sys
+import zlib
+
+HEADER_MAGIC = b"PWAL"
+RECORD_MAGIC = b"PREC"
+SNAP_MAGIC = b"PSNP"
+VERSION = 1
+HEADER_SIZE = 4 + 1 + 8 + 32 + 4
+RECORD_FIXED = 4 + 8 + 1 + 4  # magic | seq | type | len
+
+RECORD_NAMES = {
+    1: "group_registered",
+    2: "group_reissued",
+    3: "master_rotated",
+    4: "user_revoked",
+    5: "router_revoked",
+    6: "router_provisioned",
+    7: "enrolled",
+    8: "receipt_archived",
+}
+
+
+def genesis_chain():
+    return hashlib.sha256(b"peace/wal-genesis").digest()
+
+
+def chain_next(prev, seq, rtype, payload):
+    h = hashlib.sha256()
+    h.update(prev)
+    h.update(struct.pack(">Q", seq))
+    h.update(struct.pack(">B", rtype))
+    h.update(struct.pack(">I", len(payload)))
+    h.update(payload)
+    return h.digest()
+
+
+class Segment:
+    def __init__(self, path):
+        self.path = path
+        self.records = []  # (seq, rtype, payload_len, offset)
+        self.damage = None
+        self.base_seq = None
+        self.base_chain = None
+        self.last_seq = None
+        self.last_chain = None
+        self.dropped_bytes = 0
+
+
+def scan_segment(path):
+    seg = Segment(path)
+    data = open(path, "rb").read()
+    if len(data) < HEADER_SIZE or data[:4] != HEADER_MAGIC:
+        seg.damage = "bad_header"
+        return seg
+    ver = data[4]
+    (base_seq,) = struct.unpack(">Q", data[5:13])
+    base_chain = data[13:45]
+    (crc,) = struct.unpack(">I", data[45:49])
+    if ver != VERSION or zlib.crc32(data[:45]) != crc:
+        seg.damage = "bad_header"
+        return seg
+    seg.base_seq = base_seq
+    seg.base_chain = base_chain
+    seg.last_seq = base_seq
+    seg.last_chain = base_chain
+
+    off = HEADER_SIZE
+    chain = base_chain
+    seq = base_seq
+    while off < len(data):
+        rest = len(data) - off
+        if rest < RECORD_FIXED + 32 + 4:
+            seg.damage = "truncated"
+            break
+        if data[off : off + 4] != RECORD_MAGIC:
+            seg.damage = "bad_magic"
+            break
+        (rseq,) = struct.unpack(">Q", data[off + 4 : off + 12])
+        rtype = data[off + 12]
+        (plen,) = struct.unpack(">I", data[off + 13 : off + 17])
+        total = RECORD_FIXED + plen + 32 + 4
+        if rest < total:
+            seg.damage = "truncated"
+            break
+        payload = data[off + 17 : off + 17 + plen]
+        rec_chain = data[off + 17 + plen : off + 17 + plen + 32]
+        (rcrc,) = struct.unpack(">I", data[off + total - 4 : off + total])
+        if zlib.crc32(data[off : off + total - 4]) != rcrc:
+            seg.damage = "bad_crc"
+            break
+        if rseq != seq + 1:
+            seg.damage = "bad_seq"
+            break
+        expect = chain_next(chain, rseq, rtype, payload)
+        if rec_chain != expect:
+            seg.damage = "bad_chain"
+            break
+        seq = rseq
+        chain = expect
+        seg.records.append((rseq, rtype, plen, off))
+        seg.last_seq = seq
+        seg.last_chain = chain
+        off += total
+    seg.dropped_bytes = len(data) - off
+    return seg
+
+
+def scan_snapshot(path):
+    data = open(path, "rb").read()
+    fixed = 4 + 1 + 8 + 32 + 4
+    if len(data) < fixed + 4 or data[:4] != SNAP_MAGIC or data[4] != VERSION:
+        return None
+    (wal_seq,) = struct.unpack(">Q", data[5:13])
+    wal_chain = data[13:45]
+    (plen,) = struct.unpack(">I", data[45:49])
+    if len(data) != fixed + plen + 4:
+        return None
+    (crc,) = struct.unpack(">I", data[fixed + plen :])
+    if zlib.crc32(data[: fixed + plen]) != crc:
+        return None
+    return {"wal_seq": wal_seq, "wal_chain": wal_chain, "payload_len": plen}
+
+
+def inspect(store_dir, verbose=True):
+    seg_re = re.compile(r"^wal-(\d{20})\.wal$")
+    snap_re = re.compile(r"^snap-(\d{20})\.snap$")
+    segments, snapshots, problems = [], [], []
+
+    for name in sorted(os.listdir(store_dir)):
+        path = os.path.join(store_dir, name)
+        if seg_re.match(name):
+            segments.append(scan_segment(path))
+        elif snap_re.match(name):
+            snap = scan_snapshot(path)
+            if snap is None:
+                problems.append(f"damaged snapshot: {name}")
+            else:
+                snap["name"] = name
+                snapshots.append(snap)
+        elif ".orphan" in name:
+            problems.append(f"orphaned segment present: {name}")
+
+    if not segments:
+        problems.append("no wal segments")
+
+    # Per-segment integrity + cross-segment linkage.
+    records = 0
+    for i, seg in enumerate(segments):
+        records += len(seg.records)
+        if seg.damage:
+            problems.append(
+                f"{os.path.basename(seg.path)}: {seg.damage} "
+                f"({seg.dropped_bytes} bytes dropped)"
+            )
+        if seg.base_seq is None:
+            continue
+        if i == 0:
+            if seg.base_seq != 0 or seg.base_chain != genesis_chain():
+                problems.append(
+                    f"{os.path.basename(seg.path)}: not anchored at genesis"
+                )
+        else:
+            prev = segments[i - 1]
+            if prev.last_seq != seg.base_seq or prev.last_chain != seg.base_chain:
+                problems.append(
+                    f"{os.path.basename(seg.path)}: does not chain from "
+                    f"predecessor (base_seq {seg.base_seq})"
+                )
+
+    # Every snapshot must bind to a real chain position: a segment boundary
+    # or the end of a scanned segment.
+    for snap in snapshots:
+        bound = any(
+            (s.base_seq == snap["wal_seq"] and s.base_chain == snap["wal_chain"])
+            or (s.last_seq == snap["wal_seq"] and s.last_chain == snap["wal_chain"])
+            for s in segments
+            if s.base_seq is not None
+        )
+        if not bound:
+            problems.append(f"{snap['name']}: not bound to the wal chain")
+
+    if verbose:
+        for seg in segments:
+            name = os.path.basename(seg.path)
+            state = seg.damage or "ok"
+            base = "?" if seg.base_seq is None else seg.base_seq
+            print(f"segment {name}  base_seq={base}  "
+                  f"records={len(seg.records)}  {state}")
+            for seq, rtype, plen, off in seg.records:
+                rname = RECORD_NAMES.get(rtype, f"type_{rtype}")
+                print(f"  #{seq:<6} {rname:<20} {plen:>7} bytes  @ {off}")
+        for snap in snapshots:
+            print(f"snapshot {snap['name']}  wal_seq={snap['wal_seq']}  "
+                  f"payload={snap['payload_len']} bytes")
+        print(f"total: {len(segments)} segment(s), {len(snapshots)} "
+              f"snapshot(s), {records} record(s)")
+        for p in problems:
+            print(f"PROBLEM: {p}")
+        if not problems:
+            print("store is consistent")
+    return problems
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("store_dir")
+    ap.add_argument("--validate", action="store_true",
+                    help="exit 1 if any damage or inconsistency is found")
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args()
+    if not os.path.isdir(args.store_dir):
+        print(f"not a directory: {args.store_dir}", file=sys.stderr)
+        return 2
+    problems = inspect(args.store_dir, verbose=not args.quiet)
+    if args.validate and problems:
+        if args.quiet:
+            for p in problems:
+                print(f"PROBLEM: {p}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
