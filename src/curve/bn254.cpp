@@ -25,6 +25,335 @@ constexpr const char* kG2GenY1 =
 Bn254 g_params;
 bool g_initialized = false;
 
+// --- signed bignum helpers (lattice bookkeeping) ---------------------------
+
+SignedBig sb_make(bool neg, BigInt mag) {
+  if (mag.is_zero()) neg = false;
+  return {neg, std::move(mag)};
+}
+
+SignedBig sb_neg(const SignedBig& a) { return sb_make(!a.neg, a.mag); }
+
+SignedBig sb_add(const SignedBig& a, const SignedBig& b) {
+  if (a.neg == b.neg) return sb_make(a.neg, a.mag + b.mag);
+  const int c = BigInt::cmp(a.mag, b.mag);
+  if (c == 0) return {};
+  return c > 0 ? sb_make(a.neg, a.mag - b.mag)
+               : sb_make(b.neg, b.mag - a.mag);
+}
+
+SignedBig sb_sub(const SignedBig& a, const SignedBig& b) {
+  return sb_add(a, sb_neg(b));
+}
+
+SignedBig sb_mul(const SignedBig& a, const SignedBig& b) {
+  return sb_make(a.neg != b.neg, a.mag * b.mag);
+}
+
+/// Nearest integer to a/b (ties away from zero) — the Babai round-off.
+/// Any fixed rounding within 1/2 keeps the split components short.
+SignedBig sb_round_div(const SignedBig& a, const SignedBig& b) {
+  if (b.mag.is_zero()) throw Error("bn254: division by zero");
+  BigInt q, rem;
+  BigInt::divmod(a.mag, b.mag, q, rem);
+  if (!(BigInt::cmp(rem + rem, b.mag) < 0)) q = q + BigInt(1);
+  return sb_make(a.neg != b.neg, q);
+}
+
+/// Canonical residue of a modulo m, in [0, m).
+BigInt sb_mod(const SignedBig& a, const BigInt& m) {
+  BigInt v = a.mag % m;
+  if (a.neg && !v.is_zero()) v = m - v;
+  return v;
+}
+
+/// 3x3 determinant of signed entries (cofactors of the GLS basis).
+SignedBig sb_det3(const std::array<std::array<SignedBig, 3>, 3>& m) {
+  const SignedBig d0 =
+      sb_sub(sb_mul(m[1][1], m[2][2]), sb_mul(m[1][2], m[2][1]));
+  const SignedBig d1 =
+      sb_sub(sb_mul(m[1][0], m[2][2]), sb_mul(m[1][2], m[2][0]));
+  const SignedBig d2 =
+      sb_sub(sb_mul(m[1][0], m[2][1]), sb_mul(m[1][1], m[2][0]));
+  return sb_add(sb_sub(sb_mul(m[0][0], d0), sb_mul(m[0][1], d1)),
+                sb_mul(m[0][2], d2));
+}
+
+// --- endomorphism context --------------------------------------------------
+//
+// Everything the GLV/GLS fast paths touch per call, owned here so the hot
+// functions never go through Bn254::get(). Published (ready = true) only
+// after every identity below has been verified numerically at init
+// (docs/CRYPTO.md §6.1-§6.2).
+struct EndoCtx {
+  bool ready = false;
+  BigInt r_big;
+
+  // GLV (G1): phi(x, y) = (beta x, y), phi = [lambda] on all of E(Fp).
+  Fp beta;
+  U256 lambda;
+  std::array<std::array<SignedBig, 2>, 2> b2;  // basis rows (a, b)
+  std::array<SignedBig, 2> adj2;               // first row of adj(B)
+  SignedBig det2;
+
+  // GLS (G2): psi = untwist.Frobenius.twist, psi = [6u^2] on the subgroup.
+  U256 lambda2;    // 6u^2 = t - 1 = p mod r
+  U256 trace;      // t = 6u^2 + 1
+  std::array<std::array<SignedBig, 4>, 4> b4;
+  std::array<SignedBig, 4> adj4;  // cofactors C[j][0]
+  SignedBig det4;
+  Fp2 psi_x, psi_y;  // frob_gamma[2], frob_gamma[3]
+};
+
+EndoCtx g_endo;
+
+G1 g1_endo_impl(const EndoCtx& ctx, const G1& p) {
+  G1 out = p;
+  out.x = out.x * ctx.beta;  // Jacobian x scales like affine x
+  return out;
+}
+
+G2 g2_psi_impl(const EndoCtx& ctx, const G2& q) {
+  // Conjugate all coordinates (Frobenius on Fp2), then untwist-retwist:
+  // affine (x, y) -> (conj(x) gamma_2, conj(y) gamma_3); Z carries plain
+  // conjugation since X/Z^2 and Y/Z^3 must transform like affine coords.
+  G2 out;
+  out.x = q.x.conjugate() * ctx.psi_x;
+  out.y = q.y.conjugate() * ctx.psi_y;
+  out.z = q.z.conjugate();
+  return out;
+}
+
+GlvSplit glv_decompose_impl(const EndoCtx& ctx, const U256& k) {
+  obs::note_glv_decomposition();
+  BigInt kb = BigInt::from_u256(k);
+  if (!(BigInt::cmp(kb, ctx.r_big) < 0)) kb = kb % ctx.r_big;
+  const SignedBig sk = sb_make(false, kb);
+  // Babai round-off: c = round((k, 0) adj(B) / det), split = (k, 0) - c B.
+  std::array<SignedBig, 2> c;
+  for (int j = 0; j < 2; ++j)
+    c[j] = sb_round_div(sb_mul(sk, ctx.adj2[j]), ctx.det2);
+  const SignedBig k0 = sb_sub(
+      sk, sb_add(sb_mul(c[0], ctx.b2[0][0]), sb_mul(c[1], ctx.b2[1][0])));
+  const SignedBig k1 = sb_neg(
+      sb_add(sb_mul(c[0], ctx.b2[0][1]), sb_mul(c[1], ctx.b2[1][1])));
+  if (k0.mag.bit_length() > 130 || k1.mag.bit_length() > 130)
+    throw Error("bn254: glv split out of range");
+  GlvSplit out;
+  out.k = {k0.mag.to_u256(), k1.mag.to_u256()};
+  out.neg = {k0.neg, k1.neg};
+  return out;
+}
+
+GlsSplit gls_decompose_impl(const EndoCtx& ctx, const U256& k) {
+  obs::note_gls_decomposition();
+  BigInt kb = BigInt::from_u256(k);
+  if (!(BigInt::cmp(kb, ctx.r_big) < 0)) kb = kb % ctx.r_big;
+  const SignedBig sk = sb_make(false, kb);
+  std::array<SignedBig, 4> c;
+  for (int j = 0; j < 4; ++j)
+    c[j] = sb_round_div(sb_mul(sk, ctx.adj4[j]), ctx.det4);
+  GlsSplit out;
+  for (int i = 0; i < 4; ++i) {
+    SignedBig ki = i == 0 ? sk : SignedBig{};
+    for (int j = 0; j < 4; ++j)
+      ki = sb_sub(ki, sb_mul(c[j], ctx.b4[j][i]));
+    if (ki.mag.bit_length() > 96)
+      throw Error("bn254: gls split out of range");
+    out.k[i] = ki.mag.to_u256();
+    out.neg[i] = ki.neg;
+  }
+  return out;
+}
+
+G2 g2_clear_cofactor_impl(const EndoCtx& ctx, const G2& q) {
+  // [2p - r]Q = [t]psi(Q) + [t-1]Q - psi^2(Q): the Frobenius trace
+  // relation [p]Q = [t]psi(Q) - psi^2(Q) plus 2p - r = p + t - 1.
+  // Regrouped as [t](psi(Q) + Q) - Q - psi^2(Q): one 127-bit single-point
+  // ladder plus two plain additions, cheaper than the three-term
+  // interleaved form (one table instead of three, a third of the mixed
+  // additions). Same scalar identity, so the same group element.
+  const G2 p1 = g2_psi_impl(ctx, q);
+  const G2 p2 = g2_psi_impl(ctx, p1);
+  return (p1 + q).mul_wnaf(ctx.trace) - q - p2;
+}
+
+/// Deterministic on-curve twist point for init-time identity checks; with
+/// overwhelming probability NOT in the order-r subgroup, which is exactly
+/// what the cofactor-clearing check wants to exercise.
+G2 sample_twist_point() {
+  for (std::uint64_t c = 1;; ++c) {
+    const Fp2 x(Fp::from_u64(c), Fp::from_u64(1));
+    const Fp2 rhs = x.square() * x + G2Traits::b();
+    Fp2 y;
+    if (rhs.sqrt(y)) return G2(x, y);
+  }
+}
+
+/// Derives beta/lambda, the GLV and GLS lattice bases, and the psi
+/// constants, then verifies every identity the fast paths rely on —
+/// eigenvalues on sample points, lattice membership of all basis rows, and
+/// round-trip decompositions — throwing on any mismatch. Only then is the
+/// context published.
+void setup_endomorphisms(Bn254& params, const BigInt& p_big,
+                         const BigInt& r_big) {
+  EndoCtx ctx;
+  ctx.r_big = r_big;
+
+  // --- GLV: beta (cube root of unity in Fp) and its eigenvalue ------------
+  const U256 e_p = ((p_big - BigInt(1)) / BigInt(3)).to_u256();
+  for (std::uint64_t c = 2;; ++c) {
+    ctx.beta = Fp::from_u64(c).pow(e_p);
+    if (!(ctx.beta == Fp::one())) break;
+    if (c > 64) throw Error("bn254: no cube root of unity in Fp");
+  }
+  const U256 e_r = ((r_big - BigInt(1)) / BigInt(3)).to_u256();
+  Fr lam;
+  for (std::uint64_t c = 2;; ++c) {
+    lam = Fr::from_u64(c).pow(e_r);
+    if (!(lam == Fr::one())) break;
+    if (c > 64) throw Error("bn254: no cube root of unity in Fr");
+  }
+  // beta and lambda are each one of two primitive cube roots; pick the
+  // lambda matching beta by testing phi(G) == [lambda]G, else square it.
+  ctx.lambda = lam.to_u256();
+  const G1 phi_g = g1_endo_impl(ctx, params.g1_gen);
+  if (!(params.g1_gen * ctx.lambda).equals(phi_g)) {
+    lam = lam * lam;
+    ctx.lambda = lam.to_u256();
+    if (!(params.g1_gen * ctx.lambda).equals(phi_g))
+      throw Error("bn254: glv eigenvalue mismatch");
+  }
+  // Independent spot check on a second point.
+  const G1 spot = params.g1_gen * U256(0x9e3779b97f4a7c15ULL);
+  if (!(spot * ctx.lambda).equals(g1_endo_impl(ctx, spot)))
+    throw Error("bn254: glv endomorphism check failed");
+
+  // --- GLV basis: extended Euclid on (r, lambda) (GLV 2001) ---------------
+  // Remainders r_i = s_i r + t_i lambda, so (r_i, -t_i) is in the lattice
+  // {(a, b) : a + b lambda = 0 mod r}; stop at the first r_i < sqrt(r) and
+  // take the shorter neighbour as the second row.
+  const BigInt lam_big = BigInt::from_u256(ctx.lambda);
+  BigInt rem0 = r_big, rem1 = lam_big;
+  SignedBig t0{}, t1{false, BigInt(1)};
+  while (!(BigInt::cmp(rem1 * rem1, r_big) < 0)) {
+    BigInt q, rem;
+    BigInt::divmod(rem0, rem1, q, rem);
+    const SignedBig tn = sb_sub(t0, sb_mul(sb_make(false, q), t1));
+    rem0 = rem1;
+    rem1 = rem;
+    t0 = t1;
+    t1 = tn;
+  }
+  BigInt q, rem2;
+  BigInt::divmod(rem0, rem1, q, rem2);
+  const SignedBig t2 = sb_sub(t0, sb_mul(sb_make(false, q), t1));
+  const auto norm2 = [](const BigInt& a, const SignedBig& t) {
+    return a * a + t.mag * t.mag;
+  };
+  ctx.b2[0] = {sb_make(false, rem1), sb_neg(t1)};
+  if (BigInt::cmp(norm2(rem0, t0), norm2(rem2, t2)) <= 0)
+    ctx.b2[1] = {sb_make(false, rem0), sb_neg(t0)};
+  else
+    ctx.b2[1] = {sb_make(false, rem2), sb_neg(t2)};
+  for (const auto& row : ctx.b2) {
+    if (!sb_mod(sb_add(row[0], sb_mul(row[1], sb_make(false, lam_big))),
+                r_big)
+             .is_zero())
+      throw Error("bn254: glv basis row not in lattice");
+    if (row[0].mag.bit_length() > 135 || row[1].mag.bit_length() > 135)
+      throw Error("bn254: glv basis row too long");
+  }
+  ctx.det2 = sb_sub(sb_mul(ctx.b2[0][0], ctx.b2[1][1]),
+                    sb_mul(ctx.b2[0][1], ctx.b2[1][0]));
+  if (ctx.det2.mag.is_zero()) throw Error("bn254: glv basis degenerate");
+  ctx.adj2 = {ctx.b2[1][1], sb_neg(ctx.b2[0][1])};
+
+  // --- GLS: psi eigenvalue and the 4-dimensional lattice ------------------
+  // p = r + t - 1 with t = 6u^2 + 1, so lambda2 = p mod r = 6u^2 exactly.
+  const BigInt bu(params.u);
+  const BigInt six_u2 = BigInt(6) * bu * bu;
+  ctx.lambda2 = six_u2.to_u256();
+  ctx.trace = (six_u2 + BigInt(1)).to_u256();
+  ctx.psi_x = params.frob_gamma[2];
+  ctx.psi_y = params.frob_gamma[3];
+
+  // Closed-form basis rows from lambda^2 + (6u+3) lambda + (6u+1) = 0 and
+  // lambda^4 = lambda^2 - 1 (mod r); rows 3 and 4 are lambda * (previous)
+  // reduced by those relations. Each row is verified in-lattice below.
+  const SignedBig su1 = sb_make(false, BigInt(6) * bu + BigInt(1));
+  const SignedBig su2 = sb_make(false, BigInt(6) * bu + BigInt(2));
+  const SignedBig su3 = sb_make(false, BigInt(6) * bu + BigInt(3));
+  const SignedBig one = sb_make(false, BigInt(1));
+  ctx.b4[0] = {su1, su3, one, SignedBig{}};
+  ctx.b4[1] = {SignedBig{}, su1, su3, one};
+  ctx.b4[2] = {sb_neg(one), SignedBig{}, su2, su3};
+  ctx.b4[3] = {sb_neg(su3), sb_neg(one), su3, su2};
+  std::array<BigInt, 4> lpow;
+  lpow[0] = BigInt(1);
+  for (int i = 1; i < 4; ++i) lpow[i] = (lpow[i - 1] * six_u2) % r_big;
+  for (const auto& row : ctx.b4) {
+    SignedBig acc{};
+    for (int i = 0; i < 4; ++i)
+      acc = sb_add(acc, sb_mul(row[i], sb_make(false, lpow[i])));
+    if (!sb_mod(acc, r_big).is_zero())
+      throw Error("bn254: gls basis row not in lattice");
+  }
+  // Cofactors C[j][0] (first row of the adjugate, transposed) and the
+  // determinant by expansion along the first column.
+  for (int j = 0; j < 4; ++j) {
+    std::array<std::array<SignedBig, 3>, 3> minor;
+    for (int rr = 0, mr = 0; rr < 4; ++rr) {
+      if (rr == j) continue;
+      for (int cc = 1; cc < 4; ++cc) minor[mr][cc - 1] = ctx.b4[rr][cc];
+      ++mr;
+    }
+    const SignedBig d = sb_det3(minor);
+    ctx.adj4[j] = (j % 2 == 0) ? d : sb_neg(d);
+  }
+  ctx.det4 = SignedBig{};
+  for (int j = 0; j < 4; ++j)
+    ctx.det4 = sb_add(ctx.det4, sb_mul(ctx.b4[j][0], ctx.adj4[j]));
+  if (ctx.det4.mag.is_zero()) throw Error("bn254: gls basis degenerate");
+
+  // psi eigenvalue on the subgroup, via the generator.
+  if (!(params.g2_gen * ctx.lambda2).equals(g2_psi_impl(ctx, params.g2_gen)))
+    throw Error("bn254: gls eigenvalue mismatch");
+  // Cofactor-clearing identity on a (generic, non-subgroup) twist point.
+  const G2 twist_pt = sample_twist_point();
+  if (!g2_clear_cofactor_impl(ctx, twist_pt)
+           .equals(twist_pt * params.g2_cofactor))
+    throw Error("bn254: psi cofactor identity failed");
+
+  // Round-trip decompositions for edge scalars.
+  const U256 r_minus_1 = (r_big - BigInt(1)).to_u256();
+  const U256 third = (r_big / BigInt(3)).to_u256();
+  for (const U256& k : {U256::one(), r_minus_1, third}) {
+    const BigInt kb = BigInt::from_u256(k) % r_big;
+    const GlvSplit s2 = glv_decompose_impl(ctx, k);
+    SignedBig acc = sb_add(sb_make(s2.neg[0], BigInt::from_u256(s2.k[0])),
+                           sb_mul(sb_make(s2.neg[1], BigInt::from_u256(s2.k[1])),
+                                  sb_make(false, lam_big)));
+    if (!(sb_mod(acc, r_big) == kb))
+      throw Error("bn254: glv decomposition round-trip failed");
+    const GlsSplit s4 = gls_decompose_impl(ctx, k);
+    acc = SignedBig{};
+    for (int i = 0; i < 4; ++i)
+      acc = sb_add(acc, sb_mul(sb_make(s4.neg[i], BigInt::from_u256(s4.k[i])),
+                               sb_make(false, lpow[i])));
+    if (!(sb_mod(acc, r_big) == kb))
+      throw Error("bn254: gls decomposition round-trip failed");
+  }
+
+  params.glv_beta = ctx.beta;
+  params.glv_lambda = ctx.lambda;
+  params.glv_basis = ctx.b2;
+  params.gls_lambda = ctx.lambda2;
+  params.gls_basis = ctx.b4;
+  ctx.ready = true;
+  g_endo = ctx;
+}
+
 BigInt bn_poly(std::uint64_t u, std::uint64_t c2) {
   // 36u^4 + 36u^3 + c2*u^2 + 6u + 1
   const BigInt bu(u);
@@ -88,6 +417,11 @@ void Bn254::init() {
   if (!(params.g2_gen * params.r).is_infinity())
     throw Error("bn254: G2 generator not of order r");
 
+  // Derive + verify the GLV/GLS constants last: everything above is plain
+  // arithmetic, and the endomorphism fast paths stay disabled (falling back
+  // to wNAF) until setup publishes a fully-checked context.
+  setup_endomorphisms(params, p_big, r_big);
+
   g_params = params;
   g_initialized = true;
 }
@@ -95,6 +429,212 @@ void Bn254::init() {
 const Bn254& Bn254::get() {
   if (!g_initialized) throw Error("bn254: not initialized");
   return g_params;
+}
+
+// --- Endomorphism fast paths (docs/CRYPTO.md §6) ---------------------------
+
+GlvSplit glv_decompose(const U256& k) {
+  if (!g_endo.ready) throw Error("bn254: not initialized");
+  return glv_decompose_impl(g_endo, k);
+}
+
+GlsSplit gls_decompose(const U256& k) {
+  if (!g_endo.ready) throw Error("bn254: not initialized");
+  return gls_decompose_impl(g_endo, k);
+}
+
+G1 g1_endo(const G1& p) {
+  if (!g_endo.ready) throw Error("bn254: not initialized");
+  return g1_endo_impl(g_endo, p);
+}
+
+G2 g2_psi(const G2& q) {
+  if (!g_endo.ready) throw Error("bn254: not initialized");
+  return g2_psi_impl(g_endo, q);
+}
+
+namespace {
+
+/// Endomorphism-split G1 MSM core. Odd-multiple tables are built (and
+/// batch-normalized — one field inversion total) for the BASE points only;
+/// each phi split term's table is then derived entry-by-entry from the
+/// base affine table via the coordinate map phi(x, y) = (beta x, y). phi
+/// is a group homomorphism, so phi([2j+1] P) = [2j+1] phi(P) — the derived
+/// entries are exactly the table the Jacobian build would have produced,
+/// at one Fp multiply per entry instead of a Jacobian addition plus a
+/// share of the normalization (docs/CRYPTO.md §6.4).
+G1 g1_msm_endo(const EndoCtx& ctx, std::span<const G1> points,
+               std::span<const U256> scalars) {
+  const std::size_t n = points.size();
+  std::vector<GlvSplit> splits(n);
+  unsigned bits = 0;
+  std::size_t terms = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    splits[i] = glv_decompose_impl(ctx, scalars[i]);
+    for (int j = 0; j < 2; ++j)
+      if (!splits[i].k[j].is_zero()) {
+        ++terms;
+        bits = std::max(bits, splits[i].k[j].bit_length());
+      }
+  }
+  if (terms == 0) return G1::infinity();
+  const unsigned w = msm_window_width(bits, terms);
+  const std::size_t tsize = std::size_t{1} << (w - 2);
+
+  std::vector<G1> jtable;
+  jtable.reserve(n * tsize);
+  std::vector<std::size_t> slot(n, n);  // base-table index per input point
+  for (std::size_t i = 0; i < n; ++i) {
+    if (splits[i].k[0].is_zero() && splits[i].k[1].is_zero()) continue;
+    slot[i] = jtable.size() / tsize;
+    const G1 p2 = points[i].dbl();
+    jtable.push_back(points[i]);
+    for (std::size_t t = 1; t < tsize; ++t)
+      jtable.push_back(jtable.back() + p2);
+  }
+  std::vector<AffinePoint<G1Traits>> base_tab(jtable.size());
+  batch_normalize<G1Traits>(jtable, base_tab);
+
+  std::vector<AffinePoint<G1Traits>> table;
+  table.reserve(terms * tsize);
+  std::vector<U256> ks;
+  ks.reserve(terms);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      if (splits[i].k[j].is_zero()) continue;
+      const AffinePoint<G1Traits>* src = &base_tab[slot[i] * tsize];
+      for (std::size_t t = 0; t < tsize; ++t) {
+        AffinePoint<G1Traits> a = src[t];
+        if (!a.infinity) {
+          if (j == 1) a.x *= ctx.beta;
+          if (splits[i].neg[j]) a.y = -a.y;
+        }
+        table.push_back(a);
+      }
+      ks.push_back(splits[i].k[j]);
+    }
+  }
+  return msm_wnaf_precomp<G1Traits>(table, ks, w);
+}
+
+/// Endomorphism-split G2 MSM core, same table-derivation scheme with the
+/// four-dimensional psi chain: psi([2j+1] Q) affine = (conj(x) psi_x,
+/// conj(y) psi_y), applied cumulatively for psi^2 and psi^3. Two Fp2
+/// multiplies per derived entry replace a full Jacobian G2 addition.
+/// Callers must guarantee points lie in the order-r subgroup (the psi
+/// eigenvalue only holds there).
+G2 g2_msm_endo(const EndoCtx& ctx, std::span<const G2> points,
+               std::span<const U256> scalars) {
+  const std::size_t n = points.size();
+  std::vector<GlsSplit> splits(n);
+  unsigned bits = 0;
+  std::size_t terms = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    splits[i] = gls_decompose_impl(ctx, scalars[i]);
+    for (int j = 0; j < 4; ++j)
+      if (!splits[i].k[j].is_zero()) {
+        ++terms;
+        bits = std::max(bits, splits[i].k[j].bit_length());
+      }
+  }
+  if (terms == 0) return G2::infinity();
+  const unsigned w = msm_window_width(bits, terms);
+  const std::size_t tsize = std::size_t{1} << (w - 2);
+
+  std::vector<G2> jtable;
+  jtable.reserve(n * tsize);
+  std::vector<std::size_t> slot(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bool active = false;
+    for (int j = 0; j < 4; ++j) active |= !splits[i].k[j].is_zero();
+    if (!active) continue;
+    slot[i] = jtable.size() / tsize;
+    const G2 p2 = points[i].dbl();
+    jtable.push_back(points[i]);
+    for (std::size_t t = 1; t < tsize; ++t)
+      jtable.push_back(jtable.back() + p2);
+  }
+  std::vector<AffinePoint<G2Traits>> base_tab(jtable.size());
+  batch_normalize<G2Traits>(jtable, base_tab);
+
+  std::vector<AffinePoint<G2Traits>> table;
+  table.reserve(terms * tsize);
+  std::vector<U256> ks;
+  ks.reserve(terms);
+  std::vector<AffinePoint<G2Traits>> cur(tsize);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (slot[i] == n) continue;
+    for (std::size_t t = 0; t < tsize; ++t) cur[t] = base_tab[slot[i] * tsize + t];
+    for (int j = 0; j < 4; ++j) {
+      if (j != 0) {
+        for (AffinePoint<G2Traits>& a : cur) {
+          if (a.infinity) continue;
+          a.x = a.x.conjugate() * ctx.psi_x;
+          a.y = a.y.conjugate() * ctx.psi_y;
+        }
+      }
+      if (splits[i].k[j].is_zero()) continue;
+      for (std::size_t t = 0; t < tsize; ++t) {
+        AffinePoint<G2Traits> a = cur[t];
+        if (!a.infinity && splits[i].neg[j]) a.y = -a.y;
+        table.push_back(a);
+      }
+      ks.push_back(splits[i].k[j]);
+    }
+  }
+  return msm_wnaf_precomp<G2Traits>(table, ks, w);
+}
+
+}  // namespace
+
+G1 g1_mul_glv(const G1& p, const U256& k) {
+  if (!g_endo.ready) throw Error("bn254: not initialized");
+  const G1 pts[1] = {p};
+  const U256 ks[1] = {k};
+  return g1_msm_endo(g_endo, std::span<const G1>(pts, 1),
+                     std::span<const U256>(ks, 1));
+}
+
+G2 g2_mul_gls(const G2& q, const U256& k) {
+  if (!g_endo.ready) throw Error("bn254: not initialized");
+  const G2 pts[1] = {q};
+  const U256 ks[1] = {k};
+  return g2_msm_endo(g_endo, std::span<const G2>(pts, 1),
+                     std::span<const U256>(ks, 1));
+}
+
+G1 g1_msm(std::span<const G1> points, std::span<const U256> scalars) {
+  if (points.size() != scalars.size()) throw Error("g1_msm: size mismatch");
+  obs::note_msm(points.size());
+  if (points.empty()) return G1::infinity();
+  if (!g_endo.ready) throw Error("bn254: not initialized");
+  return g1_msm_endo(g_endo, points, scalars);
+}
+
+G2 g2_msm(std::span<const G2> points, std::span<const U256> scalars) {
+  if (points.size() != scalars.size()) throw Error("g2_msm: size mismatch");
+  obs::note_msm(points.size());
+  if (points.empty()) return G2::infinity();
+  if (!g_endo.ready) throw Error("bn254: not initialized");
+  return g2_msm_endo(g_endo, points, scalars);
+}
+
+G2 g2_clear_cofactor(const G2& q) {
+  if (!g_endo.ready) return q * Bn254::get().g2_cofactor;
+  return g2_clear_cofactor_impl(g_endo, q);
+}
+
+bool g2_in_subgroup(const G2& q) {
+  if (q.is_infinity()) return true;
+  if (!g_endo.ready) return (q * Bn254::get().r).is_infinity();
+  // psi(Q) == [6u^2]Q <=> ord(Q) | r (docs/CRYPTO.md §6.2): one ~127-bit
+  // multiplication (mul_wnaf — the short scalar is public) plus one psi.
+  return g2_psi_impl(g_endo, q).equals(q * g_endo.lambda2);
+}
+
+G1 endo_mul(const G1& p, const U256& k) {
+  if (!g_endo.ready) return p.mul_wnaf(k);
+  return g1_mul_glv(p, k);
 }
 
 // --- Serialization --------------------------------------------------------
@@ -170,8 +710,9 @@ G2 g2_from_bytes(BytesView data) {
   const bool odd = y.c0.is_zero() ? y.c1.is_odd_repr() : y.c0.is_odd_repr();
   if (odd != (data[0] == 3)) y = -y;
   const G2 point(x, y);
-  if (!(point * Bn254::get().r).is_infinity())
-    throw Error("g2: not in order-r subgroup");
+  // psi-eigenvalue membership test — equivalent to the [r]Q == O check it
+  // replaces (biconditional proved in docs/CRYPTO.md §6.2) at ~1/4 the cost.
+  if (!g2_in_subgroup(point)) throw Error("g2: not in order-r subgroup");
   return point;
 }
 

@@ -135,15 +135,37 @@ Fp12 pow_bigint(const Fp12& base, const math::BigInt& exp) {
 
 /// f^u for the (64-bit) BN parameter u. Assumes f is unitary (guaranteed
 /// after the easy part), so the Granger-Scott cyclotomic squaring applies —
-/// the dominant cost of the hard part drops to a third of generic squaring.
+/// the dominant cost of the hard part drops to a third of generic squaring —
+/// and the inverse is a free conjugation, which makes the signed-digit
+/// (NAF) ladder strictly cheaper than binary: the nonzero-digit density
+/// drops from the bit weight of u (28) to its NAF weight, each negative
+/// digit paying only a conjugate-multiply. Same exponent, same group, so
+/// the result is the identical Fp12 element the binary ladder produced.
 Fp12 exp_by_u(const Fp12& f) {
   const std::uint64_t u = Bn254::get().u;
+  // Non-adjacent form of u, least significant digit first. u < 2^63, so
+  // the +1 correction on a negative digit cannot overflow and at most 65
+  // digits are produced.
+  std::array<std::int8_t, 66> naf{};
+  int n = 0;
+  for (std::uint64_t x = u; x != 0; ++n) {
+    if (x & 1) {
+      const std::int8_t d = (x & 3) == 1 ? 1 : -1;
+      naf[n] = d;
+      x -= static_cast<std::uint64_t>(d);  // d == -1 adds 1
+    }
+    x >>= 1;
+  }
+  const Fp12 f_inv = f.unitary_inverse();
   Fp12 acc = Fp12::one();
   bool started = false;
-  for (int i = 63; i >= 0; --i) {
+  for (int i = n - 1; i >= 0; --i) {
     if (started) acc = acc.cyclotomic_square();
-    if ((u >> i) & 1) {
+    if (naf[i] == 1) {
       acc *= f;
+      started = true;
+    } else if (naf[i] == -1) {
+      acc *= f_inv;
       started = true;
     }
   }
@@ -383,14 +405,16 @@ GT multi_pairing(std::span<const std::pair<G1, const G2Prepared*>> prepared,
   };
   std::vector<ActiveP> ap;
   ap.reserve(prepared.size());
+  std::vector<G1> g1s;
+  g1s.reserve(prepared.size() + unprepared.size());
   for (const auto& [p, q] : prepared) {
     obs::note_pairing();
     obs::note_miller_loop();
     if (p.is_infinity() || q->is_infinity()) continue;
     ActiveP a;
-    p.to_affine(a.xp, a.yp);
     a.lines = &q->lines();
     ap.push_back(a);
+    g1s.push_back(p);
   }
   std::vector<ActiveU> au;
   au.reserve(unprepared.size());
@@ -399,10 +423,25 @@ GT multi_pairing(std::span<const std::pair<G1, const G2Prepared*>> prepared,
     obs::note_miller_loop();
     if (p.is_infinity() || q.is_infinity()) continue;
     ActiveU a;
-    p.to_affine(a.xp, a.yp);
     a.q = to_affine2(q);
     a.t = a.q;
     au.push_back(a);
+    g1s.push_back(p);
+  }
+  // One batched normalization for every finite G1 input — a single Fp
+  // inversion replaces the per-pair to_affine inversions (docs/CRYPTO.md
+  // §6.4; curve.field_inversions counts the difference). The G2 sides keep
+  // their own cost profile: prepared pairs did theirs at G2Prepared build,
+  // unprepared pairs pay per-step affine inversions by design.
+  std::vector<AffinePoint<G1Traits>> g1_aff(g1s.size());
+  batch_normalize<G1Traits>(g1s, g1_aff);
+  for (std::size_t i = 0; i < ap.size(); ++i) {
+    ap[i].xp = g1_aff[i].x;
+    ap[i].yp = g1_aff[i].y;
+  }
+  for (std::size_t i = 0; i < au.size(); ++i) {
+    au[i].xp = g1_aff[ap.size() + i].x;
+    au[i].yp = g1_aff[ap.size() + i].y;
   }
 
   Fp12 f = Fp12::one();

@@ -187,7 +187,9 @@ Signature sign(const GroupPublicKey& gpk, const MemberKey& gsk,
   const Fr alpha = random_fr(rng);
   sig.t1 = bases.u * alpha;
   sig.t2 = gsk.a + bases.v * alpha;
-  sig.t_hat = bases.v_hat * alpha;
+  // v_hat comes out of hash_to_g2 (order-r by construction), satisfying
+  // g2_mul_gls's subgroup precondition.
+  sig.t_hat = curve::g2_mul_gls(bases.v_hat, alpha.to_u256());
   count(ops, &OpCounters::g1_exp, 2);
   count(ops, &OpCounters::g2_exp, 1);
   const Fr y = gsk.grp + gsk.x;
@@ -204,13 +206,16 @@ Signature sign(const GroupPublicKey& gpk, const MemberKey& gsk,
   sig.r1 = bases.u * r_alpha;
   count(ops, &OpCounters::g1_exp, 1);
   sig.r2 = curve::multi_pairing(
-      {{sig.t2 * r_x - bases.v * r_delta, bn.g2_gen},
+      {{curve::g1_msm<2>({sig.t2, bases.v},
+                         {r_x.to_u256(), (-r_delta).to_u256()}),
+        bn.g2_gen},
        {-(bases.v * r_alpha), gpk.w}});
   count(ops, &OpCounters::g1_exp, 3);
   count(ops, &OpCounters::pairings, 2);
-  sig.r3 = sig.t1 * r_x - bases.u * r_delta;
+  sig.r3 = curve::g1_msm<2>({sig.t1, bases.u},
+                            {r_x.to_u256(), (-r_delta).to_u256()});
   count(ops, &OpCounters::g1_exp, 2);
-  sig.r4 = bases.v_hat * r_alpha;
+  sig.r4 = curve::g2_mul_gls(bases.v_hat, r_alpha.to_u256());
   count(ops, &OpCounters::g2_exp, 1);
 
   const Fr c = challenge(gpk, message, sig, sig.r1, sig.r2, sig.r3, sig.r4);
@@ -240,27 +245,29 @@ bool verify_proof(const PreparedGroupPublicKey& pgpk, BytesView message,
 
   // Step 3.2.2: recompute the challenge from the carried commitments, then
   // check the four verification equations. Every equation side is a short
-  // linear combination, computed with interleaved windowed
-  // multi-exponentiation (shared doubling chains). The two cheap G1 checks
+  // linear combination, computed with endomorphism-split interleaved wNAF
+  // multi-exponentiation (curve::g1_msm / g2_msm — GLV and GLS halve and
+  // quarter the scalar widths; docs/CRYPTO.md §6). The two cheap G1 checks
   // and the G2 check run before the pairing equation so malformed
-  // signatures never reach the Miller loops.
-  using curve::multi_scalar_mul;
+  // signatures never reach the Miller loops. Every G2 input here is
+  // subgroup-checked at parse (g2_from_bytes) or hash-derived, meeting the
+  // GLS precondition.
   const Fr c = challenge(pgpk.gpk, message, sig, sig.r1, sig.r2, sig.r3,
                          sig.r4);
   const curve::U256 neg_c = (-c).to_u256();
   // Eq.1: u^s_alpha T1^-c == R1.
-  const G1 r1 = multi_scalar_mul<curve::G1Traits, 2>(
-      {bases.u, sig.t1}, {sig.s_alpha.to_u256(), neg_c});
+  const G1 r1 =
+      curve::g1_msm<2>({bases.u, sig.t1}, {sig.s_alpha.to_u256(), neg_c});
   count(ops, &OpCounters::g1_exp, 2);
   if (!(r1 == sig.r1)) return false;
   // Eq.3: T1^s_x u^-s_delta == R3.
-  const G1 r3 = multi_scalar_mul<curve::G1Traits, 2>(
+  const G1 r3 = curve::g1_msm<2>(
       {sig.t1, bases.u}, {sig.s_x.to_u256(), (-sig.s_delta).to_u256()});
   count(ops, &OpCounters::g1_exp, 2);
   if (!(r3 == sig.r3)) return false;
   // Eq.4: v_hat^s_alpha T_hat^-c == R4.
-  const G2 r4 = multi_scalar_mul<curve::G2Traits, 2>(
-      {bases.v_hat, sig.t_hat}, {sig.s_alpha.to_u256(), neg_c});
+  const G2 r4 = curve::g2_msm<2>({bases.v_hat, sig.t_hat},
+                                 {sig.s_alpha.to_u256(), neg_c});
   count(ops, &OpCounters::g2_exp, 2);
   if (!(r4 == sig.r4)) return false;
   // Eq.2: e(T2,g2)^sx e(v,w)^-sa e(v,g2)^-sd (e(T2,w)/e(g1,g2))^c == R2,
@@ -268,12 +275,12 @@ bool verify_proof(const PreparedGroupPublicKey& pgpk, BytesView message,
   // Both G2 arguments are fixed, so their Miller-loop lines come
   // precomputed.
   const std::pair<curve::G1, const curve::G2Prepared*> r2_pairs[] = {
-      {multi_scalar_mul<curve::G1Traits, 3>(
+      {curve::g1_msm<3>(
            {sig.t2, bases.v, bn.g1_gen},
            {sig.s_x.to_u256(), (-sig.s_delta).to_u256(), neg_c}),
        &pgpk.g2},
-      {multi_scalar_mul<curve::G1Traits, 2>(
-           {sig.t2, bases.v}, {c.to_u256(), (-sig.s_alpha).to_u256()}),
+      {curve::g1_msm<2>({sig.t2, bases.v},
+                        {c.to_u256(), (-sig.s_alpha).to_u256()}),
        &pgpk.w}};
   const GT r2 = curve::multi_pairing(r2_pairs);
   count(ops, &OpCounters::g1_exp, 5);
@@ -395,13 +402,12 @@ void BatchVerifier::prepare(std::size_t i, OpCounters* ops) {
   // Eq.2's G1 combinations against the prepared bases, identical to the
   // ones verify_proof builds — the bisection leaf and the GT fold both
   // consume them.
-  using curve::multi_scalar_mul;
   const curve::U256 neg_c = (-p.c).to_u256();
-  p.a = multi_scalar_mul<curve::G1Traits, 3>(
+  p.a = curve::g1_msm<3>(
       {sig.t2, p.bases.v, bn.g1_gen},
       {sig.s_x.to_u256(), (-sig.s_delta).to_u256(), neg_c});
-  p.b = multi_scalar_mul<curve::G1Traits, 2>(
-      {sig.t2, p.bases.v}, {p.c.to_u256(), (-sig.s_alpha).to_u256()});
+  p.b = curve::g1_msm<2>({sig.t2, p.bases.v},
+                         {p.c.to_u256(), (-sig.s_alpha).to_u256()});
   count(ops, &OpCounters::g1_exp, 5);
   p.format_ok = true;
 }
@@ -415,18 +421,17 @@ bool BatchVerifier::check_one(std::size_t i, OpCounters* ops) {
   // The exact sequential equation checks (same combinations, same order as
   // verify_proof), so leaf verdicts are bit-identical to one-at-a-time
   // verification.
-  using curve::multi_scalar_mul;
   const curve::U256 neg_c = (-p.c).to_u256();
-  const G1 r1 = multi_scalar_mul<curve::G1Traits, 2>(
-      {p.bases.u, sig.t1}, {sig.s_alpha.to_u256(), neg_c});
+  const G1 r1 =
+      curve::g1_msm<2>({p.bases.u, sig.t1}, {sig.s_alpha.to_u256(), neg_c});
   count(ops, &OpCounters::g1_exp, 2);
   if (!(r1 == sig.r1)) return false;
-  const G1 r3 = multi_scalar_mul<curve::G1Traits, 2>(
+  const G1 r3 = curve::g1_msm<2>(
       {sig.t1, p.bases.u}, {sig.s_x.to_u256(), (-sig.s_delta).to_u256()});
   count(ops, &OpCounters::g1_exp, 2);
   if (!(r3 == sig.r3)) return false;
-  const G2 r4 = multi_scalar_mul<curve::G2Traits, 2>(
-      {p.bases.v_hat, sig.t_hat}, {sig.s_alpha.to_u256(), neg_c});
+  const G2 r4 = curve::g2_msm<2>({p.bases.v_hat, sig.t_hat},
+                                 {sig.s_alpha.to_u256(), neg_c});
   count(ops, &OpCounters::g2_exp, 2);
   if (!(r4 == sig.r4)) return false;
   curve::MillerAccumulator acc;
@@ -448,7 +453,6 @@ bool BatchVerifier::check_range(std::size_t lo, std::size_t hi,
   span.arg("hi", hi);
   span.arg("active", active.size());
 
-  using curve::multi_scalar_mul;
   using curve::U256;
   // Combined Eq.1 + Eq.3, one G1 multi-scalar sum. Per item i the residual
   //   rho1 * (u^sa T1^-c R1^-1) + rho3 * (T1^sx u^-sd R3^-1)
@@ -472,8 +476,8 @@ bool BatchVerifier::check_range(std::size_t lo, std::size_t hi,
     g1_sc.push_back((-rho3).to_u256());
   }
   count(ops, &OpCounters::g1_exp, 4 * active.size());
-  if (!multi_scalar_mul<curve::G1Traits>(std::span<const G1>(g1_pts),
-                                         std::span<const U256>(g1_sc))
+  if (!curve::g1_msm(std::span<const G1>(g1_pts),
+                     std::span<const U256>(g1_sc))
            .is_infinity())
     return false;
 
@@ -494,8 +498,9 @@ bool BatchVerifier::check_range(std::size_t lo, std::size_t hi,
     g2_sc.push_back((-rho4).to_u256());
   }
   count(ops, &OpCounters::g2_exp, 3 * active.size());
-  if (!multi_scalar_mul<curve::G2Traits>(std::span<const G2>(g2_pts),
-                                         std::span<const U256>(g2_sc))
+  // GLS precondition: v_hat is hash-derived, t_hat and r4 are parse-checked.
+  if (!curve::g2_msm(std::span<const G2>(g2_pts),
+                     std::span<const U256>(g2_sc))
            .is_infinity())
     return false;
 
@@ -523,10 +528,10 @@ bool BatchVerifier::check_range(std::size_t lo, std::size_t hi,
     r2s.push_back(items_[i].sig->r2);
     rho2s.push_back(p.rho2);
   }
-  const G1 a_fold = multi_scalar_mul<curve::G1Traits>(
-      std::span<const G1>(a_pts), std::span<const U256>(rho2_sc));
-  const G1 b_fold = multi_scalar_mul<curve::G1Traits>(
-      std::span<const G1>(b_pts), std::span<const U256>(rho2_sc));
+  const G1 a_fold = curve::g1_msm(std::span<const G1>(a_pts),
+                                  std::span<const U256>(rho2_sc));
+  const G1 b_fold = curve::g1_msm(std::span<const G1>(b_pts),
+                                  std::span<const U256>(rho2_sc));
   count(ops, &OpCounters::g1_exp, 2 * active.size());
   curve::MillerAccumulator acc;
   acc.add(a_fold, pgpk_.g2);

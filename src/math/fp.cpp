@@ -34,6 +34,16 @@ FieldParams make_field_params(const U256& modulus) {
     p.sqrt_exp = shr1(shr1(m1));
     p.has_sqrt_exp = true;
   }
+
+  // Lazy-reduction bias table: p2k[k] = k * modulus^2 (docs/CRYPTO.md §6.3).
+  // kMaxWideBias * modulus^2 < 2^512 for any modulus < 2^254.5, so the adds
+  // cannot carry out.
+  const std::array<std::uint64_t, 8> p2 = mul_wide(modulus, modulus);
+  for (unsigned k = 1; k <= FieldParams::kMaxWideBias; ++k) {
+    p.p2k[k] = p.p2k[k - 1];
+    if (wide8_add(p.p2k[k], p2) != 0)
+      throw Error("make_field_params: bias table overflow");
+  }
   return p;
 }
 

@@ -19,7 +19,48 @@ struct FieldParams {
   U256 sqrt_exp;            // (modulus+1)/4 when modulus = 3 mod 4, else 0
   bool has_sqrt_exp = false;
   unsigned bits = 0;
+  /// k * modulus^2 for k = 0..kMaxWideBias: the nonnegativity biases added
+  /// by the lazy-reduction accumulators (docs/CRYPTO.md §6.3). Multiples of
+  /// the modulus are annihilated by Montgomery reduction, so adding them
+  /// never changes the reduced value.
+  static constexpr unsigned kMaxWideBias = 8;
+  std::array<std::array<std::uint64_t, 8>, kMaxWideBias + 1> p2k{};
 };
+
+/// 512-bit unreduced accumulator for lazy tower reduction: a sum of
+/// double-width Montgomery products plus k*p^2 nonnegativity biases,
+/// reduced exactly once per output coefficient. Safe while the total stays
+/// below 2^512 — at p ~ 2^254 that is 24 product units, far above what any
+/// tower formula accumulates; docs/CRYPTO.md §6.3 carries the bound.
+struct FpWide {
+  std::array<std::uint64_t, 8> limb{};
+};
+
+/// out += x over 8 little-endian limbs; returns the carry out.
+inline std::uint64_t wide8_add(std::array<std::uint64_t, 8>& out,
+                               const std::array<std::uint64_t, 8>& x) {
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    carry += static_cast<unsigned __int128>(out[i]) + x[i];
+    out[i] = static_cast<std::uint64_t>(carry);
+    carry >>= 64;
+  }
+  return static_cast<std::uint64_t>(carry);
+}
+
+/// out -= x over 8 little-endian limbs; returns the borrow out.
+inline std::uint64_t wide8_sub(std::array<std::uint64_t, 8>& out,
+                               const std::array<std::uint64_t, 8>& x) {
+  std::uint64_t borrow = 0;
+  for (int i = 0; i < 8; ++i) {
+    const unsigned __int128 rhs =
+        static_cast<unsigned __int128>(x[i]) + borrow;
+    const unsigned __int128 lhs = out[i];
+    out[i] = static_cast<std::uint64_t>(lhs - rhs);
+    borrow = lhs < rhs ? 1 : 0;
+  }
+  return borrow;
+}
 
 /// Derives all Montgomery constants from `modulus` (must be odd and > 2).
 FieldParams make_field_params(const U256& modulus);
@@ -141,6 +182,40 @@ class PrimeField {
     return false;
   }
 
+  // --- lazy double-width accumulation (docs/CRYPTO.md §6.3) ---------------
+
+  /// Unreduced double-width product of two canonical elements: one product
+  /// unit, value < p^2.
+  static FpWide wide_mul(const PrimeField& a, const PrimeField& b) {
+    return FpWide{mul_wide(a.mont_, b.mont_)};
+  }
+
+  /// acc += x. Throws on 2^512 overflow — unreachable under the §6.3
+  /// accumulation bound, kept as an always-on guard.
+  static void wide_add(FpWide& acc, const FpWide& x) {
+    if (wide8_add(acc.limb, x.limb) != 0)
+      throw Error("PrimeField: wide accumulator overflow");
+  }
+
+  /// acc += k*p^2 - x, requiring x <= k*p^2: the biased subtraction that
+  /// keeps lazy accumulators nonnegative. The k*p^2 bias is a multiple of
+  /// the modulus and vanishes in redc().
+  static void wide_sub(FpWide& acc, const FpWide& x, unsigned k) {
+    if (k > FieldParams::kMaxWideBias)
+      throw Error("PrimeField: wide bias too large");
+    FpWide d{params_.p2k[k]};
+    if (wide8_sub(d.limb, x.limb) != 0)
+      throw Error("PrimeField: wide bias underflow");
+    wide_add(acc, d);
+  }
+
+  /// Montgomery reduction of a full 512-bit accumulator to the canonical
+  /// representative — the single per-coefficient reduction of the lazy
+  /// path. The canonical representative of a residue is unique, so this
+  /// agrees bit-for-bit with the mont_mul/add_mod chain computing the same
+  /// value eagerly (docs/CRYPTO.md §6.3).
+  static PrimeField redc(const FpWide& in);
+
   /// Parity of the standard representation (for point compression).
   bool is_odd_repr() const { return to_u256().is_odd(); }
 
@@ -192,6 +267,47 @@ U256 PrimeField<Tag>::mont_mul(const U256& a, const U256& b) {
     res = reduced;
   }
   return res;
+}
+
+template <class Tag>
+PrimeField<Tag> PrimeField<Tag>::redc(const FpWide& in) {
+  using u64 = std::uint64_t;
+  using u128 = unsigned __int128;
+  const U256& n = params_.modulus;
+  const u64 n0inv = params_.n0inv;
+
+  std::array<u64, 8> t = in.limb;
+  u64 extra = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u64 m = t[i] * n0inv;
+    u64 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(m) * n.limb[j] + t[i + j] + carry;
+      t[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    for (int k = i + 4; k < 8 && carry != 0; ++k) {
+      const u128 cur = static_cast<u128>(t[k]) + carry;
+      t[k] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    extra += carry;
+  }
+  U256 res{t[4], t[5], t[6], t[7]};
+  // Remaining value is extra * 2^256 + res with extra in {0, 1} (the input
+  // is < 2^512, so (input + m*n)/2^256 < 2^256 + n). Peel n off until the
+  // representative is canonical — at most ~6 subtractions since 2^256 < 6n.
+  while (extra != 0) {
+    U256 reduced;
+    extra -= sub_borrow(reduced, res, n);
+    res = reduced;
+  }
+  while (!(cmp(res, n) < 0)) {
+    U256 reduced;
+    sub_borrow(reduced, res, n);
+    res = reduced;
+  }
+  return from_mont(res);
 }
 
 // Field tags. The paper's Z_p (signature scalars) is our Fr; the pairing

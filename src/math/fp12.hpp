@@ -40,16 +40,82 @@ struct Fp12 {
 
   /// Multiplication by the sparse element (a + b w + c w^3) that pairing
   /// line evaluations produce — in tower form (Fp6(a,0,0), Fp6(b,c,0)).
-  /// Karatsuba over the Fp6 halves with the sparsity exploited: 15 Fp2
-  /// multiplications instead of the generic 18.
+  /// Same Karatsuba-over-Fp6 schedule as the eager version (t0 = c0*(a,0,0),
+  /// t1 = c1*(b,c,0), cross = (c0+c1)*((a+b),c,0)), but fully lazy: every
+  /// output Fp2 coefficient is accumulated as a sum of double-width products
+  /// and reduced exactly once — 12 reductions instead of one per Fp2
+  /// multiply, with xi folded into the inputs via the cheap-xi path.
+  /// Worst lane accumulates 15 p^2-units, within the 24-unit bound of
+  /// docs/CRYPTO.md §6.3.
   Fp12 mul_by_line(const Fp2& a, const Fp2& b, const Fp2& c) const {
+    const Fp2 xb = b.mul_by_xi();
+    const Fp2 xc = c.mul_by_xi();
+    const Fp6& l = c0;
+    const Fp6& h = c1;
+    const Fp6 s = c0 + c1;
+    const Fp2 ab = a + b;
+
+    // Every double-width product the t0/t1 lanes need is also subtracted
+    // in a cross lane below, so compute each once and reuse the wide value
+    // — 17 wide Fp2 multiplies instead of the naive 24, same arithmetic
+    // (the cached value is the identical product, so outputs are
+    // bit-identical to the recomputing form).
+    const Fp2Wide p0 = fp2_wide_mul(l.c0, a);
+    const Fp2Wide p1 = fp2_wide_mul(l.c1, a);
+    const Fp2Wide p2 = fp2_wide_mul(l.c2, a);
+    const Fp2Wide hb0 = fp2_wide_mul(h.c0, b);
+    const Fp2Wide hxc2 = fp2_wide_mul(h.c2, xc);
+    const Fp2Wide hc0 = fp2_wide_mul(h.c0, c);
+    const Fp2Wide hb1 = fp2_wide_mul(h.c1, b);
+
+    // res.c0 = t0 + t1 * v, coefficient by coefficient.
+    Fp2Wide w = p0;
+    fp2_wide_add(w, fp2_wide_mul(h.c1, xc));
+    fp2_wide_add(w, fp2_wide_mul(h.c2, xb));
+    const Fp2 r00 = fp2_wide_redc(w);
+
+    w = p1;
+    fp2_wide_add(w, hb0);
+    fp2_wide_add(w, hxc2);
+    const Fp2 r01 = fp2_wide_redc(w);
+
+    w = p2;
+    fp2_wide_add(w, hc0);
+    fp2_wide_add(w, hb1);
+    const Fp2 r02 = fp2_wide_redc(w);
+
+    // res.c1 = cross - t0 - t1, coefficient by coefficient.
+    w = fp2_wide_mul(s.c0, ab);
+    fp2_wide_add(w, fp2_wide_mul(s.c2, xc));
+    fp2_wide_sub(w, p0);
+    fp2_wide_sub(w, hb0);
+    fp2_wide_sub(w, hxc2);
+    const Fp2 r10 = fp2_wide_redc(w);
+
+    w = fp2_wide_mul(s.c0, c);
+    fp2_wide_add(w, fp2_wide_mul(s.c1, ab));
+    fp2_wide_sub(w, p1);
+    fp2_wide_sub(w, hc0);
+    fp2_wide_sub(w, hb1);
+    const Fp2 r11 = fp2_wide_redc(w);
+
+    w = fp2_wide_mul(s.c1, c);
+    fp2_wide_add(w, fp2_wide_mul(s.c2, ab));
+    fp2_wide_sub(w, p2);
+    fp2_wide_sub(w, fp2_wide_mul(h.c1, c));
+    fp2_wide_sub(w, fp2_wide_mul(h.c2, b));
+    const Fp2 r12 = fp2_wide_redc(w);
+
+    return {Fp6{r00, r01, r02}, Fp6{r10, r11, r12}};
+  }
+
+  /// Eager reference for mul_by_line — the pre-lazy implementation, kept as
+  /// the differential oracle (tests/curve_speed_test.cpp).
+  Fp12 mul_by_line_eager(const Fp2& a, const Fp2& b, const Fp2& c) const {
     const Fp2 xi = fp2_xi();
-    // t0 = c0 * (a, 0, 0): a scalar Fp2 multiple.
     const Fp6 t0{c0.c0 * a, c0.c1 * a, c0.c2 * a};
-    // t1 = c1 * (b, c, 0): 2-sparse Fp6 multiplication.
     const Fp6 t1{c1.c0 * b + xi * (c1.c2 * c), c1.c0 * c + c1.c1 * b,
                  c1.c1 * c + c1.c2 * b};
-    // (c0 + c1) * ((a + b), c, 0) for the cross term.
     const Fp6 s = c0 + c1;
     const Fp2 ab = a + b;
     const Fp6 cross{s.c0 * ab + xi * (s.c2 * c), s.c0 * c + s.c1 * ab,
@@ -69,7 +135,6 @@ struct Fp12 {
   /// (z2 + z5 s); for unitary f the square needs only the three Fp4
   /// squarings plus cheap linear combinations.
   Fp12 cyclotomic_square() const {
-    const Fp2 xi = fp2_xi();
     // libff/Granger-Scott labelling: a = (z0, z1), b = (z2, z3),
     // c = (z4, z5) with pairs (w^0, w^3), (w^1, w^4), (w^2, w^5).
     const Fp2& z0 = c0.c0;
@@ -79,12 +144,22 @@ struct Fp12 {
     const Fp2& z4 = c0.c1;
     const Fp2& z5 = c1.c2;
 
-    // (a0 + a1 s)^2 in Fp4 = Fp2[s]/(s^2 - xi), Karatsuba form.
-    const auto fp4_square = [&xi](const Fp2& a0, const Fp2& a1, Fp2& t0,
-                                  Fp2& t1) {
-      const Fp2 ab = a0 * a1;
-      t0 = (a0 + a1) * (a0 + xi * a1) - ab - xi * ab;
-      t1 = ab + ab;
+    // (a0 + a1 s)^2 in Fp4 = Fp2[s]/(s^2 - xi), Karatsuba form, lazily:
+    // t0 = (a0+a1)(a0+xi a1) - a0a1 - a0(xi a1) accumulated double-width
+    // and reduced once (9 p^2-units worst lane; docs/CRYPTO.md §6.3 shows
+    // xi*(a0a1) = a0*(xi a1), so only three wide products are needed).
+    const auto fp4_square = [](const Fp2& a0, const Fp2& a1, Fp2& t0,
+                               Fp2& t1) {
+      const Fp2 xia1 = a1.mul_by_xi();
+      Fp2Wide w = fp2_wide_mul(a0 + a1, a0 + xia1);
+      const Fp2Wide ab = fp2_wide_mul(a0, a1);
+      const Fp2Wide xab = fp2_wide_mul(a0, xia1);
+      fp2_wide_sub(w, ab);
+      fp2_wide_sub(w, xab);
+      t0 = fp2_wide_redc(w);
+      Fp2Wide two_ab = ab;
+      fp2_wide_add(two_ab, ab);
+      t1 = fp2_wide_redc(two_ab);
     };
     Fp2 t0, t1, t2, t3, t4, t5;
     fp4_square(z0, z1, t0, t1);
@@ -96,7 +171,7 @@ struct Fp12 {
     r0 = r0 + r0 + t0;
     Fp2 r1 = t1 + z1;
     r1 = r1 + r1 + t1;
-    const Fp2 xt5 = xi * t5;
+    const Fp2 xt5 = t5.mul_by_xi();
     Fp2 r2 = xt5 + z2;
     r2 = r2 + r2 + xt5;
     Fp2 r3 = t4 - z3;

@@ -26,13 +26,13 @@ struct Fp6 {
   Fp6 operator-() const { return {-c0, -c1, -c2}; }
 
   Fp6 operator*(const Fp6& o) const {
-    // Toom-style interpolation (Devegili et al.); xi reduces v^3.
-    const Fp2 xi = fp2_xi();
+    // Toom-style interpolation (Devegili et al.); v^3 reduces via the
+    // cheap-xi path (docs/CRYPTO.md §6.3), the Fp2 products are lazy.
     const Fp2 v0 = c0 * o.c0;
     const Fp2 v1 = c1 * o.c1;
     const Fp2 v2 = c2 * o.c2;
-    const Fp2 t0 = v0 + xi * ((c1 + c2) * (o.c1 + o.c2) - v1 - v2);
-    const Fp2 t1 = (c0 + c1) * (o.c0 + o.c1) - v0 - v1 + xi * v2;
+    const Fp2 t0 = v0 + ((c1 + c2) * (o.c1 + o.c2) - v1 - v2).mul_by_xi();
+    const Fp2 t1 = (c0 + c1) * (o.c0 + o.c1) - v0 - v1 + v2.mul_by_xi();
     const Fp2 t2 = (c0 + c2) * (o.c0 + o.c2) - v0 - v2 + v1;
     return {t0, t1, t2};
   }
@@ -45,14 +45,13 @@ struct Fp6 {
   Fp6 square() const { return *this * *this; }
 
   /// Multiplication by v: (c0, c1, c2) -> (xi c2, c0, c1).
-  Fp6 mul_by_v() const { return {fp2_xi() * c2, c0, c1}; }
+  Fp6 mul_by_v() const { return {c2.mul_by_xi(), c0, c1}; }
 
   Fp6 inverse() const {
-    const Fp2 xi = fp2_xi();
-    const Fp2 t0 = c0.square() - xi * (c1 * c2);
-    const Fp2 t1 = xi * c2.square() - c0 * c1;
+    const Fp2 t0 = c0.square() - (c1 * c2).mul_by_xi();
+    const Fp2 t1 = c2.square().mul_by_xi() - c0 * c1;
     const Fp2 t2 = c1.square() - c0 * c2;
-    const Fp2 det = c0 * t0 + xi * (c1 * t2) + xi * (c2 * t1);
+    const Fp2 det = c0 * t0 + (c1 * t2).mul_by_xi() + (c2 * t1).mul_by_xi();
     const Fp2 inv = det.inverse();
     return {t0 * inv, t1 * inv, t2 * inv};
   }

@@ -22,6 +22,12 @@ struct CoreCounters {
   Counter& msm_terms = Registry::global().counter("curve.msm_terms");
   Counter& gt_pows = Registry::global().counter("curve.gt_pows");
   Counter& fp12_inverses = Registry::global().counter("curve.fp12_inverses");
+  Counter& field_inversions =
+      Registry::global().counter("curve.field_inversions");
+  Counter& glv_decompositions =
+      Registry::global().counter("curve.glv_decompositions");
+  Counter& gls_decompositions =
+      Registry::global().counter("curve.gls_decompositions");
 };
 
 CoreCounters& core() {
@@ -106,6 +112,21 @@ void note_gt_pow(std::uint64_t n) {
 void note_fp12_inverse(std::uint64_t n) {
   core().fp12_inverses.add(n);
   PEACE_OBS_TALLY(fp12_inverses, n);
+}
+
+void note_field_inversion(std::uint64_t n) {
+  core().field_inversions.add(n);
+  PEACE_OBS_TALLY(field_inversions, n);
+}
+
+void note_glv_decomposition(std::uint64_t n) {
+  core().glv_decompositions.add(n);
+  PEACE_OBS_TALLY(glv_decompositions, n);
+}
+
+void note_gls_decomposition(std::uint64_t n) {
+  core().gls_decompositions.add(n);
+  PEACE_OBS_TALLY(gls_decompositions, n);
 }
 
 #undef PEACE_OBS_TALLY
@@ -355,6 +376,12 @@ std::uint64_t Span::close() {
   attribute("msm_terms", t.msm_terms, start_tally_.msm_terms);
   attribute("gt_pows", t.gt_pows, start_tally_.gt_pows);
   attribute("fp12_inverses", t.fp12_inverses, start_tally_.fp12_inverses);
+  attribute("field_inversions", t.field_inversions,
+            start_tally_.field_inversions);
+  attribute("glv_decompositions", t.glv_decompositions,
+            start_tally_.glv_decompositions);
+  attribute("gls_decompositions", t.gls_decompositions,
+            start_tally_.gls_decompositions);
   Tracer::global().record(event_);
   if (hist_ != nullptr) hist_->record(dur);
   return dur;

@@ -59,6 +59,11 @@ void note_g2_prepared(std::uint64_t n = 1);
 void note_msm(std::uint64_t terms);
 void note_gt_pow(std::uint64_t n = 1);
 void note_fp12_inverse(std::uint64_t n = 1);
+/// One Jacobian->affine normalization inversion (a to_affine call or one
+/// batch_normalize pass — however many points the batch covers).
+void note_field_inversion(std::uint64_t n = 1);
+void note_glv_decomposition(std::uint64_t n = 1);
+void note_gls_decomposition(std::uint64_t n = 1);
 
 /// Fast reads of the always-on op counters (what the curve:: op-count API
 /// delegates to after the bare-global migration).
@@ -78,6 +83,9 @@ struct CryptoTally {
   std::uint64_t msm_terms = 0;
   std::uint64_t gt_pows = 0;
   std::uint64_t fp12_inverses = 0;
+  std::uint64_t field_inversions = 0;
+  std::uint64_t glv_decompositions = 0;
+  std::uint64_t gls_decompositions = 0;
 };
 
 #ifndef PEACE_OBS_DISABLED
