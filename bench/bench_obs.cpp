@@ -1,4 +1,4 @@
-// Telemetry overhead (docs/OBSERVABILITY.md §5): the full user-router
+// Telemetry overhead (docs/OBSERVABILITY.md §6): the full user-router
 // handshake hot path with tracing disabled vs enabled, plus the raw cost
 // of the primitives the layer adds to hot code (a crypto-op hook, a span,
 // a histogram record). The acceptance bar is <3% on the handshake path
@@ -6,6 +6,8 @@
 // spans out; BENCH_obs.json carries the numbers for CI.
 #include "bench_common.hpp"
 
+#include "obs/health.hpp"
+#include "obs/sec_event.hpp"
 #include "obs/trace.hpp"
 
 namespace peace::bench {
@@ -62,6 +64,57 @@ void BM_Span(benchmark::State& state) {
   obs::Tracer::global().clear();
 }
 BENCHMARK(BM_Span)->Arg(0)->Arg(1)->Name("BM_Span/obs");
+
+/// sec_emit — the security-event stream's hot-path cost. Disabled: one
+/// relaxed atomic add (the always-on per-kind counter). Enabled: the add
+/// plus a fixed-size record pushed onto the thread's SPSC ring.
+void BM_SecEmit(benchmark::State& state) {
+  obs::enable(state.range(0) != 0);
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    obs::sec_emit(obs::SecEventKind::kAuthReject, ++t, 7, 2);
+    // Keep the ring from saturating into the shed path mid-measurement
+    // (and the tracer's in-memory event store from growing with it).
+    if ((t & 2047) == 0) {
+      obs::drain_sec_events();
+      obs::Tracer::global().clear();
+    }
+  }
+  obs::enable(false);
+  obs::drain_sec_events();
+  obs::Tracer::global().clear();
+}
+BENCHMARK(BM_SecEmit)->Arg(0)->Arg(1)->Name("BM_SecEmit/obs");
+
+/// Drain + HealthMonitor ingest + evaluation for one barrier's worth of
+/// events — the per-tick cost the metro driver pays with --health on.
+void BM_HealthBarrier(benchmark::State& state) {
+  obs::enable(true);
+  const std::uint64_t burst = static_cast<std::uint64_t>(state.range(0));
+  obs::HealthMonitor monitor;
+  std::uint64_t sim_ms = 0;
+  std::vector<obs::SecEvent> drained;
+  for (auto _ : state) {
+    sim_ms += 500;
+    for (std::uint64_t i = 0; i < burst; ++i)
+      obs::sec_emit_for_shard(obs::SecEventKind::kAuthReject,
+                              static_cast<std::uint32_t>(i & 7), sim_ms, i);
+    drained.clear();
+    obs::drain_sec_events(&drained);
+    obs::Tracer::global().clear();
+    for (const obs::SecEvent& e : drained) monitor.ingest(e);
+    monitor.tick(sim_ms);
+  }
+  obs::enable(false);
+  obs::Tracer::global().clear();
+  state.counters["events_per_tick"] = static_cast<double>(burst);
+  state.counters["alerts"] = static_cast<double>(monitor.alerts_total());
+}
+BENCHMARK(BM_HealthBarrier)
+    ->Arg(16)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond)
+    ->Name("BM_HealthBarrier/events");
 
 /// Histogram::record — two relaxed atomic adds, the full hot-path cost of
 /// a latency sample.

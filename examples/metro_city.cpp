@@ -7,16 +7,25 @@
 //
 // Run: ./build/examples/metro_city [--users=N] [--cohort=N] [--shards=N]
 //        [--day-ms=N] [--budget=N] [--waves=N] [--no-flash-crowd]
-//        [--trace=out.jsonl] [--metrics=out.json] [--bench-json=out.json]
+//        [--trace=out.jsonl] [--trace-rotate=BYTES] [--metrics=out.json]
+//        [--bench-json=out.json] [--health=out.json]
+//        [--forgery-burst] [--revoked-burst]
 //
 // --trace streams events through the bounded-memory JSONL sink
 // (obs::Tracer::stream_to) — memory stays flat however long the day; the
 // file is valid input for tools/trace_report.py. --bench-json writes the
 // throughput summary (users×sim-s/wall-s) as a small JSON report.
+//
+// --health arms the obs::HealthMonitor for the whole day (drained and
+// evaluated at every tick barrier) and writes its summary JSON — input for
+// tools/health_report.py. --forgery-burst / --revoked-burst inject the
+// scenario's chaos bursts (a forged M.2 batch at the stadium, a revoked
+// mole at downtown) so the detectors have something real to catch.
 #include <cstdio>
 #include <string>
 
 #include "mesh/metro_scenario.hpp"
+#include "obs/health.hpp"
 #include "obs/trace.hpp"
 
 using namespace peace;
@@ -58,7 +67,8 @@ int main(int argc, char** argv) {
   curve::Bn254::init();
   mesh::MetroCityConfig config;
   std::uint64_t total_users = 100'000;
-  std::string trace_path, metrics_path, bench_path;
+  std::uint64_t trace_rotate = 0;
+  std::string trace_path, metrics_path, bench_path, health_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::uint64_t v = 0;
@@ -75,18 +85,26 @@ int main(int argc, char** argv) {
       config.revocation_waves = static_cast<unsigned>(v);
     } else if (arg == "--no-flash-crowd") {
       config.flash_crowd = false;
+    } else if (arg == "--forgery-burst") {
+      config.forgery_burst = true;
+    } else if (arg == "--revoked-burst") {
+      config.revoked_burst = true;
+    } else if (parse_u64(arg, "--trace-rotate=", trace_rotate)) {
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(8);
     } else if (arg.rfind("--metrics=", 0) == 0) {
       metrics_path = arg.substr(10);
     } else if (arg.rfind("--bench-json=", 0) == 0) {
       bench_path = arg.substr(13);
+    } else if (arg.rfind("--health=", 0) == 0) {
+      health_path = arg.substr(9);
     } else {
       std::fprintf(stderr,
                    "usage: metro_city [--users=N] [--cohort=N] [--shards=N] "
                    "[--day-ms=N] [--budget=N] [--waves=N] [--no-flash-crowd] "
-                   "[--trace=out.jsonl] [--metrics=out.json] "
-                   "[--bench-json=out.json]\n");
+                   "[--trace=out.jsonl] [--trace-rotate=BYTES] "
+                   "[--metrics=out.json] [--bench-json=out.json] "
+                   "[--health=out.json] [--forgery-burst] [--revoked-burst]\n");
       return 2;
     }
   }
@@ -98,13 +116,20 @@ int main(int argc, char** argv) {
 
   if (!trace_path.empty()) {
     obs::enable(true);
-    if (!obs::Tracer::global().stream_to(trace_path)) {
+    obs::StreamSinkOptions sink;
+    sink.rotate_bytes = trace_rotate;
+    if (!obs::Tracer::global().stream_to(trace_path, sink)) {
       std::fprintf(stderr, "metro_city: cannot open %s\n", trace_path.c_str());
       return 1;
     }
-  } else if (!metrics_path.empty()) {
+  } else if (!metrics_path.empty() || !health_path.empty()) {
     obs::enable(true);
   }
+
+  // The monitor lives in main (the scenario only borrows it), so the
+  // summary survives the run.
+  obs::HealthMonitor monitor;
+  if (!health_path.empty()) config.health = &monitor;
 
   std::printf("metro_city: %llu users (%zu real-crypto cohort) across %zu "
               "shards, %llu ms simulated day\n",
@@ -147,6 +172,12 @@ int main(int argc, char** argv) {
   std::printf("  revocation ........ %u waves pushed, URL v%llu\n",
               report.revocation_waves,
               static_cast<unsigned long long>(report.url_version));
+  if (config.health != nullptr)
+    std::printf("  health ............ %llu alerts from %llu events "
+                "(%llu shed)\n",
+                static_cast<unsigned long long>(monitor.alerts_total()),
+                static_cast<unsigned long long>(monitor.events_ingested()),
+                static_cast<unsigned long long>(obs::sec_events_shed()));
 
   bool ok = report.cohort_connected == report.cohort_users;
   if (!ok)
@@ -167,6 +198,11 @@ int main(int argc, char** argv) {
   }
   if (!bench_path.empty() && !write_text_file(bench_path, bench_json(report))) {
     std::fprintf(stderr, "metro_city: cannot write %s\n", bench_path.c_str());
+    ok = false;
+  }
+  if (!health_path.empty() &&
+      !write_text_file(health_path, monitor.summary_json())) {
+    std::fprintf(stderr, "metro_city: cannot write %s\n", health_path.c_str());
     ok = false;
   }
   return ok ? 0 : 1;

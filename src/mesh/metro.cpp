@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sec_event.hpp"
 #include "peace/metrics_export.hpp"
 
 namespace peace::mesh {
@@ -164,7 +166,15 @@ void MetroSimulation::run_until(SimTime end) {
     // only below), so this loop could run its iterations on N threads
     // without changing one result — the contract docs/ARCHITECTURE.md §7
     // documents and the determinism tests pin down.
-    for (auto& s : shards_) s->sim().run_until(barrier);
+    for (auto& s : shards_) {
+      // Ambient attribution for the security-event stream: everything the
+      // shard's event loop emits (router rejects, timeouts, resyncs) is
+      // tagged with this shard id. Pure observer state — resetting it
+      // cannot affect the simulation.
+      obs::set_current_shard(s->id());
+      s->sim().run_until(barrier);
+    }
+    obs::set_current_shard(0);
     now_ = barrier;
     ++stats_.barriers;
 
@@ -192,6 +202,20 @@ void MetroSimulation::run_until(SimTime end) {
         s->inbox().pop_front();
         apply(*s, std::move(msg));
       }
+    }
+
+    // Barrier phase 3 — observe. Drain the tick's security events to the
+    // trace sink and, when a HealthMonitor is attached, feed them into its
+    // windows and advance its evaluation clock. Strictly read-only with
+    // respect to the simulation: detaching the monitor changes nothing
+    // upstream (DeterminismTest.TelemetryIsNeutral).
+    if (health_ != nullptr) {
+      std::vector<obs::SecEvent> drained;
+      obs::drain_sec_events(&drained);
+      for (const obs::SecEvent& e : drained) health_->ingest(e);
+      health_->tick(now_);
+    } else {
+      obs::drain_sec_events();
     }
   }
 }
@@ -377,6 +401,11 @@ void MetroSimulation::publish_metrics() const {
   reg.counter("metro.arena.cap_rejections").set(arena_totals.cap_rejections);
   reg.gauge("metro.arena.outstanding")
       .set(static_cast<std::int64_t>(arena_totals.outstanding));
+
+  // Flush any security events buffered since the last barrier, and refresh
+  // the health.* gauges when a monitor is attached.
+  obs::drain_sec_events();
+  if (health_ != nullptr) health_->publish(reg);
 }
 
 }  // namespace peace::mesh

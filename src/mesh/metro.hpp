@@ -42,6 +42,10 @@
 
 #include "mesh/shard.hpp"
 
+namespace peace::obs {
+class HealthMonitor;
+}
+
 namespace peace::mesh {
 
 struct MetroConfig {
@@ -160,6 +164,13 @@ class MetroSimulation {
   /// totals plus the metro.* counters below. Idempotent.
   void publish_metrics() const;
 
+  /// Attaches (or detaches, with nullptr) an online anomaly detector: at
+  /// every tick barrier the driver drains the security-event stream into
+  /// the monitor and ticks its evaluation clock. Observer only — arming a
+  /// monitor cannot change a single simulation byte. Must outlive the run.
+  void set_health_monitor(obs::HealthMonitor* monitor) { health_ = monitor; }
+  obs::HealthMonitor* health_monitor() const { return health_; }
+
  private:
   struct UserRecord {
     ShardId shard = 0;
@@ -194,6 +205,7 @@ class MetroSimulation {
   std::uint64_t next_msg_seq_ = 0;
   std::deque<ParkedHandoff> parked_;
   FrameHandler frame_handler_;
+  obs::HealthMonitor* health_ = nullptr;
   SimTime now_ = 0;
   MetroStats stats_;
 };

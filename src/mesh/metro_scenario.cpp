@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sec_event.hpp"
 
 namespace peace::mesh {
 
@@ -67,7 +69,8 @@ struct City {
       : cfg(c),
         no(crypto::Drbg::from_string(c.seed + "/no")),
         gm(no.register_group("metro-city",
-                             c.cohort_users + c.revocation_waves + 1, ttp)),
+                             // headroom: +1 spare, +1 attacker, +1 mole
+                             c.cohort_users + c.revocation_waves + 3, ttp)),
         metro([&] {
           MetroConfig mc;
           mc.tick_ms = c.tick_ms;
@@ -204,6 +207,65 @@ struct City {
     }
   }
 
+  /// Chaos injection: `n` forged M.2s — minted by an enrolled attacker
+  /// against a real beacon, then broken post-signing (ts2 shift, so they
+  /// parse and stay fresh but the group signature no longer covers the
+  /// payload) — hit `target`'s first router as ONE batch. The randomized
+  /// batch check fails, bisection pinpoints every forgery, and each
+  /// rejection emits batch_forgery_attributed + auth_reject events
+  /// attributed to `target`.
+  void forgery_burst(ShardId target, std::size_t n) {
+    MeshNetwork& net = metro.shard(target).net();
+    proto::MeshRouter& router = net.router(net.router_ids().front());
+    const auto now = static_cast<proto::Timestamp>(
+        metro.shard(target).sim().now());
+    const proto::BeaconMessage beacon = router.make_beacon(now);
+    proto::User attacker(
+        "attacker", no.params(),
+        crypto::Drbg::from_string(cfg.seed + "/attacker"),
+        city_protocol_config());
+    attacker.complete_enrollment(gm.enroll("attacker", ttp));
+    std::vector<proto::AccessRequest> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto m2 = attacker.process_beacon(beacon, now);
+      if (!m2.has_value()) continue;
+      m2->ts2 += 1;  // signature no longer covers the message
+      batch.push_back(std::move(*m2));
+    }
+    // The injection happens inside `target`'s segment; tag its events so.
+    obs::set_current_shard(target);
+    (void)router.handle_access_requests(batch, now);
+    obs::set_current_shard(0);
+  }
+
+  /// Chaos injection: a mole's credential is revoked, the fresh URL is
+  /// installed at `target`, and the mole then attempts `n` valid-signature
+  /// handshakes — each one a revocation_hit at the scanning router.
+  void revoked_burst(ShardId target, std::size_t n) {
+    proto::User mole("mole", no.params(),
+                     crypto::Drbg::from_string(cfg.seed + "/mole"),
+                     city_protocol_config());
+    const auto credential = gm.enroll("mole", ttp);
+    mole.complete_enrollment(credential);
+    no.revoke_user_key(credential.index, metro.now());
+    MeshNetwork& net = metro.shard(target).net();
+    net.push_revocation_lists(no.current_crl(), no.current_url());
+    proto::MeshRouter& router = net.router(net.router_ids().front());
+    const auto now = static_cast<proto::Timestamp>(
+        metro.shard(target).sim().now());
+    const proto::BeaconMessage beacon = router.make_beacon(now);
+    std::vector<proto::AccessRequest> batch;
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto m2 = mole.process_beacon(beacon, now);
+      if (m2.has_value()) batch.push_back(std::move(*m2));
+    }
+    obs::set_current_shard(target);
+    (void)router.handle_access_requests(batch, now);
+    obs::set_current_shard(0);
+  }
+
   /// One rolling revocation wave: a key is revoked and the operator
   /// announces the delta to every segment over its lossy radio (announced
   /// twice — the second copy usually heals a lost first one; stragglers
@@ -223,6 +285,7 @@ struct City {
 MetroCityReport run_metro_city(const MetroCityConfig& config) {
   const auto wall_start = std::chrono::steady_clock::now();
   City city(config);
+  if (config.health != nullptr) city.metro.set_health_monitor(config.health);
   const SimTime day = config.day_ms;
   const auto frac = [day](double f) {
     return static_cast<SimTime>(static_cast<double>(day) * f);
@@ -279,6 +342,19 @@ MetroCityReport run_metro_city(const MetroCityConfig& config) {
       });
     }});
     timeline.push_back({frac(0.55), [&] { city.cohort_probes(); }});
+  }
+
+  // Chaos injections: forged batch at the stadium during the flash crowd,
+  // the revoked mole at downtown shortly after.
+  if (config.forgery_burst && config.shards > 0) {
+    timeline.push_back({frac(0.50), [&] {
+      city.forgery_burst(stadium, config.forgery_burst_size);
+    }});
+  }
+  if (config.revoked_burst && config.shards > 0) {
+    timeline.push_back({frac(0.62), [&] {
+      city.revoked_burst(downtown, config.revoked_burst_size);
+    }});
   }
 
   // Rolling revocation waves across the day.
@@ -351,6 +427,8 @@ MetroCityReport run_metro_city(const MetroCityConfig& config) {
           : 0;
   report.revocation_waves = city.waves_pushed;
   report.url_version = url_version;
+  if (config.health != nullptr)
+    report.health_alerts = config.health->alerts_total();
   report.metro = city.metro.stats();
   report.net = city.metro.network_stats_total();
   for (const SyntheticSegment& seg : city.synthetic) {

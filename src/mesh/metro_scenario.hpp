@@ -27,6 +27,10 @@
 #include "mesh/metro.hpp"
 #include "peace/entities.hpp"
 
+namespace peace::obs {
+class HealthMonitor;
+}
+
 namespace peace::mesh {
 
 struct MetroCityConfig {
@@ -47,6 +51,20 @@ struct MetroCityConfig {
   SimTime synthetic_step_ms = 60'000;
   /// Radio loss for every segment.
   double loss_probability = 0.02;
+  /// Online anomaly detection: when non-null, attached to the metro driver
+  /// for the whole day (drained + ticked at every barrier). Observer only.
+  obs::HealthMonitor* health = nullptr;
+  /// Chaos injection: a midday burst of forged M.2s (valid-looking group
+  /// signatures broken post-signing) slammed at the stadium shard's router
+  /// in one batch — exercising batch bisection attribution and the
+  /// forgery_spike detector.
+  bool forgery_burst = false;
+  std::size_t forgery_burst_size = 48;
+  /// Chaos injection: a revoked credential ("the mole") replays valid
+  /// handshakes at downtown after its key lands on the URL — exercising
+  /// revocation scanning and the revocation_storm detector.
+  bool revoked_burst = false;
+  std::size_t revoked_burst_size = 24;
 };
 
 /// Synthetic-population counters (per shard, summed for the report).
@@ -72,6 +90,7 @@ struct MetroCityReport {
   double users_sim_seconds_per_wall_second = 0;
   unsigned revocation_waves = 0;
   std::uint64_t url_version = 0;     // max URL version any shard reached
+  std::uint64_t health_alerts = 0;   // HealthMonitor firings (0 = detached)
   MetroStats metro;
   NetworkStats net;
   SyntheticStats synthetic;

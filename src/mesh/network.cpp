@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "crypto/aead.hpp"
+#include "obs/sec_event.hpp"
 #include "obs/trace.hpp"
 #include "peace/metrics_export.hpp"
 
@@ -215,6 +216,8 @@ void MeshNetwork::announce_rl_deltas(const proto::RLDeltaAnnounce& announce,
     const auto requests = router(head).handle_rl_announce(
         proto::RLDeltaAnnounce::from_bytes(wire));
     for (const proto::RLResyncRequest& req : requests) {
+      obs::sec_emit(obs::SecEventKind::kRlResync, sim_.now(), head,
+                    static_cast<std::uint64_t>(req.kind));
       const Bytes req_wire = req.to_bytes();
       observe("rl-resync-req", req_wire);
       if (!radio_delivers()) {
@@ -428,6 +431,8 @@ void MeshNetwork::on_m2_timeout(NodeId user_node, std::uint64_t generation) {
   const unsigned budget = retransmit ? reliability_.retry_budget : 0;
   if (unode.attempt->tries > budget) {
     ++stats_.handshake_timeouts;
+    obs::sec_emit(obs::SecEventKind::kHandshakeTimeout, sim_.now(), user_node,
+                  unode.attempt->router_node);
     obs::Tracer::global().instant_at("mesh.handshake_timeout", "reliability",
                                      sim_us(sim_.now()),
                                      {{"user", user_node}});
@@ -580,6 +585,7 @@ void MeshNetwork::on_peer_timeout(NodeId from, NodeId to,
       reliability_.handshake_retransmit ? reliability_.retry_budget : 0;
   if (it->second.tries > budget) {
     ++stats_.handshake_timeouts;
+    obs::sec_emit(obs::SecEventKind::kHandshakeTimeout, sim_.now(), from, to);
     obs::Tracer::global().instant_at("mesh.handshake_timeout", "reliability",
                                      sim_us(sim_.now()), {{"user", from}});
     // Only the initiator's "peer1" attempt owns the handshake span — the
@@ -684,6 +690,7 @@ void MeshNetwork::start_rekey(NodeId user_id) {
   UserNode& node = users_.at(user_id);
   if (!node.uplink.has_value() || node.rekey_pending) return;
   ++stats_.rekeys;
+  obs::sec_emit(obs::SecEventKind::kSessionRekey, sim_.now(), user_id);
   obs::Tracer::global().instant_at("mesh.rekey", "reliability",
                                    sim_us(sim_.now()), {{"user", user_id}});
   node.rekey_pending = true;
@@ -1072,6 +1079,10 @@ void MeshNetwork::publish_metrics() const {
   if (revocation_ != nullptr)
     proto::absorb_revocation_stats(revocation_->stats());
   absorb_network_stats(stats_, sim_.events_processed());
+  // Flush any buffered security events to the trace sink alongside the
+  // counter snapshot (single-network drivers; the metro barrier drains for
+  // sharded runs).
+  obs::drain_sec_events();
 }
 
 }  // namespace peace::mesh

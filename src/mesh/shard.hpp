@@ -36,6 +36,7 @@
 #include "mesh/arena.hpp"
 #include "mesh/network.hpp"
 #include "mesh/simulator.hpp"
+#include "obs/sec_event.hpp"
 
 namespace peace::mesh {
 
@@ -129,6 +130,8 @@ class Shard {
   bool enqueue(CrossShardMsg msg) {
     if (inbox_.size() >= config_.inbox_cap) {
       ++stats_.inbox_dropped;
+      obs::sec_emit_for_shard(obs::SecEventKind::kInboxShed, id_, sim_.now(),
+                              id_, inbox_.size());
       return false;
     }
     inbox_.push_back(std::move(msg));
@@ -138,7 +141,11 @@ class Shard {
   bool inbox_full() const { return inbox_.size() >= config_.inbox_cap; }
   /// Counts an overflow drop without consuming anything (the metro layer
   /// checks inbox_full() first for messages it would rather park than lose).
-  void count_inbox_drop() { ++stats_.inbox_dropped; }
+  void count_inbox_drop() {
+    ++stats_.inbox_dropped;
+    obs::sec_emit_for_shard(obs::SecEventKind::kInboxShed, id_, sim_.now(),
+                            id_, inbox_.size());
+  }
 
   std::vector<CrossShardMsg> take_outbox() {
     std::vector<CrossShardMsg> out = std::move(outbox_);

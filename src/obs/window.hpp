@@ -1,0 +1,184 @@
+// Sliding-window aggregation over the security-event stream
+// (docs/OBSERVABILITY.md §4.2): per-(shard, event-kind) rings of per-tick
+// buckets giving a recent-window count/rate plus a per-bucket EWMA of the
+// history BEFORE the window — the baseline the HealthMonitor's deviation
+// rules compare spikes against.
+//
+// Buckets are addressed by ABSOLUTE index (sim_ms / bucket_ms) and stored
+// in a fixed ring of `buckets` slots; a slot holding a stale index is
+// overwritten on the next write and ignored by reads. Because every slot
+// carries its absolute index, merging two WindowStats is a bucket-wise sum
+// of matching indices — commutative and associative, so merge order cannot
+// change a count (WindowStatsTest.MergeOrderIndependence), exactly like
+// the PR 7 stats merges. The EWMA is a local derivation (folded on
+// roll_to) and is not merged.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "obs/sec_event.hpp"
+
+namespace peace::obs {
+
+struct WindowOptions {
+  /// Bucket width. The window covers `buckets` consecutive buckets.
+  std::uint64_t bucket_ms = 5'000;
+  std::size_t buckets = 12;  // 12 × 5 s = one minute of window
+  /// Per-closed-bucket EWMA fold weight: ewma = α·count + (1−α)·ewma.
+  double ewma_alpha = 0.3;
+};
+
+class WindowStats {
+ public:
+  explicit WindowStats(WindowOptions options = {}) : options_(options) {
+    if (options_.buckets == 0) options_.buckets = 1;
+    if (options_.bucket_ms == 0) options_.bucket_ms = 1;
+  }
+
+  const WindowOptions& options() const { return options_; }
+  std::uint64_t window_ms() const {
+    return options_.bucket_ms * options_.buckets;
+  }
+
+  /// Adds `n` events at `sim_ms` for (shard, kind).
+  void add(std::uint32_t shard, SecEventKind kind, std::uint64_t sim_ms,
+           std::uint64_t n = 1) {
+    const std::uint64_t idx = sim_ms / options_.bucket_ms;
+    last_idx_ = std::max(last_idx_, idx);
+    Bucket& slot = ring_for(shard, kind).slot(idx, options_.buckets);
+    if (slot.idx != idx) {
+      slot.idx = idx;
+      slot.count = 0;
+    }
+    slot.count += n;
+  }
+
+  /// Advances every EWMA to the bucket containing `sim_ms`: each CLOSED
+  /// bucket since the last roll folds in (zero-count gaps included), so the
+  /// EWMA always lags the current bucket — a spike is compared against the
+  /// baseline that existed before it.
+  void roll_to(std::uint64_t sim_ms) {
+    const std::uint64_t cur = sim_ms / options_.bucket_ms;
+    last_idx_ = std::max(last_idx_, cur);
+    for (auto& [shard, kinds] : shards_)
+      for (KindRing& ring : kinds) fold(ring, cur);
+  }
+
+  /// Events for (shard, kind) inside the trailing window (the `buckets`
+  /// buckets ending at the most recent bucket seen by add/roll_to).
+  std::uint64_t window_count(std::uint32_t shard, SecEventKind kind) const {
+    const KindRing* ring = find_ring(shard, kind);
+    if (ring == nullptr) return 0;
+    const std::uint64_t floor =
+        last_idx_ + 1 >= options_.buckets ? last_idx_ + 1 - options_.buckets
+                                          : 0;
+    std::uint64_t total = 0;
+    for (const Bucket& b : ring->ring)
+      if (b.count > 0 && b.idx >= floor && b.idx <= last_idx_)
+        total += b.count;
+    return total;
+  }
+
+  /// window_count expressed as events per second.
+  double rate_per_s(std::uint32_t shard, SecEventKind kind) const {
+    return static_cast<double>(window_count(shard, kind)) /
+           (static_cast<double>(window_ms()) / 1000.0);
+  }
+
+  /// Per-bucket EWMA baseline (as of the last roll_to; excludes the
+  /// current, still-open bucket).
+  double ewma(std::uint32_t shard, SecEventKind kind) const {
+    const KindRing* ring = find_ring(shard, kind);
+    return ring == nullptr ? 0.0 : ring->ewma;
+  }
+
+  /// Shards that have recorded at least one event, in id order.
+  std::vector<std::uint32_t> shards() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(shards_.size());
+    for (const auto& [shard, kinds] : shards_) out.push_back(shard);
+    return out;
+  }
+
+  /// Bucket-wise sum of `other` into this (matching absolute indices; a
+  /// newer index replaces a stale slot). Commutative over counts, so any
+  /// merge order yields the same window_count. Requires equal options.
+  void merge(const WindowStats& other) {
+    for (const auto& [shard, kinds] : other.shards_) {
+      for (std::size_t k = 0; k < kSecEventKindCount; ++k) {
+        for (const Bucket& b : kinds[k].ring) {
+          if (b.count == 0) continue;
+          Bucket& slot = ring_for(shard, static_cast<SecEventKind>(k))
+                             .slot(b.idx, options_.buckets);
+          if (slot.idx == b.idx) {
+            slot.count += b.count;
+          } else if (slot.idx == kNoBucket || slot.idx < b.idx) {
+            slot = b;
+          }
+        }
+      }
+    }
+    last_idx_ = std::max(last_idx_, other.last_idx_);
+  }
+
+ private:
+  struct Bucket {
+    std::uint64_t idx = ~std::uint64_t{0};
+    std::uint64_t count = 0;
+  };
+  static constexpr std::uint64_t kNoBucket = ~std::uint64_t{0};
+
+  struct KindRing {
+    std::vector<Bucket> ring;
+    double ewma = 0.0;
+    std::uint64_t folded_to = 0;  // buckets with idx < folded_to are folded
+
+    Bucket& slot(std::uint64_t idx, std::size_t buckets) {
+      if (ring.empty()) ring.resize(buckets);
+      return ring[idx % buckets];
+    }
+  };
+
+  KindRing& ring_for(std::uint32_t shard, SecEventKind kind) {
+    return shards_[shard][static_cast<std::size_t>(kind)];
+  }
+
+  const KindRing* find_ring(std::uint32_t shard, SecEventKind kind) const {
+    const auto it = shards_.find(shard);
+    if (it == shards_.end()) return nullptr;
+    return &it->second[static_cast<std::size_t>(kind)];
+  }
+
+  void fold(KindRing& ring, std::uint64_t cur) const {
+    if (cur <= ring.folded_to) return;
+    std::uint64_t gap = cur - ring.folded_to;
+    // A long idle gap folds as zeros: decay the excess beyond the ring's
+    // reach in one closed form, then walk the last `buckets` explicitly.
+    if (gap > options_.buckets) {
+      ring.ewma *= std::pow(1.0 - options_.ewma_alpha,
+                            static_cast<double>(gap - options_.buckets));
+      ring.folded_to = cur - options_.buckets;
+      gap = options_.buckets;
+    }
+    for (std::uint64_t b = ring.folded_to; b < cur; ++b) {
+      double count = 0.0;
+      if (!ring.ring.empty()) {
+        const Bucket& slot = ring.ring[b % options_.buckets];
+        if (slot.idx == b) count = static_cast<double>(slot.count);
+      }
+      ring.ewma = options_.ewma_alpha * count +
+                  (1.0 - options_.ewma_alpha) * ring.ewma;
+    }
+    ring.folded_to = cur;
+  }
+
+  WindowOptions options_;
+  std::map<std::uint32_t, std::array<KindRing, kSecEventKindCount>> shards_;
+  std::uint64_t last_idx_ = 0;
+};
+
+}  // namespace peace::obs

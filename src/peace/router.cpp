@@ -3,6 +3,7 @@
 #include "common/serde.hpp"
 #include "crypto/sha256.hpp"
 #include "curve/hash_to_curve.hpp"
+#include "obs/sec_event.hpp"
 #include "obs/trace.hpp"
 #include "peace/url_scan.hpp"
 
@@ -19,6 +20,18 @@ namespace {
 std::string wire_key(const Bytes& wire) {
   return to_hex(crypto::Sha256::hash(wire));
 }
+
+// SecEvent auth_reject detail codes (docs/OBSERVABILITY.md §4.1). The
+// emissions are observers riding the existing rejection counters: every
+// one happens in a sequential pass, so per-kind counts are identical
+// between pooled and sequential verification.
+constexpr std::uint64_t kRejectUnknownBeacon = 1;
+constexpr std::uint64_t kRejectStale = 2;
+constexpr std::uint64_t kRejectPuzzle = 3;
+constexpr std::uint64_t kRejectBadSignature = 4;
+// replay_detected detail codes: where in the pipeline the cache hit.
+constexpr std::uint64_t kReplayPrecheck = 1;
+constexpr std::uint64_t kReplayInBatch = 2;
 
 }  // namespace
 
@@ -146,6 +159,9 @@ struct MeshRouter::PendingVerify {
   /// performed when it was not.
   bool deferred = false;
   bool sig_ok = false;
+  /// Rejected by the pooled batch check and pinpointed by bisection — the
+  /// attribution behind the batch_forgery_attributed event.
+  bool batch_attributed = false;
   bool revoked = false;
   groupsig::OpCounters ops;
 };
@@ -196,12 +212,15 @@ MeshRouter::handle_access_requests(std::span<const AccessRequest> batch,
     }
     if (beacon == nullptr) {
       ++stats_.rejected_unknown_beacon;
+      obs::sec_emit(obs::SecEventKind::kAuthReject, now, id_,
+                    kRejectUnknownBeacon);
       continue;
     }
     // ...and carry a fresh timestamp.
     const Timestamp age = now >= m2.ts2 ? now - m2.ts2 : m2.ts2 - now;
     if (age > config_.replay_window_ms) {
       ++stats_.rejected_stale;
+      obs::sec_emit(obs::SecEventKind::kAuthReject, now, id_, kRejectStale);
       continue;
     }
     // Replay cache on the session identifier.
@@ -213,6 +232,8 @@ MeshRouter::handle_access_requests(std::span<const AccessRequest> batch,
         continue;
       }
       ++stats_.rejected_replay;
+      obs::sec_emit(obs::SecEventKind::kReplayDetected, now, id_,
+                    kReplayPrecheck);
       continue;
     }
 
@@ -225,6 +246,7 @@ MeshRouter::handle_access_requests(std::span<const AccessRequest> batch,
               *m2.puzzle_solution, g1_to_bytes(m2.g_rj)) ||
           !ct_equal(m2.puzzle_solution->server_nonce, puzzle_nonce_)) {
         ++stats_.rejected_puzzle;
+        obs::sec_emit(obs::SecEventKind::kAuthReject, now, id_, kRejectPuzzle);
         continue;
       }
     }
@@ -324,6 +346,7 @@ MeshRouter::handle_access_requests(std::span<const AccessRequest> batch,
     rev_jobs.reserve(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       jobs[i]->sig_ok = static_cast<bool>(ok[i]);
+      jobs[i]->batch_attributed = !jobs[i]->sig_ok;
       if (jobs[i]->sig_ok) rev_jobs.push_back(jobs[i]);
     }
     // A single surviving scan job leaves the pool idle on this (sequential)
@@ -356,6 +379,8 @@ MeshRouter::handle_access_requests(std::span<const AccessRequest> batch,
         continue;
       }
       ++stats_.rejected_replay;
+      obs::sec_emit(obs::SecEventKind::kReplayDetected, now, id_,
+                    kReplayInBatch);
       continue;
     }
     // Earlier same-sid entry was rejected: verify now (sequential context,
@@ -365,10 +390,17 @@ MeshRouter::handle_access_requests(std::span<const AccessRequest> batch,
     verify_ops_.merge(pv.ops);
     if (!pv.sig_ok) {
       ++stats_.rejected_bad_signature;
+      obs::sec_emit(obs::SecEventKind::kAuthReject, now, id_,
+                    kRejectBadSignature);
+      if (pv.batch_attributed)
+        obs::sec_emit(obs::SecEventKind::kBatchForgeryAttributed, now, id_,
+                      pv.index);
       continue;
     }
     if (pv.revoked) {
       ++stats_.rejected_revoked;
+      obs::sec_emit(obs::SecEventKind::kRevocationHit, now, id_,
+                    pv.m2->signature.epoch);
       continue;
     }
     results[pv.index] = accept_request(*pv.m2, *pv.beacon, pv.sid, pv.sid_hex);

@@ -5,6 +5,7 @@
 // state bounded and the pooled verifier bit-identical to the sequential
 // one. Everything is driven by seeded DRBGs: same seed, same run.
 #include "mesh/network.hpp"
+#include "obs/health.hpp"
 #include "obs/trace.hpp"
 
 #include <gtest/gtest.h>
@@ -282,11 +283,24 @@ TEST_F(ChaosTest, ExplicitRekeyAndSeqExhaustionRecovery) {
 }
 
 TEST_F(ChaosTest, DeterministicUnderSameSeed) {
-  auto run = [](const std::string& seed) {
+  auto run = [](const std::string& seed, obs::HealthMonitor* monitor = nullptr) {
     ChaosWorld w(seed);
     w.net.set_fault_plan(burst_loss_plan());
     w.net.start_beaconing(100, 1000, 20'000);
-    w.sim.run_until(30'000);
+    if (monitor != nullptr) {
+      // Drive the monitor the way the metro barrier loop does: run in
+      // chunks, drain the security-event stream into it, evaluate. The
+      // monitor is a pure consumer, so arming it must not perturb the run.
+      for (SimTime t = 1000; t <= 30'000; t += 1000) {
+        w.sim.run_until(t);
+        std::vector<obs::SecEvent> drained;
+        obs::drain_sec_events(&drained);
+        for (const obs::SecEvent& e : drained) monitor->ingest(e);
+        monitor->tick(t);
+      }
+    } else {
+      w.sim.run_until(30'000);
+    }
     for (const NodeId u : w.users) (void)w.net.send_data(u, as_bytes("d"));
     return w.net.stats();
   };
@@ -311,6 +325,27 @@ TEST_F(ChaosTest, DeterministicUnderSameSeed) {
   EXPECT_EQ(a.handshake_timeouts, c.handshake_timeouts);
   EXPECT_EQ(a.data_delivered, c.data_delivered);
   EXPECT_EQ(a.corrupted_rejected, c.corrupted_rejected);
+
+  // And again with a HealthMonitor armed on the security-event stream:
+  // live anomaly detection over the same chaotic run changes nothing.
+  obs::enable(true);
+  obs::HealthMonitor monitor;
+  const NetworkStats d = run("chaos-det", &monitor);
+  obs::enable(false);
+  obs::Tracer::global().clear();
+  EXPECT_EQ(a.frames_transmitted, d.frames_transmitted);
+  EXPECT_EQ(a.frames_lost, d.frames_lost);
+  EXPECT_EQ(a.retransmissions, d.retransmissions);
+  EXPECT_EQ(a.handshake_timeouts, d.handshake_timeouts);
+  EXPECT_EQ(a.data_delivered, d.data_delivered);
+  EXPECT_EQ(a.corrupted_rejected, d.corrupted_rejected);
+#ifndef PEACE_OBS_DISABLED
+  // Bursty loss forces handshake retries; each timeout rides the stream
+  // and must have reached the monitor.
+  if (a.handshake_timeouts > 0) {
+    EXPECT_GT(monitor.events_ingested(), 0u);
+  }
+#endif
 }
 
 TEST_F(ChaosTest, PooledVerifierMatchesSequentialUnderFaults) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "mesh/network.hpp"
+#include "obs/health.hpp"
 #include "obs/trace.hpp"
 
 namespace peace::mesh {
@@ -19,7 +20,8 @@ struct RunResult {
   Bytes first_m2;
 };
 
-RunResult run_scenario(const std::string& seed) {
+RunResult run_scenario(const std::string& seed,
+                       obs::HealthMonitor* monitor = nullptr) {
   proto::NetworkOperator no(crypto::Drbg::from_string(seed + "-no"));
   proto::TrustedThirdParty ttp;
   proto::GroupManager gm = no.register_group("G", 8, ttp);
@@ -42,7 +44,21 @@ RunResult run_scenario(const std::string& seed) {
       result.first_m2 = obs.payload;
   });
   net.start_beaconing(100, 500, 3000);
-  sim.run_until(5000);
+  if (monitor != nullptr) {
+    // Armed anomaly detection: drain + ingest + evaluate every 500 ms, the
+    // way the metro barrier loop drives it. Chunked run_until is
+    // bit-identical to one call, and the monitor is a pure consumer of
+    // drained events — so arming it must change nothing.
+    for (SimTime t = 500; t <= 5000; t += 500) {
+      sim.run_until(t);
+      std::vector<obs::SecEvent> drained;
+      obs::drain_sec_events(&drained);
+      for (const obs::SecEvent& e : drained) monitor->ingest(e);
+      monitor->tick(t);
+    }
+  } else {
+    sim.run_until(5000);
+  }
   for (const NodeId id : net.user_ids())
     if (net.is_connected(id)) ++result.connected;
   result.frames = net.stats().frames_transmitted;
@@ -81,6 +97,11 @@ TEST_F(DeterminismTest, TelemetryIsNeutral) {
   const RunResult off = run_scenario("det-obs-seed");
   obs::enable(true);
   const RunResult on = run_scenario("det-obs-seed");
+  // Same run again with a HealthMonitor armed: the security-event stream
+  // drains into live windowed detectors between simulation chunks. Still
+  // an observer — every deterministic outcome must stay bit-identical.
+  obs::HealthMonitor monitor;
+  const RunResult armed = run_scenario("det-obs-seed", &monitor);
   obs::enable(false);
   obs::Tracer::global().clear();
   EXPECT_EQ(off.connected, on.connected);
@@ -90,6 +111,10 @@ TEST_F(DeterminismTest, TelemetryIsNeutral) {
   // no protocol state.
   EXPECT_EQ(off.first_m2, on.first_m2);
   EXPECT_FALSE(off.first_m2.empty());
+  EXPECT_EQ(off.connected, armed.connected);
+  EXPECT_EQ(off.frames, armed.frames);
+  EXPECT_EQ(off.events, armed.events);
+  EXPECT_EQ(off.first_m2, armed.first_m2);
 }
 
 TEST_F(DeterminismTest, GroupSignatureDeterministicGivenRng) {

@@ -10,6 +10,7 @@
 #include "curve/bn254.hpp"
 #include "curve/pairing.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sec_event.hpp"
 #include "obs/trace.hpp"
 #include "peace/entities.hpp"
 #include "peace/metrics_export.hpp"
@@ -346,6 +347,193 @@ TEST_F(ObsTest, PooledAndSequentialCountersMatch) {
   const auto pooled = run(4);
   EXPECT_EQ(std::get<0>(seq), 3u);
   EXPECT_EQ(seq, pooled);
+}
+
+#ifndef PEACE_OBS_DISABLED
+
+TEST_F(ObsTest, SecEventStreamBoundedUnderBurst) {
+  // Bounded-memory contract (sec_event.hpp): a sustained burst beyond the
+  // ring capacity sheds the overflow into sec.events_shed instead of
+  // growing; the always-on per-kind counter still counts every emission.
+  obs::enable(true);
+  obs::drain_sec_events();  // start from an empty ring
+  const std::uint64_t count_before =
+      obs::sec_event_count(obs::SecEventKind::kAuthReject);
+  const std::uint64_t shed_before = obs::sec_events_shed();
+
+  const std::size_t burst = obs::kSecRingCapacity + 300;
+  for (std::size_t i = 0; i < burst; ++i)
+    obs::sec_emit(obs::SecEventKind::kAuthReject, 1000 + i, 1, 2);
+
+  EXPECT_EQ(obs::sec_event_count(obs::SecEventKind::kAuthReject),
+            count_before + burst);
+  EXPECT_EQ(obs::sec_events_shed(), shed_before + 300);
+
+  std::vector<obs::SecEvent> drained;
+  obs::drain_sec_events(&drained);
+  EXPECT_EQ(drained.size(), obs::kSecRingCapacity);
+  // Shed-newest: the ring keeps the oldest events of the burst.
+  ASSERT_FALSE(drained.empty());
+  EXPECT_EQ(drained.front().sim_ms, 1000u);
+  EXPECT_EQ(drained.back().sim_ms, 1000u + obs::kSecRingCapacity - 1);
+}
+
+TEST_F(ObsTest, SecEventsIgnoredWhenRuntimeDisabled) {
+  // Runtime toggle off: the per-kind counter still counts (always-on
+  // substrate), but no record reaches the ring — drain finds nothing.
+  obs::enable(true);
+  obs::drain_sec_events();
+  obs::enable(false);
+  const std::uint64_t before =
+      obs::sec_event_count(obs::SecEventKind::kSessionRekey);
+  obs::sec_emit(obs::SecEventKind::kSessionRekey, 5000, 9);
+  EXPECT_EQ(obs::sec_event_count(obs::SecEventKind::kSessionRekey),
+            before + 1);
+  obs::enable(true);
+  std::vector<obs::SecEvent> drained;
+  obs::drain_sec_events(&drained);
+  EXPECT_TRUE(drained.empty());
+}
+
+TEST_F(ObsTest, StreamRotationNeverSplitsSecEventLines) {
+  // Satellite: security events drain through the same rotating JSONL sink
+  // as every trace record. Rotation mid-burst must never split a line
+  // across segment files, and every line must be standalone-parseable.
+  obs::enable(true);
+  obs::drain_sec_events();  // don't let earlier tests' events leak in
+  obs::Tracer& tracer = obs::Tracer::global();
+  const std::string path =
+      ::testing::TempDir() + "peace_sec_rotate_test.jsonl";
+  obs::StreamSinkOptions options;
+  options.flush_bytes = 64;
+  options.rotate_bytes = 512;  // rotate mid-burst, repeatedly
+  ASSERT_TRUE(tracer.stream_to(path, options));
+  for (int i = 0; i < 64; ++i)
+    obs::sec_emit(obs::SecEventKind::kReplayDetected, 2000 + i, 3, 1);
+  obs::drain_sec_events();
+  const std::uint64_t streamed = tracer.streamed_event_count();
+  ASSERT_TRUE(tracer.stop_streaming());
+  EXPECT_GE(streamed, 64u);
+
+  std::size_t total_lines = 0, sec_lines = 0;
+  bool any_rotated = false;
+  for (std::uint64_t n = 1;; ++n) {
+    const std::string file = path + "." + std::to_string(n);
+    std::FILE* probe = std::fopen(file.c_str(), "rb");
+    if (probe == nullptr) break;
+    std::fclose(probe);
+    any_rotated = true;
+  }
+  EXPECT_TRUE(any_rotated);
+  std::vector<std::string> files;
+  for (std::uint64_t n = 1;; ++n) {
+    const std::string file = path + "." + std::to_string(n);
+    std::FILE* probe = std::fopen(file.c_str(), "rb");
+    if (probe == nullptr) break;
+    std::fclose(probe);
+    files.push_back(file);
+  }
+  files.push_back(path);
+  for (const std::string& file : files) {
+    std::FILE* f = std::fopen(file.c_str(), "rb");
+    ASSERT_NE(f, nullptr) << file;
+    std::string content(1 << 16, '\0');
+    content.resize(std::fread(content.data(), 1, content.size(), f));
+    std::fclose(f);
+    if (!content.empty()) EXPECT_EQ(content.back(), '\n') << file;
+    // Whole lines only: each is one complete {...} JSON object.
+    std::size_t start = 0;
+    while (start < content.size()) {
+      const std::size_t nl = content.find('\n', start);
+      ASSERT_NE(nl, std::string::npos) << file << ": trailing partial line";
+      const std::string line = content.substr(start, nl - start);
+      EXPECT_EQ(line.front(), '{') << file;
+      EXPECT_EQ(line.back(), '}') << file;
+      ++total_lines;
+      if (line.find("\"cat\": \"sec\"") != std::string::npos) ++sec_lines;
+      start = nl + 1;
+    }
+    std::remove(file.c_str());
+  }
+  EXPECT_EQ(total_lines, streamed);
+  EXPECT_EQ(sec_lines, 64u);
+}
+
+#endif  // PEACE_OBS_DISABLED
+
+TEST_F(ObsTest, PooledAndSequentialSecEventCountsMatch) {
+  // The event-count half of telemetry neutrality: one mixed M.2 batch —
+  // good, forged, revoked, stale — produces identical per-kind sec.*
+  // counter deltas whether the router verifies sequentially or on a
+  // 4-thread pool, because emissions happen only in the sequential
+  // precheck/apply passes.
+  constexpr proto::Timestamp kFarFuture = 1000ull * 86400 * 365;
+  proto::NetworkOperator no(crypto::Drbg::from_string("sec-pool-no"));
+  proto::TrustedThirdParty ttp;
+  proto::GroupManager gm = no.register_group("sec-pool-g", 8, ttp);
+  const auto revoked_cred = gm.enroll("sec-mole", ttp);
+  no.revoke_user_key(revoked_cred.index, 500);
+
+  std::map<std::string, proto::GroupManager::Enrollment> enrollments;
+  enrollments.emplace("sec-mole", revoked_cred);
+  const auto make_user = [&](const std::string& uid) {
+    auto user = std::make_unique<proto::User>(
+        uid, no.params(), crypto::Drbg::from_string(uid));
+    if (enrollments.find(uid) == enrollments.end())
+      enrollments.emplace(uid, gm.enroll(uid, ttp));
+    user->complete_enrollment(enrollments.at(uid));
+    return user;
+  };
+
+  const auto run = [&](unsigned threads) {
+    proto::ProtocolConfig config;
+    config.verify_threads = threads;
+    const auto provision = no.provision_router(1, kFarFuture);
+    proto::MeshRouter router(1, provision.keypair, provision.certificate,
+                             no.params(),
+                             crypto::Drbg::from_string("sec-pool-router"),
+                             config);
+    router.install_revocation_lists(no.current_crl(), no.current_url());
+    const proto::BeaconMessage beacon = router.make_beacon(1000);
+
+    std::vector<proto::AccessRequest> batch;
+    for (int i = 0; i < 2; ++i) {
+      auto good = make_user("sec-good" + std::to_string(i));
+      batch.push_back(*good->process_beacon(beacon, 1000));
+    }
+    auto forger = make_user("sec-forger");
+    for (int i = 0; i < 2; ++i) {
+      auto m2 = *forger->process_beacon(beacon, 1000);
+      m2.ts2 += 1;  // signature no longer covers the message
+      batch.push_back(std::move(m2));
+    }
+    auto mole = make_user("sec-mole");
+    batch.push_back(*mole->process_beacon(beacon, 1000));
+    auto late = make_user("sec-late");
+    batch.push_back(*late->process_beacon(beacon, 1000));
+    // Far outside replay_window_ms: pass 1 rejects on freshness before any
+    // signature work, so this never reaches the batch verifier.
+    batch.back().ts2 = 20'000;
+
+    std::array<std::uint64_t, obs::kSecEventKindCount> before{};
+    for (std::size_t k = 0; k < obs::kSecEventKindCount; ++k)
+      before[k] = obs::sec_event_count(static_cast<obs::SecEventKind>(k));
+    (void)router.handle_access_requests(batch, 1010);
+    std::array<std::uint64_t, obs::kSecEventKindCount> delta{};
+    for (std::size_t k = 0; k < obs::kSecEventKindCount; ++k)
+      delta[k] = obs::sec_event_count(static_cast<obs::SecEventKind>(k)) -
+                 before[k];
+    return delta;
+  };
+
+  const auto seq = run(1);
+  const auto pooled = run(4);
+  EXPECT_EQ(seq, pooled);
+  using K = obs::SecEventKind;
+  EXPECT_EQ(seq[static_cast<std::size_t>(K::kAuthReject)], 3u);  // 2 forged
+                                                                 // + 1 stale
+  EXPECT_EQ(seq[static_cast<std::size_t>(K::kBatchForgeryAttributed)], 2u);
+  EXPECT_EQ(seq[static_cast<std::size_t>(K::kRevocationHit)], 1u);
 }
 
 }  // namespace

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Diff freshly-run Google Benchmark JSON against committed baselines.
+
+Usage:
+    tools/bench_compare.py --baseline-dir . --fresh-dir bench-out \
+        [--tolerance 0.25] [--warn-tolerance 0.10]
+
+Pairs every BENCH_*.json in --fresh-dir with the file of the same name in
+--baseline-dir and compares per-benchmark real_time (normalized to ns).
+Benchmarks present on only one side are reported but never fatal (the
+suite grows; baselines lag a PR behind).
+
+Two thresholds:
+
+  * --warn-tolerance (default 10%): slower-than-baseline beyond this
+    prints a warning line. Never fails the run — CI machines are noisy
+    neighbours and a warn-only diff is still a usable trend signal.
+  * --tolerance (default 25%): a HEADLINE benchmark (verify / sign /
+    revocation-scan costs, matched by name) slower by more than this is a
+    hard failure — the paper's core costs regressed beyond what machine
+    noise explains.
+
+Speedups are always fine (and reported). Exit status: 0 ok/warnings,
+1 headline regression, 2 usage/IO error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Substrings (matched case-insensitively against the benchmark name) that
+# mark the paper's headline costs: signing, verification (single and
+# batch), and revocation scanning. Only these can hard-fail the diff.
+HEADLINE_PATTERNS = (
+    "groupsign",
+    "groupverify",
+    "verifypoolbatch",
+    "batchverify",
+    "urlscan",
+    "revocationscan",
+    "scanrevoked",
+)
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """name -> real_time in ns for every non-aggregate benchmark entry."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        if "real_time" not in b:
+            continue
+        out[b["name"]] = b["real_time"] * UNIT_NS.get(b.get("time_unit"), 1.0)
+    return out
+
+
+def is_headline(name):
+    low = name.lower()
+    return any(p in low for p in HEADLINE_PATTERNS)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline-dir", required=True,
+                    help="directory holding the committed BENCH_*.json")
+    ap.add_argument("--fresh-dir", required=True,
+                    help="directory holding the just-produced BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="hard-fail threshold for headline benchmarks "
+                         "(fraction; default 0.25)")
+    ap.add_argument("--warn-tolerance", type=float, default=0.10,
+                    help="warn threshold for every benchmark "
+                         "(fraction; default 0.10)")
+    args = ap.parse_args()
+
+    fresh_files = sorted(glob.glob(os.path.join(args.fresh_dir,
+                                                "BENCH_*.json")))
+    if not fresh_files:
+        print(f"bench_compare: no BENCH_*.json under {args.fresh_dir}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    warnings = []
+    compared = 0
+    for fresh_path in fresh_files:
+        name = os.path.basename(fresh_path)
+        base_path = os.path.join(args.baseline_dir, name)
+        if not os.path.exists(base_path):
+            print(f"bench_compare: {name}: no committed baseline "
+                  "(new suite?) — skipped")
+            continue
+        try:
+            fresh = load_benchmarks(fresh_path)
+            base = load_benchmarks(base_path)
+        except (json.JSONDecodeError, OSError) as exc:
+            print(f"bench_compare: {name}: {exc}", file=sys.stderr)
+            return 2
+        for bench in sorted(base.keys() | fresh.keys()):
+            if bench not in fresh:
+                print(f"  {name}: {bench}: in baseline only — skipped")
+                continue
+            if bench not in base:
+                print(f"  {name}: {bench}: new benchmark — no baseline")
+                continue
+            compared += 1
+            b, f = base[bench], fresh[bench]
+            if b <= 0:
+                continue
+            delta = (f - b) / b
+            tag = "HEADLINE" if is_headline(bench) else "        "
+            line = (f"  {tag} {bench}: {b / 1e6:.3f} ms -> {f / 1e6:.3f} ms "
+                    f"({delta:+.1%})")
+            if is_headline(bench) and delta > args.tolerance:
+                failures.append(line)
+                print(line + "  ** REGRESSION **")
+            elif delta > args.warn_tolerance:
+                warnings.append(line)
+                print(line + "  (slower)")
+            else:
+                print(line)
+
+    print(f"bench_compare: {compared} benchmarks compared, "
+          f"{len(warnings)} warnings, {len(failures)} headline regressions")
+    if failures:
+        print("bench_compare: headline benchmarks regressed beyond "
+              f"{args.tolerance:.0%}:", file=sys.stderr)
+        for line in failures:
+            print(line, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

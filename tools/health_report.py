@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Summarize (and validate) the PEACE health/security-event artifacts.
+
+Usage:
+    tools/health_report.py HEALTH.json [--trace TRACE.jsonl ...] [--validate]
+
+HEALTH.json is the obs::HealthMonitor summary written by
+`metro_city --health=...` (schema "peace.health.v1"): window/evaluation
+options, per-shard window counts and alert totals, and the capped alert
+log. TRACE.jsonl paths (including rotated `.jsonl.N` segments) are the
+streamed traces from the same run; only their cat="sec"/"health" instants
+— the security-event stream of docs/OBSERVABILITY.md §4 — are read.
+
+Default mode prints a human summary: alerts by shard/kind/rule plus the
+per-kind event census when traces are given. With --validate it
+schema-checks everything (known event kinds, integer args, alert/event
+cross-consistency) and exits non-zero on any violation — the CI gate for
+the health artifact.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+HEALTH_SCHEMA = "peace.health.v1"
+
+# Mirrors obs::SecEventKind (sec_event.hpp); health_alert rides the same
+# stream under cat="health".
+EVENT_KINDS = (
+    "auth_reject",
+    "batch_forgery_attributed",
+    "replay_detected",
+    "revocation_hit",
+    "rl_resync",
+    "session_rekey",
+    "handshake_timeout",
+    "inbox_shed",
+    "health_alert",
+)
+
+ALERT_RULES = ("threshold", "ewma")
+
+
+def fail(msg):
+    print(f"health_report: VALIDATION FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_health(doc):
+    if doc.get("schema") != HEALTH_SCHEMA:
+        fail(f"health: schema must be {HEALTH_SCHEMA!r}")
+    for key in ("window_ms", "eval_every_ms", "cooldown_ms",
+                "events_ingested", "alerts", "alerts_dropped"):
+        if not isinstance(doc.get(key), int) or doc[key] < 0:
+            fail(f"health: {key!r} must be a non-negative integer")
+    if not isinstance(doc.get("shards"), list):
+        fail("health: missing 'shards' array")
+    for i, s in enumerate(doc["shards"]):
+        where = f"health shard #{i}"
+        if not isinstance(s.get("shard"), int):
+            fail(f"{where}: missing integer 'shard'")
+        if not isinstance(s.get("alerts"), int):
+            fail(f"{where}: missing integer 'alerts'")
+        if not isinstance(s.get("window"), dict):
+            fail(f"{where}: missing 'window' object")
+        for kind, n in s["window"].items():
+            if kind not in EVENT_KINDS:
+                fail(f"{where}: unknown event kind {kind!r}")
+            if not isinstance(n, int) or n < 0:
+                fail(f"{where}: window[{kind!r}] not a non-negative integer")
+    if not isinstance(doc.get("alert_log"), list):
+        fail("health: missing 'alert_log' array")
+    for i, a in enumerate(doc["alert_log"]):
+        where = f"alert #{i}"
+        for key in ("sim_ms", "shard", "window_count"):
+            if not isinstance(a.get(key), int):
+                fail(f"{where}: missing integer {key!r}")
+        if a.get("kind") not in EVENT_KINDS:
+            fail(f"{where}: unknown kind {a.get('kind')!r}")
+        if a.get("rule") not in ALERT_RULES:
+            fail(f"{where}: unknown rule {a.get('rule')!r}")
+        if not isinstance(a.get("label"), str) or not a["label"]:
+            fail(f"{where}: missing 'label'")
+    logged = len(doc["alert_log"])
+    if logged + doc["alerts_dropped"] != doc["alerts"]:
+        fail(f"health: alert_log has {logged} entries + {doc['alerts_dropped']} "
+             f"dropped, but 'alerts' says {doc['alerts']}")
+
+
+def load_sec_events(paths):
+    """cat="sec"/"health" instants from one or more JSONL trace segments."""
+    events = []
+    for path in paths:
+        with open(path) as f:
+            for lineno, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    e = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    fail(f"{path}:{lineno}: {exc}")
+                if e.get("cat") in ("sec", "health"):
+                    e["_where"] = f"{path}:{lineno}"
+                    events.append(e)
+    return events
+
+
+def validate_sec_events(events, health):
+    for e in events:
+        where = e["_where"]
+        if e.get("ph") != "i":
+            fail(f"{where}: security event with phase {e.get('ph')!r}")
+        if e.get("name") not in EVENT_KINDS:
+            fail(f"{where}: unknown event kind {e.get('name')!r}")
+        expect_cat = "health" if e["name"] == "health_alert" else "sec"
+        if e["cat"] != expect_cat:
+            fail(f"{where}: {e['name']} under cat {e['cat']!r}, "
+                 f"expected {expect_cat!r}")
+        args = e.get("args", {})
+        for key in ("shard", "origin", "detail"):
+            if not isinstance(args.get(key), int):
+                fail(f"{where}: missing integer arg {key!r}")
+    if health is not None:
+        # Every alert the monitor fired rides the stream as a health_alert
+        # instant; ring shedding can only lose records, never invent them.
+        streamed = sum(1 for e in events if e["name"] == "health_alert")
+        if streamed > health["alerts"]:
+            fail(f"trace has {streamed} health_alert events but the health "
+                 f"summary fired only {health['alerts']}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("health", help="HealthMonitor summary JSON "
+                                   "(metro_city --health output)")
+    ap.add_argument("--trace", action="append", default=[],
+                    help="streamed JSONL trace (repeatable; rotated "
+                         ".jsonl.N segments welcome)")
+    ap.add_argument("--validate", action="store_true",
+                    help="schema-check the files; non-zero exit on violation")
+    args = ap.parse_args()
+
+    with open(args.health) as f:
+        health = json.load(f)
+    events = load_sec_events(args.trace)
+
+    if args.validate:
+        validate_health(health)
+        validate_sec_events(events, health)
+        print("health_report: validation ok")
+
+    w_s = health["window_ms"] / 1000
+    print(f"== health ({health['events_ingested']} events ingested, "
+          f"{w_s:.0f} s window, {health['alerts']} alerts)")
+    for s in health["shards"]:
+        hot = ", ".join(f"{k}={n}" for k, n in sorted(s["window"].items()))
+        print(f"shard {s['shard']:<4}{s['alerts']:>4} alerts"
+              + (f"   window: {hot}" if hot else ""))
+
+    if health["alert_log"]:
+        print("\n== alerts")
+        for a in health["alert_log"]:
+            print(f"{a['sim_ms'] / 1000:>10.1f}s  shard {a['shard']:<3} "
+                  f"{a['label']:<24} {a['kind']:<26} [{a['rule']}] "
+                  f"window={a['window_count']} ewma={a.get('ewma', 0):.2f}")
+
+    if events:
+        census = defaultdict(int)
+        by_shard = defaultdict(int)
+        for e in events:
+            census[e["name"]] += 1
+            by_shard[e["args"]["shard"]] += 1
+        print("\n== event stream")
+        for name, n in sorted(census.items()):
+            print(f"{name:<28}{n:>8}")
+        print("by shard: " + ", ".join(
+            f"s{s}={n}" for s, n in sorted(by_shard.items())))
+
+
+if __name__ == "__main__":
+    main()

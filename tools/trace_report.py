@@ -15,7 +15,7 @@ Default mode prints a human summary: per-span-name durations and crypto-op
 attribution (pairings, Miller loops, final exponentiations, G2Prepared
 builds, MSM work), async handshake latencies on the simulator clock, and
 instant-event counts. With --validate it also checks both files against
-the schemas documented in docs/OBSERVABILITY.md §4 and exits non-zero on
+the schemas documented in docs/OBSERVABILITY.md §5 and exits non-zero on
 any violation — the CI gate for the telemetry artifacts.
 """
 
